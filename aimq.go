@@ -1,0 +1,186 @@
+package aimq
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+
+	"aimq/internal/afd"
+	"aimq/internal/core"
+	"aimq/internal/probe"
+	"aimq/internal/relation"
+	"aimq/internal/similarity"
+	"aimq/internal/supertuple"
+	"aimq/internal/tane"
+	"aimq/internal/webdb"
+	"aimq/internal/workload"
+)
+
+// DB is an AIMQ session over one autonomous database. Create one with Open
+// (in-process data), OpenCSV (a file) or Connect (a remote web database),
+// call Learn once to mine the source, then Ask imprecise queries.
+//
+// A DB is safe for concurrent Ask calls after Learn has returned.
+type DB struct {
+	src    webdb.Source
+	cfg    config
+	probed *relation.Relation
+
+	ord *afd.Ordering
+	est *similarity.Estimator
+	idx *supertuple.Index
+
+	// log records every asked query for workload-driven adaptation.
+	log *workload.Log
+}
+
+// ErrNotLearned is returned by query methods before Learn has run.
+var ErrNotLearned = errors.New("aimq: call Learn before querying")
+
+// Open creates a session over an in-process relation. The relation is
+// treated exactly like a remote source: AIMQ only issues boolean queries
+// against it.
+func Open(rel *relation.Relation, opts ...Option) *DB {
+	return newDB(webdb.NewLocal(rel), opts...)
+}
+
+// OpenCSV creates a session over a relation stored in a CSV file written by
+// SaveCSV / cmd/aimq-datagen.
+func OpenCSV(path string, opts ...Option) (*DB, error) {
+	rel, err := relation.LoadCSV(path)
+	if err != nil {
+		return nil, err
+	}
+	return Open(rel, opts...), nil
+}
+
+// Connect creates a session over a remote autonomous web database serving
+// the aimqd HTTP interface.
+func Connect(baseURL string, client *http.Client, opts ...Option) (*DB, error) {
+	c, err := webdb.NewClient(baseURL, client)
+	if err != nil {
+		return nil, err
+	}
+	return newDB(c, opts...), nil
+}
+
+// OpenSource creates a session over any webdb.Source implementation —
+// custom transports, middlewares like webdb.ProbeCounter, or the
+// fault-injecting webdb.Flaky used in resilience tests.
+func OpenSource(src webdb.Source, opts ...Option) *DB {
+	return newDB(src, opts...)
+}
+
+func newDB(src webdb.Source, opts ...Option) *DB {
+	db := &DB{src: src, cfg: defaultConfig(), log: workload.NewLog(src.Schema())}
+	for _, o := range opts {
+		o(&db.cfg)
+	}
+	return db
+}
+
+// Schema returns the source's schema.
+func (db *DB) Schema() *relation.Schema { return db.src.Schema() }
+
+// Source returns the underlying source (useful for probe accounting).
+func (db *DB) Source() webdb.Source { return db.src }
+
+// Learn runs AIMQ's offline phase: it probes the source for a sample (or
+// uses the one supplied via WithSample), mines approximate functional
+// dependencies and keys with TANE, derives the attribute relaxation order
+// and importance weights (Algorithm 2), and estimates categorical value
+// similarities from supertuples.
+func (db *DB) Learn() error {
+	sample := db.cfg.sample
+	if sample == nil {
+		rng := rand.New(rand.NewSource(db.cfg.seed))
+		collector := probe.New(db.src, rng)
+		collector.Parallelism = db.cfg.probeWorkers
+		pivot := db.cfg.pivot
+		if pivot == "" {
+			p, err := db.pickPivot()
+			if err != nil {
+				return err
+			}
+			pivot = p
+		}
+		probed, err := collector.Collect(pivot)
+		if err != nil {
+			return fmt.Errorf("aimq: probing failed: %w", err)
+		}
+		if db.cfg.sampleSize > 0 && probed.Size() > db.cfg.sampleSize {
+			probed = probed.Sample(db.cfg.sampleSize, rng)
+		}
+		sample = probed
+	}
+	db.probed = sample
+
+	mined := tane.Miner{Terr: db.cfg.terr, MaxLHS: db.cfg.maxLHS}.Mine(sample)
+	ord, err := afd.Order(mined)
+	if err != nil {
+		return fmt.Errorf("aimq: %w (raise Terr with WithErrorThreshold or supply a larger sample)", err)
+	}
+	db.ord = ord
+	db.idx = supertuple.Builder{Buckets: db.cfg.buckets}.Build(sample)
+	db.est = similarity.New(db.idx, ord, similarity.Config{MinSim: db.cfg.minSim})
+	return nil
+}
+
+// pickPivot selects a probing pivot: the lowest-cardinality attribute that
+// still shows at least two values in a seed probe.
+func (db *DB) pickPivot() (string, error) {
+	infos, err := probe.PivotCoverage(db.src, 2000)
+	if err != nil {
+		return "", fmt.Errorf("aimq: pivot discovery failed: %w", err)
+	}
+	for _, info := range infos {
+		if info.DistinctInSeed >= 2 {
+			return info.Attr, nil
+		}
+	}
+	return "", errors.New("aimq: no usable probing pivot (source empty?)")
+}
+
+// Learned reports whether Learn has completed.
+func (db *DB) Learned() bool { return db.est != nil }
+
+// Sample returns the probed sample the model was learned from (nil before
+// Learn).
+func (db *DB) Sample() *relation.Relation { return db.probed }
+
+// engine assembles the online query engine with the session's config.
+func (db *DB) engine() *core.Engine {
+	return core.New(db.src, db.est, &core.Guided{Ord: db.ord}, core.Config{
+		Tsim:              db.cfg.tsim,
+		K:                 db.cfg.k,
+		BaseLimit:         db.cfg.baseLimit,
+		PerQueryLimit:     db.cfg.perQueryLimit,
+		TargetRelevant:    db.cfg.targetRelevant,
+		MaxQueriesPerBase: db.cfg.maxQueriesPerBase,
+		MaxSourceFailures: db.cfg.maxSourceFailures,
+		Trace:             db.cfg.trace,
+	})
+}
+
+// WorkloadQueries returns how many queries this session has recorded for
+// workload-driven adaptation.
+func (db *DB) WorkloadQueries() int { return db.log.Queries() }
+
+// AdaptToWorkload blends the mined (data-driven) attribute importance with
+// the query-driven importance observed in this session's workload — the
+// complementary approach the paper discusses in §7. alpha 0 keeps the mined
+// model; alpha 1 trusts only the workload. Requires at least one Ask since
+// the session started. Not safe to call concurrently with Ask.
+func (db *DB) AdaptToWorkload(alpha float64) error {
+	if !db.Learned() {
+		return ErrNotLearned
+	}
+	blended, err := db.log.Blend(db.ord, alpha)
+	if err != nil {
+		return fmt.Errorf("aimq: %w", err)
+	}
+	db.ord = blended
+	db.est.Ordering = blended
+	return nil
+}

@@ -1,0 +1,388 @@
+package aimq
+
+import (
+	"errors"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"aimq/internal/datagen"
+	"aimq/internal/relation"
+	"aimq/internal/webdb"
+)
+
+func learnedCarDB(t testing.TB, n int, opts ...Option) (*DB, *datagen.CarDB) {
+	t.Helper()
+	gen := datagen.GenerateCarDB(n, 7)
+	opts = append([]Option{WithSample(gen.Rel), WithSeed(11)}, opts...)
+	db := Open(gen.Rel, opts...)
+	if err := db.Learn(); err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	return db, gen
+}
+
+func TestAskBeforeLearn(t *testing.T) {
+	gen := datagen.GenerateCarDB(100, 1)
+	db := Open(gen.Rel)
+	if _, err := db.Ask("Make like Ford"); !errors.Is(err, ErrNotLearned) {
+		t.Errorf("Ask before Learn = %v", err)
+	}
+	if _, err := db.AttributeOrder(); !errors.Is(err, ErrNotLearned) {
+		t.Errorf("AttributeOrder before Learn = %v", err)
+	}
+	if _, _, err := db.BestKey(); !errors.Is(err, ErrNotLearned) {
+		t.Errorf("BestKey before Learn = %v", err)
+	}
+	if _, err := db.SimilarValues("Make", "Ford", 3); !errors.Is(err, ErrNotLearned) {
+		t.Errorf("SimilarValues before Learn = %v", err)
+	}
+	if db.Learned() {
+		t.Errorf("Learned true before Learn")
+	}
+}
+
+func TestEndToEndAsk(t *testing.T) {
+	db, _ := learnedCarDB(t, 6000)
+	ans, err := db.Ask("Model like Camry, Price like 9000")
+	if err != nil {
+		t.Fatalf("Ask: %v", err)
+	}
+	if len(ans.Rows) == 0 || len(ans.Rows) > 10 {
+		t.Fatalf("rows = %d", len(ans.Rows))
+	}
+	if len(ans.Columns) != 7 {
+		t.Errorf("columns = %v", ans.Columns)
+	}
+	for i := 1; i < len(ans.Rows); i++ {
+		if ans.Rows[i-1].Similarity < ans.Rows[i].Similarity {
+			t.Errorf("rows not ranked")
+		}
+	}
+	if ans.Rows[0].Values[1] != "Camry" {
+		t.Errorf("top answer model = %q", ans.Rows[0].Values[1])
+	}
+	if ans.Work.QueriesIssued == 0 || ans.Work.TuplesExtracted == 0 {
+		t.Errorf("work empty: %+v", ans.Work)
+	}
+	if ans.BaseQuery == "" {
+		t.Errorf("BaseQuery empty")
+	}
+	// Table rendering.
+	s := ans.String()
+	if !strings.Contains(s, "Camry") || !strings.Contains(s, "sim") {
+		t.Errorf("String render missing content:\n%s", s)
+	}
+}
+
+func TestAskParseErrors(t *testing.T) {
+	db, _ := learnedCarDB(t, 1000)
+	if _, err := db.Ask("Ghost like X"); err == nil {
+		t.Errorf("unknown attribute accepted")
+	}
+	if _, err := db.Ask(""); err == nil {
+		t.Errorf("empty query accepted")
+	}
+}
+
+func TestAskTuple(t *testing.T) {
+	db, gen := learnedCarDB(t, 4000, WithTopK(5))
+	ans, err := db.AskTuple(gen.Rel.Tuple(0))
+	if err != nil {
+		t.Fatalf("AskTuple: %v", err)
+	}
+	if len(ans.Rows) == 0 || len(ans.Rows) > 5 {
+		t.Fatalf("rows = %d", len(ans.Rows))
+	}
+	// The reference tuple itself is in the DB: best answer is an exact or
+	// near-exact match.
+	if ans.Rows[0].Similarity < 0.99 {
+		t.Errorf("top similarity = %v", ans.Rows[0].Similarity)
+	}
+}
+
+func TestIntrospection(t *testing.T) {
+	db, _ := learnedCarDB(t, 5000)
+	order, err := db.AttributeOrder()
+	if err != nil || len(order) != 7 {
+		t.Fatalf("AttributeOrder = %d attrs, %v", len(order), err)
+	}
+	total := 0.0
+	decidingSeen := false
+	for i, a := range order {
+		if a.RelaxOrder != i+1 {
+			t.Errorf("RelaxOrder[%d] = %d", i, a.RelaxOrder)
+		}
+		total += a.Weight
+		decidingSeen = decidingSeen || a.Deciding
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Errorf("weights sum = %v", total)
+	}
+	if !decidingSeen {
+		t.Errorf("no deciding attributes reported")
+	}
+
+	keyAttrs, support, err := db.BestKey()
+	if err != nil || len(keyAttrs) == 0 || support <= 0 || support > 1 {
+		t.Errorf("BestKey = %v, %v, %v", keyAttrs, support, err)
+	}
+
+	sims, err := db.SimilarValues("Make", "Ford", 3)
+	if err != nil || len(sims) == 0 {
+		t.Fatalf("SimilarValues = %v, %v", sims, err)
+	}
+	for i := 1; i < len(sims); i++ {
+		if sims[i-1].Similarity < sims[i].Similarity {
+			t.Errorf("SimilarValues not ranked")
+		}
+	}
+	if _, err := db.SimilarValues("Ghost", "x", 3); err == nil {
+		t.Errorf("unknown attribute accepted")
+	}
+	if _, err := db.SimilarValues("Price", "x", 3); err == nil {
+		t.Errorf("numeric attribute accepted")
+	}
+
+	st, err := db.SuperTuple("Make", "Ford", 3)
+	if err != nil || !strings.Contains(st, "Make=Ford") {
+		t.Errorf("SuperTuple = %q, %v", st, err)
+	}
+	if _, err := db.SuperTuple("Make", "DeLorean", 3); err == nil {
+		t.Errorf("unseen value accepted")
+	}
+	if _, err := db.SuperTuple("Ghost", "x", 3); err == nil {
+		t.Errorf("unknown attribute accepted")
+	}
+
+	model, err := db.DescribeModel()
+	if err != nil || !strings.Contains(model, "relaxation order") {
+		t.Errorf("DescribeModel = %v, %v", model, err)
+	}
+}
+
+func TestLearnByProbing(t *testing.T) {
+	gen := datagen.GenerateCarDB(3000, 9)
+	db := Open(gen.Rel, WithSeed(5), WithPivot("Make"), WithSampleSize(2000))
+	if err := db.Learn(); err != nil {
+		t.Fatalf("Learn via probing: %v", err)
+	}
+	if db.Sample() == nil || db.Sample().Size() != 2000 {
+		t.Errorf("probed sample size = %v", db.Sample())
+	}
+	if _, err := db.Ask("Model like Civic"); err != nil {
+		t.Errorf("Ask after probing: %v", err)
+	}
+}
+
+func TestLearnAutoPivot(t *testing.T) {
+	gen := datagen.GenerateCarDB(2000, 10)
+	db := Open(gen.Rel, WithSeed(6))
+	if err := db.Learn(); err != nil {
+		t.Fatalf("Learn with auto pivot: %v", err)
+	}
+}
+
+func TestConnectRemote(t *testing.T) {
+	gen := datagen.GenerateCarDB(3000, 12)
+	srv := httptest.NewServer(webdb.NewServer(webdb.NewLocal(gen.Rel)))
+	defer srv.Close()
+
+	db, err := Connect(srv.URL, srv.Client(), WithSeed(13), WithSampleSize(1500))
+	if err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	if err := db.Learn(); err != nil {
+		t.Fatalf("Learn over HTTP: %v", err)
+	}
+	ans, err := db.Ask("Model like Accord, Price like 8000")
+	if err != nil {
+		t.Fatalf("Ask over HTTP: %v", err)
+	}
+	if len(ans.Rows) == 0 {
+		t.Errorf("no remote answers")
+	}
+	if _, err := Connect("http://127.0.0.1:1", nil); err == nil {
+		t.Errorf("Connect to dead address succeeded")
+	}
+}
+
+func TestOpenCSV(t *testing.T) {
+	gen := datagen.GenerateCarDB(500, 14)
+	path := t.TempDir() + "/car.csv"
+	if err := relation.SaveCSV(path, gen.Rel); err != nil {
+		t.Fatal(err)
+	}
+	db, err := OpenCSV(path, WithSample(gen.Rel))
+	if err != nil {
+		t.Fatalf("OpenCSV: %v", err)
+	}
+	if db.Schema().Arity() != 7 {
+		t.Errorf("schema arity = %d", db.Schema().Arity())
+	}
+	if _, err := OpenCSV(path + ".missing"); err == nil {
+		t.Errorf("missing CSV accepted")
+	}
+}
+
+func TestOptionsApply(t *testing.T) {
+	gen := datagen.GenerateCarDB(2500, 15)
+	db := Open(gen.Rel,
+		WithSample(gen.Rel),
+		WithErrorThreshold(0.2),
+		WithMaxLHS(2),
+		WithBuckets(8),
+		WithMinSim(0.01),
+		WithThreshold(0.6),
+		WithTopK(3),
+		WithBaseLimit(2),
+		WithPerQueryLimit(50),
+		WithTargetRelevant(15),
+		WithMaxQueriesPerBase(40),
+		WithMaxSourceFailures(2),
+	)
+	if err := db.Learn(); err != nil {
+		t.Fatalf("Learn: %v", err)
+	}
+	ans, err := db.Ask("Model like Corolla")
+	if err != nil {
+		t.Fatalf("Ask: %v", err)
+	}
+	if len(ans.Rows) > 3 {
+		t.Errorf("WithTopK(3) ignored: %d rows", len(ans.Rows))
+	}
+}
+
+func TestWorkloadAdaptation(t *testing.T) {
+	db, _ := learnedCarDB(t, 3000)
+	if err := db.AdaptToWorkload(0.5); err == nil {
+		t.Errorf("adaptation with empty workload accepted")
+	}
+	// A session that only ever binds Color tells the system users care
+	// about Color far more than mining suggested.
+	colorIdx := db.Schema().MustIndex("Color")
+	before, err := db.AttributeOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var beforeW float64
+	for _, a := range before {
+		if a.Name == "Color" {
+			beforeW = a.Weight
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := db.Ask("Color like Red"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.WorkloadQueries() != 10 {
+		t.Fatalf("WorkloadQueries = %d", db.WorkloadQueries())
+	}
+	if err := db.AdaptToWorkload(0.5); err != nil {
+		t.Fatal(err)
+	}
+	after, err := db.AttributeOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var afterW float64
+	for _, a := range after {
+		if a.Name == "Color" {
+			afterW = a.Weight
+		}
+	}
+	if afterW <= beforeW {
+		t.Errorf("Color weight did not grow: %v -> %v", beforeW, afterW)
+	}
+	// The adapted model still answers queries.
+	if _, err := db.Ask("Model like Camry"); err != nil {
+		t.Errorf("Ask after adaptation: %v", err)
+	}
+	_ = colorIdx
+
+	fresh := Open(datagen.GenerateCarDB(100, 9).Rel)
+	if err := fresh.AdaptToWorkload(0.5); !errors.Is(err, ErrNotLearned) {
+		t.Errorf("adaptation before Learn = %v", err)
+	}
+}
+
+func TestProbeParallelismOption(t *testing.T) {
+	gen := datagen.GenerateCarDB(3000, 19)
+	seq := Open(gen.Rel, WithSeed(4), WithPivot("Make"))
+	if err := seq.Learn(); err != nil {
+		t.Fatal(err)
+	}
+	par := Open(gen.Rel, WithSeed(4), WithPivot("Make"), WithProbeParallelism(4))
+	if err := par.Learn(); err != nil {
+		t.Fatal(err)
+	}
+	// Determinism: the probed samples are identical, so so are the models.
+	a, _, _ := seq.BestKey()
+	b, _, _ := par.BestKey()
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Errorf("parallel probing changed the learned model: %v vs %v", a, b)
+	}
+	if seq.Sample().Size() != par.Sample().Size() {
+		t.Errorf("sample sizes differ: %d vs %d", seq.Sample().Size(), par.Sample().Size())
+	}
+}
+
+func TestTrace(t *testing.T) {
+	db, _ := learnedCarDB(t, 2000, WithTrace(true), WithTargetRelevant(25))
+	ans, err := db.Ask("Model like Camry, Price like 9000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans.Trace) == 0 {
+		t.Fatalf("WithTrace recorded nothing")
+	}
+	productive := 0
+	for _, s := range ans.Trace {
+		if s.Failed {
+			t.Errorf("unexpected failed step against a healthy source")
+		}
+		if s.Qualified > s.Extracted {
+			t.Errorf("step qualified %d > extracted %d", s.Qualified, s.Extracted)
+		}
+		if s.Query == "" {
+			t.Errorf("trace step without a query")
+		}
+		if s.Qualified > 0 {
+			productive++
+		}
+	}
+	if productive == 0 {
+		t.Errorf("no productive steps in trace")
+	}
+	out := ans.ExplainTrace()
+	if !strings.Contains(out, "qualified") || !strings.Contains(out, "further steps") {
+		t.Errorf("ExplainTrace = %q", out)
+	}
+	// Untraced sessions say so.
+	db2, _ := learnedCarDB(t, 500)
+	ans2, err := db2.Ask("Model like Civic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ans2.Trace) != 0 {
+		t.Errorf("trace recorded without WithTrace")
+	}
+	if !strings.Contains(ans2.ExplainTrace(), "no trace recorded") {
+		t.Errorf("ExplainTrace on untraced = %q", ans2.ExplainTrace())
+	}
+}
+
+func TestAskWithInList(t *testing.T) {
+	db, _ := learnedCarDB(t, 3000)
+	ans, err := db.Ask("Make in (Kia | Hyundai), Price like 6000")
+	if err != nil {
+		t.Fatalf("Ask with in-list: %v", err)
+	}
+	if len(ans.Rows) == 0 {
+		t.Fatalf("no answers for in-list query")
+	}
+	if mk := ans.Rows[0].Values[0]; mk != "Kia" && mk != "Hyundai" {
+		t.Errorf("top answer make = %q", mk)
+	}
+}

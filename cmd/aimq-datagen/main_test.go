@@ -1,0 +1,62 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"aimq/internal/relation"
+)
+
+func TestRunCarDB(t *testing.T) {
+	out := t.TempDir() + "/cars.csv"
+	if err := run("cardb", 500, 7, out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	rel, err := relation.LoadCSV(out)
+	if err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	if rel.Size() != 500 || rel.Schema().Arity() != 7 {
+		t.Errorf("generated %d tuples, arity %d", rel.Size(), rel.Schema().Arity())
+	}
+}
+
+func TestRunCensus(t *testing.T) {
+	out := t.TempDir() + "/census.csv"
+	if err := run("census", 400, 8, out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	rel, err := relation.LoadCSV(out)
+	if err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	if rel.Size() != 400 || rel.Schema().Arity() != 13 {
+		t.Errorf("generated %d tuples, arity %d", rel.Size(), rel.Schema().Arity())
+	}
+	classes, err := os.ReadFile(out + ".classes")
+	if err != nil {
+		t.Fatalf("classes sidecar: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(classes)), "\n")
+	if len(lines) != 400 {
+		t.Errorf("classes sidecar has %d lines", len(lines))
+	}
+	for _, l := range lines {
+		if l != ">50K" && l != "<=50K" {
+			t.Fatalf("bad class label %q", l)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", 10, 1, t.TempDir()+"/x.csv"); err == nil {
+		t.Errorf("unknown dataset accepted")
+	}
+	if err := run("cardb", 10, 1, "/nonexistent-dir/x.csv"); err == nil {
+		t.Errorf("unwritable path accepted")
+	}
+	if err := run("census", 10, 1, "/nonexistent-dir/x.csv"); err == nil {
+		t.Errorf("unwritable census path accepted")
+	}
+}

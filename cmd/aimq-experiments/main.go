@@ -1,0 +1,78 @@
+// Command aimq-experiments reproduces the paper's evaluation: every table
+// and figure of §6 over the synthetic CarDB and CensusDB datasets.
+//
+// Usage:
+//
+//	aimq-experiments                 # quick scale (seconds)
+//	aimq-experiments -full           # paper scale (100k CarDB, 45k CensusDB)
+//	aimq-experiments -run fig8,fig9  # selected experiments only
+//	aimq-experiments -list           # list experiment ids
+//
+// Experiment ids match DESIGN.md's index: table2, fig3, fig4, table3, fig5,
+// fig6, fig7, fig8, fig9.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"aimq/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run at the paper's scale (slower)")
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	seed := flag.Int64("seed", 0, "override the experiment seed")
+	censusQueries := flag.Int("census-queries", 0, "override Fig 9 query count")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	params := experiments.Quick()
+	if *full {
+		params = experiments.Full()
+	}
+	if *seed != 0 {
+		params.Seed = *seed
+	}
+	if *censusQueries > 0 {
+		params.CensusQueries = *censusQueries
+	}
+
+	ids := experiments.IDs()
+	if *run != "" {
+		ids = strings.Split(*run, ",")
+	}
+
+	lab := experiments.NewLab(params)
+	scale := "quick"
+	if *full {
+		scale = "full (paper)"
+	}
+	fmt.Printf("AIMQ experiment suite — %s scale, seed %d\n", scale, params.Seed)
+	fmt.Printf("CarDB %d tuples, CensusDB %d tuples\n\n", params.CarDBSize, params.CensusSize)
+
+	failed := false
+	for _, id := range ids {
+		start := time.Now()
+		res, err := experiments.Run(strings.TrimSpace(id), lab)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("=== %s (%v) ===\n%s\n", id, time.Since(start).Round(time.Millisecond), res.Render())
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

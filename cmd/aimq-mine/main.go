@@ -1,0 +1,87 @@
+// Command aimq-mine runs the offline dependency-mining pipeline over a CSV
+// relation and prints what AIMQ learned: approximate functional
+// dependencies, approximate keys, the attribute relaxation order with
+// importance weights, and (optionally) mined value neighborhoods.
+//
+// Usage:
+//
+//	aimq-mine -data cardb.csv -terr 0.15 -maxlhs 3
+//	aimq-mine -data cardb.csv -similar Make=Ford,Model=Camry
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aimq/internal/afd"
+	"aimq/internal/relation"
+	"aimq/internal/similarity"
+	"aimq/internal/supertuple"
+	"aimq/internal/tane"
+)
+
+func main() {
+	data := flag.String("data", "", "CSV file to mine")
+	terr := flag.Float64("terr", 0.15, "g3 error threshold")
+	maxLHS := flag.Int("maxlhs", 3, "max antecedent size")
+	minimal := flag.Bool("minimal", false, "report only minimal dependencies")
+	topAFDs := flag.Int("afds", 25, "number of AFDs to print")
+	similar := flag.String("similar", "", "comma-separated Attr=Value pairs to show mined neighborhoods for")
+	flag.Parse()
+
+	if err := run(*data, *terr, *maxLHS, *minimal, *topAFDs, *similar); err != nil {
+		fmt.Fprintln(os.Stderr, "aimq-mine:", err)
+		os.Exit(1)
+	}
+}
+
+func run(data string, terr float64, maxLHS int, minimal bool, topAFDs int, similar string) error {
+	if data == "" {
+		return fmt.Errorf("need -data")
+	}
+	rel, err := relation.LoadCSV(data)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("mining %d tuples of %s (Terr=%.2f, MaxLHS=%d)\n\n", rel.Size(), rel.Schema(), terr, maxLHS)
+
+	res := tane.Miner{Terr: terr, MaxLHS: maxLHS, MinimalOnly: minimal}.Mine(rel)
+	fmt.Printf("approximate functional dependencies: %d (top %d by support)\n", len(res.AFDs), topAFDs)
+	for i, a := range res.AFDs {
+		if i >= topAFDs {
+			break
+		}
+		fmt.Println("  " + a.Render(rel.Schema()))
+	}
+	fmt.Printf("\napproximate keys: %d\n", len(res.AKeys))
+	for _, k := range res.AKeys {
+		fmt.Println("  " + k.Render(rel.Schema()))
+	}
+
+	ord, err := afd.Order(res)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	fmt.Print(ord.Describe())
+
+	if similar != "" {
+		idx := supertuple.Builder{Buckets: 10}.Build(rel)
+		est := similarity.New(idx, ord, similarity.Config{})
+		fmt.Println("\nmined value neighborhoods:")
+		for _, pair := range strings.Split(similar, ",") {
+			parts := strings.SplitN(strings.TrimSpace(pair), "=", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("bad -similar entry %q (want Attr=Value)", pair)
+			}
+			attr, ok := rel.Schema().Index(parts[0])
+			if !ok {
+				return fmt.Errorf("unknown attribute %q", parts[0])
+			}
+			fmt.Println("  " + est.DescribeNeighborhood(attr, parts[1], 5))
+		}
+	}
+	return nil
+}

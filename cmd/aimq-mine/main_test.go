@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+
+	"aimq/internal/datagen"
+	"aimq/internal/relation"
+)
+
+func carCSV(t *testing.T) string {
+	t.Helper()
+	path := t.TempDir() + "/cars.csv"
+	if err := relation.SaveCSV(path, datagen.GenerateCarDB(1500, 9).Rel); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunMine(t *testing.T) {
+	path := carCSV(t)
+	if err := run(path, 0.15, 2, false, 5, ""); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	// Minimal mode and neighborhoods.
+	if err := run(path, 0.15, 2, true, 3, "Make=Ford,Model=Camry"); err != nil {
+		t.Fatalf("run with -similar: %v", err)
+	}
+}
+
+func TestRunMineErrors(t *testing.T) {
+	if err := run("", 0.15, 2, false, 5, ""); err == nil {
+		t.Errorf("missing -data accepted")
+	}
+	if err := run("/does/not/exist.csv", 0.15, 2, false, 5, ""); err == nil {
+		t.Errorf("missing file accepted")
+	}
+	path := carCSV(t)
+	if err := run(path, 0.15, 2, false, 5, "BadPair"); err == nil {
+		t.Errorf("malformed -similar accepted")
+	}
+	if err := run(path, 0.15, 2, false, 5, "Ghost=x"); err == nil {
+		t.Errorf("unknown attribute in -similar accepted")
+	}
+}

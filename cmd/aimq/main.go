@@ -1,0 +1,198 @@
+// Command aimq answers imprecise queries over a CSV-backed or remote
+// database from the command line.
+//
+// One-shot:
+//
+//	aimq -data cardb.csv -q "Model like Camry, Price like 10000"
+//
+// Interactive (REPL):
+//
+//	aimq -data cardb.csv
+//	aimq> Model like Camry, Price like 10000
+//	aimq> .order            — show the learned attribute importance
+//	aimq> .similar Make Ford — show mined similar values
+//	aimq> .quit
+//
+// Against a remote autonomous source served by aimqd:
+//
+//	aimq -url http://127.0.0.1:8080 -q "Make like Ford"
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"aimq"
+)
+
+func main() {
+	data := flag.String("data", "", "CSV file backing the database")
+	url := flag.String("url", "", "base URL of a remote aimqd source (alternative to -data)")
+	q := flag.String("q", "", "one-shot query; omit for interactive mode")
+	k := flag.Int("k", 10, "number of answers")
+	tsim := flag.Float64("tsim", 0.5, "similarity threshold")
+	terr := flag.Float64("terr", 0.15, "TANE error threshold")
+	sampleSize := flag.Int("sample", 0, "cap the learning sample (0 = all)")
+	seed := flag.Int64("seed", 1, "sampling seed")
+	flag.Parse()
+
+	if err := run(*data, *url, *q, *k, *tsim, *terr, *sampleSize, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "aimq:", err)
+		os.Exit(1)
+	}
+}
+
+func run(data, url, q string, k int, tsim, terr float64, sampleSize int, seed int64) error {
+	opts := []aimq.Option{
+		aimq.WithTopK(k),
+		aimq.WithThreshold(tsim),
+		aimq.WithErrorThreshold(terr),
+		aimq.WithSeed(seed),
+	}
+	if sampleSize > 0 {
+		opts = append(opts, aimq.WithSampleSize(sampleSize))
+	}
+
+	var db *aimq.DB
+	var err error
+	switch {
+	case data != "":
+		db, err = aimq.OpenCSV(data, opts...)
+	case url != "":
+		db, err = aimq.Connect(url, nil, opts...)
+	default:
+		return fmt.Errorf("need -data or -url")
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "learning attribute importance and value similarities...\n")
+	if err := db.Learn(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "learned from %d sample tuples over %s\n", db.Sample().Size(), db.Schema())
+
+	if q != "" {
+		return answer(db, os.Stdout, q)
+	}
+	return repl(db, os.Stdin, os.Stdout)
+}
+
+func answer(db *aimq.DB, w io.Writer, q string) error {
+	ans, err := db.Ask(q)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "base query: %s\n", ans.BaseQuery)
+	fmt.Fprint(w, ans)
+	fmt.Fprintf(w, "(%d queries issued, %d tuples extracted, %d qualified)\n",
+		ans.Work.QueriesIssued, ans.Work.TuplesExtracted, ans.Work.TuplesQualified)
+	return nil
+}
+
+// repl runs the interactive loop over the given streams (parameterized for
+// tests).
+func repl(db *aimq.DB, in io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(in)
+	var lastQuery string
+	var lastAns *aimq.Answers
+	feedback := func(arg string, relevant bool) {
+		if lastAns == nil {
+			fmt.Fprintln(w, "no previous query to give feedback on")
+			return
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(arg))
+		if err != nil || n < 1 || n > len(lastAns.Rows) {
+			fmt.Fprintf(w, "usage: .good N / .bad N with N in 1..%d (rows of the last answer)\n", len(lastAns.Rows))
+			return
+		}
+		if err := db.Feedback(lastQuery, lastAns.Rows[n-1].Values, relevant); err != nil {
+			fmt.Fprintln(w, "error:", err)
+			return
+		}
+		fmt.Fprintf(w, "feedback applied to row %d\n", n)
+	}
+	fmt.Fprint(w, "aimq> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == ".quit" || line == ".exit":
+			return nil
+		case line == ".order":
+			model, err := db.DescribeModel()
+			if err != nil {
+				fmt.Fprintln(w, "error:", err)
+			} else {
+				fmt.Fprint(w, model)
+			}
+		case strings.HasPrefix(line, ".similar "):
+			fields := strings.Fields(line)
+			if len(fields) < 3 {
+				fmt.Fprintln(w, "usage: .similar ATTR VALUE")
+				break
+			}
+			sims, err := db.SimilarValues(fields[1], strings.Join(fields[2:], " "), 10)
+			if err != nil {
+				fmt.Fprintln(w, "error:", err)
+				break
+			}
+			for _, s := range sims {
+				fmt.Fprintf(w, "  %-20s %.3f\n", s.Value, s.Similarity)
+			}
+		case strings.HasPrefix(line, ".super "):
+			fields := strings.Fields(line)
+			if len(fields) < 3 {
+				fmt.Fprintln(w, "usage: .super ATTR VALUE")
+				break
+			}
+			st, err := db.SuperTuple(fields[1], strings.Join(fields[2:], " "), 8)
+			if err != nil {
+				fmt.Fprintln(w, "error:", err)
+				break
+			}
+			fmt.Fprint(w, st)
+		case strings.HasPrefix(line, ".good "):
+			feedback(strings.TrimPrefix(line, ".good "), true)
+		case strings.HasPrefix(line, ".bad "):
+			feedback(strings.TrimPrefix(line, ".bad "), false)
+		case strings.HasPrefix(line, ".adapt"):
+			alpha := 0.3
+			if arg := strings.TrimSpace(strings.TrimPrefix(line, ".adapt")); arg != "" {
+				a, err := strconv.ParseFloat(arg, 64)
+				if err != nil {
+					fmt.Fprintln(w, "usage: .adapt [ALPHA]")
+					break
+				}
+				alpha = a
+			}
+			if err := db.AdaptToWorkload(alpha); err != nil {
+				fmt.Fprintln(w, "error:", err)
+			} else {
+				fmt.Fprintf(w, "importance blended toward the session workload (alpha %.2f, %d queries)\n",
+					alpha, db.WorkloadQueries())
+			}
+		case strings.HasPrefix(line, "."):
+			fmt.Fprintln(w, "commands: .order | .similar ATTR VALUE | .super ATTR VALUE | .good N | .bad N | .adapt [ALPHA] | .quit")
+		default:
+			ans, err := db.Ask(line)
+			if err != nil {
+				fmt.Fprintln(w, "error:", err)
+				break
+			}
+			lastQuery, lastAns = line, ans
+			fmt.Fprintf(w, "base query: %s\n", ans.BaseQuery)
+			fmt.Fprint(w, ans)
+			fmt.Fprintf(w, "(%d queries issued, %d tuples extracted, %d qualified)\n",
+				ans.Work.QueriesIssued, ans.Work.TuplesExtracted, ans.Work.TuplesQualified)
+		}
+		fmt.Fprint(w, "aimq> ")
+	}
+	return sc.Err()
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aimq"
+	"aimq/internal/datagen"
+	"aimq/internal/relation"
+)
+
+func learned(t *testing.T) *aimq.DB {
+	t.Helper()
+	gen := datagen.GenerateCarDB(2000, 13)
+	db := aimq.Open(gen.Rel, aimq.WithSample(gen.Rel), aimq.WithSeed(1))
+	if err := db.Learn(); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestAnswerWriter(t *testing.T) {
+	db := learned(t)
+	var out bytes.Buffer
+	if err := answer(db, &out, "Model like Camry, Price like 9000"); err != nil {
+		t.Fatalf("answer: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"base query:", "Camry", "queries issued"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("answer output missing %q:\n%s", want, s)
+		}
+	}
+	if err := answer(db, &out, "Ghost like x"); err == nil {
+		t.Errorf("bad query accepted")
+	}
+}
+
+func TestREPL(t *testing.T) {
+	db := learned(t)
+	script := strings.Join([]string{
+		"",                   // blank line ignored
+		".order",             // model description
+		".similar Make Ford", // mined neighborhood
+		".similar Make",      // usage error (needs a value)
+		".super Make Ford",   // supertuple
+		".super Make",        // usage error (needs a value)
+		".similar Ghost x",   // error path
+		".unknown",           // help
+		"Model like Civic",   // a real query
+		"Nonsense ??",        // query error path
+		".quit",
+	}, "\n") + "\n"
+	var out bytes.Buffer
+	if err := repl(db, strings.NewReader(script), &out); err != nil {
+		t.Fatalf("repl: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"relaxation order", // .order
+		"Toyota",           // Ford's neighbors include Toyota
+		"usage: .similar ATTR VALUE",
+		"Make=Ford", // supertuple header
+		"usage: .super ATTR VALUE",
+		"error:",    // ghost attribute
+		"commands:", // help
+		"Civic",     // query answers
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("repl output missing %q", want)
+		}
+	}
+}
+
+func TestREPLQuitImmediately(t *testing.T) {
+	db := learned(t)
+	var out bytes.Buffer
+	if err := repl(db, strings.NewReader(".exit\n"), &out); err != nil {
+		t.Fatalf("repl: %v", err)
+	}
+	if !strings.HasPrefix(out.String(), "aimq> ") {
+		t.Errorf("no prompt printed")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("", "", "q", 10, 0.5, 0.15, 0, 1); err == nil {
+		t.Errorf("missing -data/-url accepted")
+	}
+	if err := run("/does/not/exist.csv", "", "q", 10, 0.5, 0.15, 0, 1); err == nil {
+		t.Errorf("missing csv accepted")
+	}
+}
+
+func TestRunOneShot(t *testing.T) {
+	gen := datagen.GenerateCarDB(1500, 17)
+	path := t.TempDir() + "/cars.csv"
+	if err := relation.SaveCSV(path, gen.Rel); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "", "Model like Camry", 5, 0.5, 0.15, 1000, 3); err != nil {
+		t.Fatalf("one-shot run: %v", err)
+	}
+}
+
+func TestREPLFeedbackAndAdapt(t *testing.T) {
+	db := learned(t)
+	script := strings.Join([]string{
+		".good 1", // no previous query yet
+		".adapt",  // no workload yet → error
+		"Model like Camry, Price like 9000",
+		".good 1", // accept the top answer
+		".bad 99", // out of range
+		".bad x",  // not a number
+		".good 2",
+		".adapt 0.4",     // now there is a workload
+		".adapt notanum", // usage
+		".quit",
+	}, "\n") + "\n"
+	var out bytes.Buffer
+	if err := repl(db, strings.NewReader(script), &out); err != nil {
+		t.Fatalf("repl: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"no previous query to give feedback on",
+		"error:", // .adapt before any Ask
+		"feedback applied to row 1",
+		"usage: .good N / .bad N",
+		"feedback applied to row 2",
+		"importance blended toward the session workload",
+		"usage: .adapt [ALPHA]",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("repl output missing %q", want)
+		}
+	}
+}

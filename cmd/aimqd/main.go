@@ -1,0 +1,67 @@
+// Command aimqd serves a CSV-backed relation as an autonomous Web database:
+// a form-style boolean query interface over HTTP, exactly the access model
+// the paper assumes for remote sources.
+//
+// Usage:
+//
+//	aimqd -data cardb.csv -addr :8080
+//
+// Endpoints:
+//
+//	GET /schema                         — attribute names and types
+//	GET /query?Make=Ford&Price.lt=9000  — boolean conjunctive query
+//
+// Query the served database with the aimq CLI:
+//
+//	aimq -url http://127.0.0.1:8080 -q "Make like Ford"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"aimq/internal/relation"
+	"aimq/internal/webdb"
+)
+
+func main() {
+	data := flag.String("data", "", "CSV file to serve")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	if err := run(*data, *addr); err != nil {
+		fmt.Fprintln(os.Stderr, "aimqd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(data, addr string) error {
+	if data == "" {
+		return fmt.Errorf("need -data")
+	}
+	rel, err := relation.LoadCSV(data)
+	if err != nil {
+		return err
+	}
+	src := &webdb.ProbeCounter{Src: webdb.NewLocal(rel)}
+	srv := &http.Server{
+		Addr:         addr,
+		Handler:      logRequests(webdb.NewServer(src)),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 60 * time.Second,
+	}
+	log.Printf("serving %d tuples of %s on %s", rel.Size(), rel.Schema(), addr)
+	return srv.ListenAndServe()
+}
+
+func logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		next.ServeHTTP(w, r)
+		log.Printf("%s %s (%s)", r.Method, r.URL, time.Since(start).Round(time.Microsecond))
+	})
+}

@@ -1,0 +1,37 @@
+// Package aimq answers imprecise queries over autonomous Web databases.
+//
+// It is a from-scratch implementation of AIMQ (Nambiar & Kambhampati,
+// "Answering Imprecise Queries over Autonomous Web Databases", ICDE 2006):
+// a domain- and user-independent system that takes a conjunctive query with
+// "like" constraints — e.g. Model like Camry, Price like 10000 — against a
+// database that only supports exact boolean matching, and returns a ranked
+// set of similar tuples, without any user-supplied distance metrics or
+// attribute weights.
+//
+// Everything the system knows, it learns from a sample of the data itself:
+//
+//   - attribute importance comes from approximate functional dependencies
+//     and approximate keys mined with the TANE algorithm (g3 error measure),
+//     turned into a relaxation order and importance weights by the paper's
+//     Algorithm 2;
+//   - categorical value similarity comes from co-occurrence statistics:
+//     every attribute-value pair is summarized as a "supertuple" of keyword
+//     bags, compared with bag-semantics Jaccard;
+//   - answers are found by tightening the imprecise query to a precise base
+//     query, treating each base answer as a fully-bound query, and relaxing
+//     it along the mined attribute order against the source.
+//
+// # Quick start
+//
+//	db := aimq.Open(rel)                    // or aimq.Connect("http://...")
+//	if err := db.Learn(); err != nil { ... }
+//	ans, err := db.Ask("Model like Camry, Price like 10000")
+//	for _, row := range ans.Rows {
+//	    fmt.Println(row.Similarity, row.Values)
+//	}
+//
+// The cmd/ directory ships a query CLI (aimq), a dataset generator
+// (aimq-datagen), a dependency-mining inspector (aimq-mine), an autonomous
+// web-database server (aimqd), and the full experiment harness reproducing
+// every table and figure in the paper (aimq-experiments).
+package aimq

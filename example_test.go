@@ -1,0 +1,82 @@
+package aimq_test
+
+import (
+	"fmt"
+	"log"
+
+	"aimq"
+	"aimq/internal/relation"
+)
+
+// demoRelation builds a tiny used-car relation for the examples. Real
+// applications load data with aimq.OpenCSV or connect to a live source with
+// aimq.Connect.
+func demoRelation() *relation.Relation {
+	sc := relation.MustSchema(
+		relation.Attribute{Name: "Make", Type: relation.Categorical},
+		relation.Attribute{Name: "Model", Type: relation.Categorical},
+		relation.Attribute{Name: "Price", Type: relation.Numeric},
+	)
+	r := relation.New(sc)
+	rows := []struct {
+		mk, md string
+		p      float64
+	}{
+		{"Toyota", "Camry", 10000}, {"Toyota", "Camry", 10400},
+		{"Toyota", "Camry", 11800}, {"Toyota", "Corolla", 8200},
+		{"Toyota", "Corolla", 8600}, {"Honda", "Accord", 10300},
+		{"Honda", "Accord", 10700}, {"Honda", "Civic", 8400},
+		{"Honda", "Civic", 8900}, {"Ford", "F150", 21000},
+		{"Ford", "F150", 22500}, {"Dodge", "Ram", 21800},
+	}
+	for _, row := range rows {
+		r.Append(relation.Tuple{relation.Cat(row.mk), relation.Cat(row.md), relation.Numv(row.p)})
+	}
+	return r
+}
+
+// The basic workflow: open, learn, ask.
+func Example() {
+	db := aimq.Open(demoRelation(), aimq.WithErrorThreshold(0.4), aimq.WithTopK(3))
+	if err := db.Learn(); err != nil {
+		log.Fatal(err)
+	}
+	ans, err := db.Ask("Model like Camry, Price like 10000")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ans.Rows[0].Values[1]) // the best answer's Model
+	// Output: Camry
+}
+
+// Mined value similarities are inspectable: the system learned from
+// co-occurrence alone that Accords resemble Camrys.
+func ExampleDB_SimilarValues() {
+	db := aimq.Open(demoRelation(), aimq.WithErrorThreshold(0.4))
+	if err := db.Learn(); err != nil {
+		log.Fatal(err)
+	}
+	sims, err := db.SimilarValues("Model", "Camry", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sims[0].Value)
+	// Output: Accord
+}
+
+// The learned attribute model explains how queries will relax.
+func ExampleDB_AttributeOrder() {
+	db := aimq.Open(demoRelation(), aimq.WithErrorThreshold(0.4))
+	if err := db.Learn(); err != nil {
+		log.Fatal(err)
+	}
+	order, err := db.AttributeOrder()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("relaxed first: %s\n", order[0].Name)
+	fmt.Printf("most important: %s\n", order[len(order)-1].Name)
+	// Output:
+	// relaxed first: Model
+	// most important: Price
+}

@@ -1,0 +1,113 @@
+// Adaptive session: the paper's §7 extensions in action.
+//
+// The paper closes with two directions beyond the core system: relevance
+// feedback ("to tune the importance weights assigned to an attribute …
+// [and] the distance between values binding an attribute") and query-driven
+// importance ("query driven approaches are able to exploit user interest
+// when the query workloads become available"). Both are implemented here,
+// along with model persistence so none of the learning is thrown away
+// between runs:
+//
+//  1. learn a model, save it, reload it into a fresh session (no re-mining);
+//
+//  2. give relevance feedback — watch a mined value similarity move;
+//
+//  3. issue a skewed query workload — watch attribute importance adapt.
+//
+//     go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"aimq"
+	"aimq/internal/datagen"
+)
+
+func main() {
+	cars := datagen.GenerateCarDB(20_000, 77)
+
+	// --- 1. learn once, persist, reload ---
+	first := aimq.Open(cars.Rel, aimq.WithSeed(5))
+	fmt.Println("learning (first session)...")
+	if err := first.Learn(); err != nil {
+		log.Fatal(err)
+	}
+	dir, err := os.MkdirTemp("", "aimq-adaptive")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	modelPath := filepath.Join(dir, "model.json")
+	if err := first.SaveModel(modelPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model saved to %s\n", modelPath)
+
+	db := aimq.Open(cars.Rel) // fresh session: no Learn call
+	if err := db.LoadModel(modelPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("model reloaded into a fresh session — no re-mining\n\n")
+
+	// --- 2. relevance feedback tunes value similarity ---
+	show := func(label string) {
+		sims, err := db.SimilarValues("Model", "Camry", 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s", label)
+		for _, s := range sims {
+			fmt.Printf("  %s (%.3f)", s.Value, s.Similarity)
+		}
+		fmt.Println()
+	}
+	show("Camry neighbors before:")
+	// The user repeatedly accepts Avalon answers to Camry queries (both
+	// Toyota sedans; mining rated them moderate).
+	for i := 0; i < 8; i++ {
+		err := db.Feedback("Model like Camry, Price like 15000",
+			[]string{"Toyota", "Avalon", "2001", "15200", "55000", "Phoenix", "Silver"}, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	show("after accepting Avalons:")
+
+	// --- 3. the session's workload shifts attribute importance ---
+	printWeight := func(label string) {
+		order, err := db.AttributeOrder()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s", label)
+		for _, a := range order {
+			if a.Name == "Year" || a.Name == "Mileage" {
+				fmt.Printf("  %s=%.3f", a.Name, a.Weight)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	printWeight("importance before workload:")
+	// This user base always constrains Year and rarely anything else.
+	for i := 0; i < 12; i++ {
+		if _, err := db.Ask("Year like 2003, Model like Civic"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := db.AdaptToWorkload(0.4); err != nil {
+		log.Fatal(err)
+	}
+	printWeight("after 12 Year-bound queries:")
+
+	fmt.Println("\nfinal answers for: Year like 2003, Model like Civic")
+	ans, err := db.Ask("Year like 2003, Model like Civic")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ans)
+}

@@ -1,0 +1,39 @@
+// Quickstart: the smallest end-to-end AIMQ program.
+//
+// It generates a small used-car database, learns attribute importance and
+// value similarities from it, and answers one imprecise query — no
+// user-supplied distance metrics, no attribute weights, no configuration.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aimq"
+	"aimq/internal/datagen"
+)
+
+func main() {
+	// Any relation works; here we use the synthetic CarDB generator. To
+	// use your own data: aimq.OpenCSV("cars.csv") or aimq.Connect(url).
+	cars := datagen.GenerateCarDB(20000, 42)
+	db := aimq.Open(cars.Rel)
+
+	// Offline phase (once per source): mine dependencies, learn the
+	// attribute relaxation order, estimate value similarities.
+	if err := db.Learn(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Online phase: ask an imprecise query. "like" constraints request
+	// similarity, not equality.
+	ans, err := db.Ask("Model like Camry, Price like 10000")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("answers for: Model like Camry, Price like 10000")
+	fmt.Print(ans)
+}

@@ -1,0 +1,71 @@
+// Web database: the full autonomous-source workflow over HTTP.
+//
+// The paper's setting is a database reachable *only* through a Web form.
+// This example stands up exactly that — an HTTP server exposing a boolean
+// form-style query interface — then runs the whole AIMQ pipeline against it
+// from the outside: probing with spanning queries, mining the sample,
+// answering an imprecise query. Every byte the learner sees travels over
+// HTTP; the probe counter shows how many form submissions it took.
+//
+//	go run ./examples/webdb
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"aimq"
+	"aimq/internal/datagen"
+	"aimq/internal/webdb"
+)
+
+func main() {
+	// --- server side: an autonomous used-car site ---
+	cars := datagen.GenerateCarDB(30_000, 99)
+	counted := &webdb.ProbeCounter{Src: webdb.NewLocal(cars.Rel)}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: webdb.NewServer(counted)}
+	go func() {
+		if err := srv.Serve(ln); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("autonomous web database listening at %s\n", base)
+
+	// --- client side: AIMQ knows only the URL ---
+	db, err := aimq.Connect(base, nil,
+		aimq.WithSeed(17),
+		aimq.WithPivot("Make"),      // spanning queries: one per make
+		aimq.WithSampleSize(10_000), // keep a 10k sample for mining
+		aimq.WithTargetRelevant(40),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("probing the source with spanning queries...")
+	if err := db.Learn(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("probing cost: %d HTTP queries, %d tuples transferred\n",
+		counted.Queries(), counted.Tuples())
+	fmt.Printf("learned from %d sampled tuples\n\n", db.Sample().Size())
+
+	counted.Reset()
+	const q = "Make like Ford, Mileage between 40000 and 80000"
+	fmt.Printf("imprecise query: %s\n", q)
+	ans, err := db.Ask(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(ans)
+	fmt.Printf("(answering cost: %d HTTP queries, %d tuples transferred)\n",
+		counted.Queries(), counted.Tuples())
+}

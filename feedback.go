@@ -1,0 +1,89 @@
+package aimq
+
+import (
+	"fmt"
+
+	"aimq/internal/feedback"
+	"aimq/internal/query"
+	"aimq/internal/relation"
+)
+
+// Feedback folds one relevance judgment into the learned model: the row
+// (an Answers.Row values slice, or any tuple rendered as strings in schema
+// order) was or was not a relevant answer to the query. Positive feedback
+// on an answer whose categorical value differs from the query's raises the
+// mined similarity between the two values; attribute importance shifts
+// toward the attributes that explain the judgments (paper §7).
+//
+// Feedback is incremental: call it as judgments arrive. It is not safe to
+// call concurrently with Ask.
+func (db *DB) Feedback(queryText string, rowValues []string, relevant bool) error {
+	if !db.Learned() {
+		return ErrNotLearned
+	}
+	q, err := query.Parse(db.Schema(), queryText)
+	if err != nil {
+		return err
+	}
+	t, err := db.parseRow(rowValues)
+	if err != nil {
+		return err
+	}
+	tuner := &feedback.Tuner{Ord: db.ord, Est: db.est, Rate: db.cfg.feedbackRate}
+	_, err = tuner.Apply([]feedback.Judgment{{Query: q, Tuple: t, Relevant: relevant}})
+	return err
+}
+
+// FeedbackBatch applies many judgments at once and returns a human-readable
+// summary of the weight drift.
+func (db *DB) FeedbackBatch(judgments []UserJudgment) (string, error) {
+	if !db.Learned() {
+		return "", ErrNotLearned
+	}
+	js := make([]feedback.Judgment, 0, len(judgments))
+	for i, uj := range judgments {
+		q, err := query.Parse(db.Schema(), uj.Query)
+		if err != nil {
+			return "", fmt.Errorf("judgment %d: %w", i, err)
+		}
+		t, err := db.parseRow(uj.Row)
+		if err != nil {
+			return "", fmt.Errorf("judgment %d: %w", i, err)
+		}
+		js = append(js, feedback.Judgment{Query: q, Tuple: t, Relevant: uj.Relevant})
+	}
+	tuner := &feedback.Tuner{Ord: db.ord, Est: db.est, Rate: db.cfg.feedbackRate}
+	rep, err := tuner.Apply(js)
+	if err != nil {
+		return "", err
+	}
+	return rep.Describe(), nil
+}
+
+// UserJudgment is one façade-level relevance judgment.
+type UserJudgment struct {
+	// Query in the Ask syntax the judgment responds to.
+	Query string
+	// Row holds the judged tuple's values in schema order (as rendered in
+	// Answers.Rows[i].Values).
+	Row []string
+	// Relevant reports whether the user accepted the answer.
+	Relevant bool
+}
+
+// parseRow converts rendered values back into a tuple under the schema.
+func (db *DB) parseRow(values []string) (relation.Tuple, error) {
+	sc := db.Schema()
+	if len(values) != sc.Arity() {
+		return nil, fmt.Errorf("aimq: row has %d values, schema has %d attributes", len(values), sc.Arity())
+	}
+	t := make(relation.Tuple, len(values))
+	for i, raw := range values {
+		v, err := relation.ParseValue(raw, sc.Type(i))
+		if err != nil {
+			return nil, fmt.Errorf("aimq: row value %s: %w", sc.Attr(i).Name, err)
+		}
+		t[i] = v
+	}
+	return t, nil
+}

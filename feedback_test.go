@@ -1,0 +1,82 @@
+package aimq
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"aimq/internal/datagen"
+)
+
+func TestFeedbackRaisesSimilarity(t *testing.T) {
+	db, _ := learnedCarDB(t, 4000)
+	before, err := db.SimilarValues("Model", "Camry", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simOf := func(list []ValueSimilarity, v string) float64 {
+		for _, s := range list {
+			if s.Value == v {
+				return s.Similarity
+			}
+		}
+		return 0
+	}
+	b := simOf(before, "Accord")
+	row := []string{"Honda", "Accord", "2000", "10400", "64000", "Phoenix", "White"}
+	for i := 0; i < 5; i++ {
+		if err := db.Feedback("Model like Camry, Price like 10000", row, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, err := db.SimilarValues("Model", "Camry", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := simOf(after, "Accord"); a <= b {
+		t.Errorf("feedback did not raise Camry~Accord: %v -> %v", b, a)
+	}
+}
+
+func TestFeedbackErrors(t *testing.T) {
+	gen := datagen.GenerateCarDB(200, 21)
+	db := Open(gen.Rel)
+	row := []string{"Honda", "Accord", "2000", "10400", "64000", "Phoenix", "White"}
+	if err := db.Feedback("Model like Camry", row, true); !errors.Is(err, ErrNotLearned) {
+		t.Errorf("Feedback before Learn = %v", err)
+	}
+	db2, _ := learnedCarDB(t, 500)
+	if err := db2.Feedback("Ghost like X", row, true); err == nil {
+		t.Errorf("bad query accepted")
+	}
+	if err := db2.Feedback("Model like Camry", []string{"too", "short"}, true); err == nil {
+		t.Errorf("short row accepted")
+	}
+	badNum := []string{"Honda", "Accord", "2000", "not-a-price", "64000", "Phoenix", "White"}
+	if err := db2.Feedback("Model like Camry", badNum, true); err == nil {
+		t.Errorf("garbage numeric accepted")
+	}
+}
+
+func TestFeedbackBatch(t *testing.T) {
+	db, _ := learnedCarDB(t, 2000)
+	summary, err := db.FeedbackBatch([]UserJudgment{
+		{Query: "Model like Camry, Price like 10000",
+			Row: []string{"Honda", "Accord", "2000", "10200", "60000", "Phoenix", "White"}, Relevant: true},
+		{Query: "Model like Camry, Price like 10000",
+			Row: []string{"Ford", "F150", "1995", "24000", "150000", "Dallas", "Red"}, Relevant: false},
+	})
+	if err != nil {
+		t.Fatalf("FeedbackBatch: %v", err)
+	}
+	if !strings.Contains(summary, "applied 2 judgments") {
+		t.Errorf("summary = %q", summary)
+	}
+	if _, err := db.FeedbackBatch([]UserJudgment{{Query: "Nope ??", Row: nil}}); err == nil {
+		t.Errorf("bad batch accepted")
+	}
+	fresh := Open(datagen.GenerateCarDB(100, 3).Rel)
+	if _, err := fresh.FeedbackBatch(nil); !errors.Is(err, ErrNotLearned) {
+		t.Errorf("batch before Learn = %v", err)
+	}
+}

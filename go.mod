@@ -1,0 +1,3 @@
+module aimq
+
+go 1.22

@@ -1,0 +1,121 @@
+// Package bag implements the counted multiset ("bag of keywords") the paper
+// uses to represent supertuples (§5.2): "we extend the semantics of a set of
+// keywords by associating an occurrence count for each member", with
+// similarity measured by the Jaccard coefficient under bag semantics.
+package bag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bag is a multiset of strings with occurrence counts.
+type Bag map[string]int
+
+// New creates an empty bag.
+func New() Bag { return make(Bag) }
+
+// Add increments the count of word by one.
+func (b Bag) Add(word string) { b[word]++ }
+
+// AddN increments the count of word by n (n <= 0 is a no-op).
+func (b Bag) AddN(word string, n int) {
+	if n > 0 {
+		b[word] += n
+	}
+}
+
+// Count returns the occurrence count of word (0 if absent).
+func (b Bag) Count(word string) int { return b[word] }
+
+// Size returns the total number of occurrences (with multiplicity).
+func (b Bag) Size() int {
+	n := 0
+	for _, c := range b {
+		n += c
+	}
+	return n
+}
+
+// Distinct returns the number of distinct words.
+func (b Bag) Distinct() int { return len(b) }
+
+// Jaccard returns the Jaccard coefficient |A∩B| / |A∪B| under bag
+// semantics: intersection takes the minimum count per word, union the
+// maximum. Two empty bags have similarity 0 (no evidence of association,
+// per the paper's use where an empty feature bag carries no signal).
+func Jaccard(a, b Bag) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter, union := 0, 0
+	for w, ca := range a {
+		cb := b[w]
+		if ca < cb {
+			inter += ca
+			union += cb
+		} else {
+			inter += cb
+			union += ca
+		}
+	}
+	for w, cb := range b {
+		if _, seen := a[w]; !seen {
+			union += cb
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}
+
+// Merge adds every occurrence in other into b.
+func (b Bag) Merge(other Bag) {
+	for w, c := range other {
+		b[w] += c
+	}
+}
+
+// Clone returns a deep copy.
+func (b Bag) Clone() Bag {
+	out := make(Bag, len(b))
+	for w, c := range b {
+		out[w] = c
+	}
+	return out
+}
+
+// Top returns the n highest-count words as "word:count" strings, counts
+// descending and words ascending within equal counts — the rendering used
+// in the paper's Table 1 supertuple listing.
+func (b Bag) Top(n int) []string {
+	type wc struct {
+		w string
+		c int
+	}
+	all := make([]wc, 0, len(b))
+	for w, c := range b {
+		all = append(all, wc{w, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].c != all[j].c {
+			return all[i].c > all[j].c
+		}
+		return all[i].w < all[j].w
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = fmt.Sprintf("%s:%d", all[i].w, all[i].c)
+	}
+	return out
+}
+
+// String renders the full bag in Top order.
+func (b Bag) String() string {
+	return strings.Join(b.Top(len(b)), ", ")
+}

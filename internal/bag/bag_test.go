@@ -1,0 +1,117 @@
+package bag
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func fromCounts(m map[string]int) Bag {
+	b := New()
+	for w, c := range m {
+		b.AddN(w, c)
+	}
+	return b
+}
+
+func TestAddCountSize(t *testing.T) {
+	b := New()
+	b.Add("white")
+	b.Add("white")
+	b.Add("black")
+	b.AddN("red", 3)
+	b.AddN("ignored", 0)
+	b.AddN("ignored", -2)
+	if b.Count("white") != 2 || b.Count("black") != 1 || b.Count("red") != 3 {
+		t.Errorf("counts wrong: %v", b)
+	}
+	if b.Count("ignored") != 0 {
+		t.Errorf("AddN with n<=0 added occurrences")
+	}
+	if b.Size() != 6 || b.Distinct() != 3 {
+		t.Errorf("Size=%d Distinct=%d", b.Size(), b.Distinct())
+	}
+}
+
+func TestJaccardHandValues(t *testing.T) {
+	a := fromCounts(map[string]int{"x": 2, "y": 1})
+	b := fromCounts(map[string]int{"x": 1, "z": 1})
+	// inter = min(2,1)=1; union = max(2,1)+max(1,0)+max(0,1) = 2+1+1 = 4.
+	if got := Jaccard(a, b); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("Jaccard = %v, want 0.25", got)
+	}
+	if got := Jaccard(a, a); got != 1 {
+		t.Errorf("self Jaccard = %v", got)
+	}
+	if got := Jaccard(a, New()); got != 0 {
+		t.Errorf("Jaccard with empty = %v", got)
+	}
+	if got := Jaccard(New(), New()); got != 0 {
+		t.Errorf("Jaccard of empties = %v", got)
+	}
+	disjoint := fromCounts(map[string]int{"q": 5})
+	if got := Jaccard(a, disjoint); got != 0 {
+		t.Errorf("disjoint Jaccard = %v", got)
+	}
+}
+
+func TestJaccardProperties(t *testing.T) {
+	mk := func(ws []string) Bag {
+		b := New()
+		for _, w := range ws {
+			if len(w) > 0 {
+				b.Add(string(w[0] % 8)) // small alphabet => overlaps
+			}
+		}
+		return b
+	}
+	f := func(aw, bw []string) bool {
+		a, b := mk(aw), mk(bw)
+		ab, ba := Jaccard(a, b), Jaccard(b, a)
+		if ab != ba {
+			return false // symmetry
+		}
+		if ab < 0 || ab > 1 {
+			return false // bounds
+		}
+		if a.Size() > 0 && Jaccard(a, a) != 1 {
+			return false // reflexivity on non-empty
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergeClone(t *testing.T) {
+	a := fromCounts(map[string]int{"x": 1})
+	c := a.Clone()
+	c.Add("x")
+	if a.Count("x") != 1 {
+		t.Errorf("Clone aliased storage")
+	}
+	a.Merge(fromCounts(map[string]int{"x": 2, "y": 1}))
+	if a.Count("x") != 3 || a.Count("y") != 1 {
+		t.Errorf("Merge wrong: %v", a)
+	}
+}
+
+func TestTopOrdering(t *testing.T) {
+	b := fromCounts(map[string]int{"F150": 8, "ZX2": 7, "Focus": 5, "Aspire": 5})
+	top := b.Top(3)
+	want := []string{"F150:8", "ZX2:7", "Aspire:5"} // tie broken alphabetically
+	for i := range want {
+		if top[i] != want[i] {
+			t.Fatalf("Top = %v, want %v", top, want)
+		}
+	}
+	if got := b.Top(99); len(got) != 4 {
+		t.Errorf("Top(99) = %d entries", len(got))
+	}
+	s := b.String()
+	if !strings.HasPrefix(s, "F150:8, ZX2:7") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,372 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"aimq/internal/query"
+	"aimq/internal/relation"
+	"aimq/internal/similarity"
+	"aimq/internal/webdb"
+)
+
+// Config tunes the AIMQ engine. Zero values select the paper-aligned
+// defaults noted per field.
+type Config struct {
+	// Tsim is the similarity threshold: retrieved tuples below it are
+	// discarded (paper: Tsim ∈ (0,1), tuned by the system designers).
+	// Default 0.5.
+	Tsim float64
+	// K is the number of answers returned (top-k). Default 10.
+	K int
+	// BaseLimit caps the number of base-set tuples expanded via
+	// relaxation. Default 10.
+	BaseLimit int
+	// PerQueryLimit caps tuples fetched per relaxation query (Web sources
+	// page their results). Default 200.
+	PerQueryLimit int
+	// TargetRelevant stops relaxation once this many tuples above Tsim
+	// have been found. 0 means keep going until the schedule is exhausted.
+	TargetRelevant int
+	// MaxTuplesExtracted stops relaxation once the source has returned
+	// this many tuples in total — an examination budget, letting
+	// experiments compare strategies at equal cost. 0 means unlimited.
+	MaxTuplesExtracted int
+	// MaxQueriesPerBase caps relaxation queries issued per base tuple.
+	// High-arity relations (CensusDB: 13 attributes) have combinatorial
+	// schedules; the greedy order puts the most productive relaxations at
+	// the front of every depth level, so a cap sacrifices little recall.
+	// 0 means unlimited.
+	MaxQueriesPerBase int
+	// MaxSourceFailures tolerated before Answer aborts. Default 0.
+	MaxSourceFailures int
+	// Trace records every relaxation step (query issued, tuples extracted,
+	// tuples qualified) into Result.Trace. Off by default: traces of deep
+	// schedules are large.
+	Trace bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Tsim == 0 {
+		c.Tsim = 0.5
+	}
+	if c.K == 0 {
+		c.K = 10
+	}
+	if c.BaseLimit == 0 {
+		c.BaseLimit = 10
+	}
+	if c.PerQueryLimit == 0 {
+		c.PerQueryLimit = 200
+	}
+	return c
+}
+
+// Answer is one ranked result.
+type Answer struct {
+	Tuple relation.Tuple
+	// Sim is the similarity to the user's query Q (the ranking key).
+	Sim float64
+	// BaseSim is the gating similarity to the base-set tuple that
+	// retrieved this answer (1 for base-set tuples themselves).
+	BaseSim float64
+	// Seq is the discovery order: base-set tuples first, then relaxation
+	// finds in schedule order. Under GuidedRelax the schedule relaxes
+	// minimally first, so ascending Seq is a most-conservative-first
+	// ordering — the paper's "first k tuples above Tsim" (§6.5).
+	Seq int
+}
+
+// WorkStats records the cost of answering one query — the quantities behind
+// the paper's Work/RelevantTuple efficiency metric (§6.3).
+type WorkStats struct {
+	QueriesIssued   int
+	TuplesExtracted int // tuples returned by the source across all queries
+	TuplesQualified int // tuples whose gating similarity exceeded Tsim
+	SourceFailures  int
+}
+
+// Result is the outcome of answering one imprecise query.
+type Result struct {
+	Query   *query.Query
+	Precise *query.Query // the base query actually used (after generalization)
+	Base    []relation.Tuple
+	Answers []Answer // ranked by Sim descending, length <= K
+	Work    WorkStats
+	// Trace holds per-step relaxation records when Config.Trace is set.
+	Trace []TraceStep
+}
+
+// TraceStep records one relaxation query's outcome.
+type TraceStep struct {
+	// Query is the relaxed query as issued.
+	Query string
+	// Extracted is how many tuples the source returned.
+	Extracted int
+	// Qualified is how many *new* tuples passed the similarity gate.
+	Qualified int
+	// Failed marks a source failure (Extracted/Qualified are 0).
+	Failed bool
+}
+
+// Answerer is anything that can answer an imprecise query with a ranked
+// result; the AIMQ engine and the ROCK baseline both implement it, which is
+// what the comparative experiments run against.
+type Answerer interface {
+	Name() string
+	Answer(q *query.Query) (*Result, error)
+}
+
+// Engine is the AIMQ query engine (paper Figure 2's online half).
+type Engine struct {
+	Src     webdb.Source
+	Est     *similarity.Estimator
+	Relaxer Relaxer
+	Cfg     Config
+}
+
+// New assembles an engine.
+func New(src webdb.Source, est *similarity.Estimator, rel Relaxer, cfg Config) *Engine {
+	return &Engine{Src: src, Est: est, Relaxer: rel, Cfg: cfg.withDefaults()}
+}
+
+// Name implements Answerer.
+func (e *Engine) Name() string { return "AIMQ-" + e.Relaxer.Name() }
+
+// Answer implements Algorithm 1.
+func (e *Engine) Answer(q *query.Query) (*Result, error) {
+	cfg := e.Cfg.withDefaults()
+	res := &Result{Query: q}
+
+	// Step 1: map Q to a precise base query with a non-null answerset.
+	base, precise, err := e.baseSet(q, cfg, &res.Work)
+	if err != nil {
+		return nil, err
+	}
+	res.Base = base
+	res.Precise = precise
+
+	sc := e.Src.Schema()
+	all := relation.AttrSet(0)
+	for a := 0; a < sc.Arity(); a++ {
+		all = all.Add(a)
+	}
+
+	// Aes accumulates answers keyed by tuple content; a tuple reached via
+	// several base tuples keeps its best gating similarity.
+	aes := make(map[string]*Answer)
+	keyOf := func(t relation.Tuple) string {
+		k := ""
+		for i, v := range t {
+			k += v.Key(sc.Type(i)) + "\x1f"
+		}
+		return k
+	}
+	seq := 0
+	add := func(t relation.Tuple, baseSim float64) {
+		k := keyOf(t)
+		if a, ok := aes[k]; ok {
+			if baseSim > a.BaseSim {
+				a.BaseSim = baseSim
+			}
+			return
+		}
+		aes[k] = &Answer{Tuple: t, Sim: e.Est.Sim(q, t), BaseSim: baseSim, Seq: seq}
+		seq++
+	}
+
+	// Base-set tuples are answers by construction.
+	limit := cfg.BaseLimit
+	if limit > len(base) {
+		limit = len(base)
+	}
+	for _, t := range base {
+		add(t, 1)
+	}
+
+	// Steps 2–8: relax each base tuple's fully-bound query.
+	qualified := len(aes)
+	done := func() bool {
+		if cfg.TargetRelevant > 0 && qualified >= cfg.TargetRelevant {
+			return true
+		}
+		return cfg.MaxTuplesExtracted > 0 && res.Work.TuplesExtracted >= cfg.MaxTuplesExtracted
+	}
+expansion:
+	for _, t := range base[:limit] {
+		tq := query.FromTuple(sc, t)
+		bound := tq.BoundAttrs()
+		issued := 0
+		for _, drop := range e.Relaxer.Schedule(bound) {
+			if done() {
+				break expansion
+			}
+			if cfg.MaxQueriesPerBase > 0 && issued >= cfg.MaxQueriesPerBase {
+				break
+			}
+			issued++
+			rq := tq.DropAttrs(drop)
+			tuples, err := e.Src.Query(rq, cfg.PerQueryLimit)
+			res.Work.QueriesIssued++
+			if err != nil {
+				res.Work.SourceFailures++
+				if cfg.Trace {
+					res.Trace = append(res.Trace, TraceStep{Query: rq.String(), Failed: true})
+				}
+				if res.Work.SourceFailures > cfg.MaxSourceFailures {
+					return nil, fmt.Errorf("aimq: relaxation query failed: %w", err)
+				}
+				continue
+			}
+			res.Work.TuplesExtracted += len(tuples)
+			stepQualified := 0
+			for _, tp := range tuples {
+				sim := e.Est.SimTuples(t, tp, all)
+				if sim > cfg.Tsim {
+					before := len(aes)
+					add(tp, sim)
+					if len(aes) > before {
+						qualified++
+						stepQualified++
+					}
+				}
+			}
+			if cfg.Trace {
+				res.Trace = append(res.Trace, TraceStep{
+					Query:     rq.String(),
+					Extracted: len(tuples),
+					Qualified: stepQualified,
+				})
+			}
+		}
+	}
+	res.Work.TuplesQualified = qualified
+
+	// Step 9: rank by similarity to Q and return top-k.
+	answers := make([]Answer, 0, len(aes))
+	for _, a := range aes {
+		answers = append(answers, *a)
+	}
+	sort.Slice(answers, func(i, j int) bool {
+		if answers[i].Sim != answers[j].Sim {
+			return answers[i].Sim > answers[j].Sim
+		}
+		return keyOf(answers[i].Tuple) < keyOf(answers[j].Tuple)
+	})
+	if len(answers) > cfg.K {
+		answers = answers[:cfg.K]
+	}
+	res.Answers = answers
+	return res, nil
+}
+
+// baseSet maps Q to the precise query Qpr and returns its answers. If Qpr
+// is empty it is generalized along the relaxation schedule — dropping the
+// least important attributes first — until some generalization returns
+// tuples (paper footnote 2). As a last resort the unconstrained query is
+// issued.
+func (e *Engine) baseSet(q *query.Query, cfg Config, work *WorkStats) ([]relation.Tuple, *query.Query, error) {
+	qpr := q.ToPrecise()
+	tryQuery := func(cand *query.Query) ([]relation.Tuple, error) {
+		tuples, err := e.Src.Query(cand, cfg.PerQueryLimit)
+		work.QueriesIssued++
+		if err != nil {
+			work.SourceFailures++
+			if work.SourceFailures > cfg.MaxSourceFailures {
+				return nil, fmt.Errorf("aimq: base query failed: %w", err)
+			}
+			return nil, nil
+		}
+		work.TuplesExtracted += len(tuples)
+		return tuples, nil
+	}
+
+	tuples, err := tryQuery(qpr)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(tuples) > 0 {
+		return tuples, qpr, nil
+	}
+
+	// First generalization stage: widen numeric like-constraints into
+	// progressively looser ranges before dropping any attribute. Tightening
+	// "Price like 10000" to Price = 10000 is often what empties Qpr, and
+	// the paper's motivating example ("the user may also be interested in a
+	// Camry priced $10500") says near-value matches are the intended base —
+	// widening reduces the constraint while keeping every attribute's
+	// intent.
+	for _, width := range []float64{0.05, 0.15, 0.30} {
+		wide, any := widenNumericLikes(q, qpr, width)
+		if !any {
+			break
+		}
+		tuples, err := tryQuery(wide)
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(tuples) > 0 {
+			return tuples, wide, nil
+		}
+	}
+
+	bound := qpr.BoundAttrs()
+	if bound.Size() > 1 {
+		for _, drop := range e.Relaxer.Chain(bound) {
+			gen := qpr.DropAttrs(drop)
+			tuples, err := tryQuery(gen)
+			if err != nil {
+				return nil, nil, err
+			}
+			if len(tuples) > 0 {
+				return tuples, gen, nil
+			}
+		}
+	}
+	// Unconstrained fallback: footnote 2 assumes *some* generalization is
+	// non-null; an empty source is the only way to get here.
+	unconstrained := query.New(qpr.Schema)
+	tuples, err = tryQuery(unconstrained)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(tuples) == 0 {
+		return nil, nil, fmt.Errorf("aimq: source returned no tuples for %s or any generalization", q)
+	}
+	return tuples, unconstrained, nil
+}
+
+// widenNumericLikes returns a copy of the precise query qpr with every
+// numeric attribute that the original query bound via "like" widened to an
+// inclusive ±width range around its value. any reports whether anything was
+// widened (false when the query has no numeric like-constraints).
+func widenNumericLikes(orig, qpr *query.Query, width float64) (*query.Query, bool) {
+	likeNumeric := relation.AttrSet(0)
+	for _, p := range orig.Preds {
+		if p.Op == query.OpLike && orig.Schema.Type(p.Attr) == relation.Numeric {
+			likeNumeric = likeNumeric.Add(p.Attr)
+		}
+	}
+	if likeNumeric.Empty() {
+		return qpr, false
+	}
+	out := qpr.Clone()
+	for i := range out.Preds {
+		p := &out.Preds[i]
+		if p.Op != query.OpEq || !likeNumeric.Has(p.Attr) {
+			continue
+		}
+		v := p.Value.Num
+		delta := width * v
+		if delta < 0 {
+			delta = -delta
+		}
+		if delta == 0 {
+			delta = width
+		}
+		p.Op = query.OpRange
+		p.Value = relation.Numv(v - delta)
+		p.Hi = relation.Numv(v + delta)
+	}
+	return out, true
+}

@@ -1,0 +1,257 @@
+package datagen
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"aimq/internal/relation"
+)
+
+func TestGenerateCarDBBasics(t *testing.T) {
+	db := GenerateCarDB(5000, 1)
+	if db.Rel.Size() != 5000 {
+		t.Fatalf("size = %d", db.Rel.Size())
+	}
+	sc := db.Rel.Schema()
+	if sc.Arity() != 7 {
+		t.Fatalf("arity = %d", sc.Arity())
+	}
+	for _, tp := range db.Rel.Tuples() {
+		spec := db.Spec(tp[1].Str)
+		if spec == nil {
+			t.Fatalf("tuple model %q not in catalog", tp[1].Str)
+		}
+		if spec.Make != tp[0].Str {
+			t.Fatalf("Model→Make violated: %s has make %s", tp[1].Str, tp[0].Str)
+		}
+		year, err := strconv.Atoi(tp[2].Str)
+		if err != nil {
+			t.Fatalf("year %q not an integer", tp[2].Str)
+		}
+		if year < spec.FromYear || year > spec.ToYear {
+			t.Fatalf("year %d outside production %d-%d for %s", year, spec.FromYear, spec.ToYear, spec.Model)
+		}
+		if tp[3].Num <= 0 || tp[3].Num > 100000 {
+			t.Fatalf("implausible price %v", tp[3].Num)
+		}
+		if tp[4].Num < 0 || tp[4].Num > 500000 {
+			t.Fatalf("implausible mileage %v", tp[4].Num)
+		}
+	}
+}
+
+func TestGenerateCarDBDeterministic(t *testing.T) {
+	a := GenerateCarDB(200, 42)
+	b := GenerateCarDB(200, 42)
+	for i := range a.Rel.Tuples() {
+		for j := range a.Rel.Tuple(i) {
+			if !a.Rel.Tuple(i)[j].Equal(b.Rel.Tuple(i)[j], a.Rel.Schema().Type(j)) {
+				t.Fatalf("seeded generation not deterministic at tuple %d attr %d", i, j)
+			}
+		}
+	}
+	c := GenerateCarDB(200, 43)
+	same := true
+	for i := range a.Rel.Tuples() {
+		if !a.Rel.Tuple(i)[1].Equal(c.Rel.Tuple(i)[1], relation.Categorical) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical data")
+	}
+}
+
+func TestCarDBStructure(t *testing.T) {
+	db := GenerateCarDB(20000, 2)
+	// Newer cars cost more on average (depreciation planted).
+	sumNew, nNew, sumOld, nOld := 0.0, 0, 0.0, 0
+	for _, tp := range db.Rel.Tuples() {
+		if tp[1].Str != "Camry" {
+			continue
+		}
+		y, _ := strconv.Atoi(tp[2].Str)
+		if y >= 2002 {
+			sumNew += tp[3].Num
+			nNew++
+		} else if y <= 1995 {
+			sumOld += tp[3].Num
+			nOld++
+		}
+	}
+	if nNew == 0 || nOld == 0 {
+		t.Fatalf("no Camrys in year bands: %d new, %d old", nNew, nOld)
+	}
+	if sumNew/float64(nNew) <= sumOld/float64(nOld) {
+		t.Errorf("depreciation inverted: new avg %v <= old avg %v", sumNew/float64(nNew), sumOld/float64(nOld))
+	}
+	// Mileage grows with age.
+	var newM, oldM, cn, co float64
+	for _, tp := range db.Rel.Tuples() {
+		y, _ := strconv.Atoi(tp[2].Str)
+		if y >= 2003 {
+			newM += tp[4].Num
+			cn++
+		} else if y <= 1994 {
+			oldM += tp[4].Num
+			co++
+		}
+	}
+	if newM/cn >= oldM/co {
+		t.Errorf("mileage not increasing with age: %v vs %v", newM/cn, oldM/co)
+	}
+}
+
+func TestTrueModelSim(t *testing.T) {
+	db := GenerateCarDB(100, 3)
+	if db.TrueModelSim("Camry", "Camry") != 1 {
+		t.Errorf("self sim != 1")
+	}
+	sedans := db.TrueModelSim("Camry", "Accord")
+	cross := db.TrueModelSim("Camry", "F150")
+	if sedans <= cross {
+		t.Errorf("TrueModelSim(Camry,Accord)=%v <= (Camry,F150)=%v", sedans, cross)
+	}
+	if db.TrueModelSim("Camry", "NoSuchModel") != 0 {
+		t.Errorf("unknown model sim != 0")
+	}
+	// Symmetry.
+	if db.TrueModelSim("Camry", "Civic") != db.TrueModelSim("Civic", "Camry") {
+		t.Errorf("TrueModelSim asymmetric")
+	}
+	// Economy imports cluster (paper Table 3: Kia ~ Hyundai).
+	kia := db.TrueModelSim("Sephia", "Accent")
+	if kia < 0.7 {
+		t.Errorf("Kia/Hyundai economy models sim = %v", kia)
+	}
+}
+
+func TestTrueMakeSim(t *testing.T) {
+	db := GenerateCarDB(100, 4)
+	if db.TrueMakeSim("Ford", "Ford") != 1 {
+		t.Errorf("self make sim != 1")
+	}
+	fc := db.TrueMakeSim("Ford", "Chevrolet") // overlapping portfolios
+	fb := db.TrueMakeSim("Ford", "BMW")       // disjoint segments mostly
+	if fc <= fb {
+		t.Errorf("TrueMakeSim(Ford,Chevrolet)=%v <= (Ford,BMW)=%v", fc, fb)
+	}
+	if got, rev := db.TrueMakeSim("Kia", "Hyundai"), db.TrueMakeSim("Hyundai", "Kia"); math.Abs(got-rev) > 1e-12 {
+		t.Errorf("TrueMakeSim asymmetric")
+	}
+	if db.TrueMakeSim("Ford", "NoSuchMake") != 0 {
+		t.Errorf("unknown make sim != 0")
+	}
+}
+
+func TestTrueTupleSim(t *testing.T) {
+	db := GenerateCarDB(100, 5)
+	camry := relation.Tuple{
+		relation.Cat("Toyota"), relation.Cat("Camry"), relation.Cat("2000"),
+		relation.Numv(10000), relation.Numv(60000), relation.Cat("Phoenix"), relation.Cat("White"),
+	}
+	if s := db.TrueTupleSim(camry, camry); math.Abs(s-1) > 1e-9 {
+		t.Errorf("self tuple sim = %v", s)
+	}
+	accord := relation.Tuple{
+		relation.Cat("Honda"), relation.Cat("Accord"), relation.Cat("2000"),
+		relation.Numv(10500), relation.Numv(65000), relation.Cat("Phoenix"), relation.Cat("Black"),
+	}
+	truck := relation.Tuple{
+		relation.Cat("Ford"), relation.Cat("F150"), relation.Cat("1992"),
+		relation.Numv(4000), relation.Numv(180000), relation.Cat("Dallas"), relation.Cat("Red"),
+	}
+	sa, st := db.TrueTupleSim(camry, accord), db.TrueTupleSim(camry, truck)
+	if sa <= st {
+		t.Errorf("similar sedan %v <= old truck %v", sa, st)
+	}
+	if sa < 0 || sa > 1 || st < 0 || st > 1 {
+		t.Errorf("tuple sims out of range: %v, %v", sa, st)
+	}
+}
+
+func TestGenerateCensusDBBasics(t *testing.T) {
+	db := GenerateCensusDB(8000, 6)
+	if db.Rel.Size() != 8000 || len(db.Class) != 8000 {
+		t.Fatalf("size = %d, classes = %d", db.Rel.Size(), len(db.Class))
+	}
+	if db.Rel.Schema().Arity() != 13 {
+		t.Fatalf("arity = %d", db.Rel.Schema().Arity())
+	}
+	frac := db.HighIncomeFraction()
+	if frac < 0.10 || frac > 0.45 {
+		t.Errorf("high-income fraction = %v, want roughly a quarter", frac)
+	}
+	sc := db.Rel.Schema()
+	ageI, hoursI := sc.MustIndex("Age"), sc.MustIndex("Hours-per-week")
+	for _, tp := range db.Rel.Tuples() {
+		if tp[ageI].Num < 17 || tp[ageI].Num > 90 {
+			t.Fatalf("age %v out of range", tp[ageI].Num)
+		}
+		if tp[hoursI].Num < 5 || tp[hoursI].Num > 99 {
+			t.Fatalf("hours %v out of range", tp[hoursI].Num)
+		}
+	}
+}
+
+func TestCensusClassCorrelatesWithEducation(t *testing.T) {
+	db := GenerateCensusDB(20000, 7)
+	sc := db.Rel.Schema()
+	eduI := sc.MustIndex("Education")
+	high := map[string][2]int{} // education → [count, highIncome]
+	for i, tp := range db.Rel.Tuples() {
+		e := tp[eduI].Str
+		c := high[e]
+		c[0]++
+		if db.Class[i] == IncomeHigh {
+			c[1]++
+		}
+		high[e] = c
+	}
+	rate := func(edu string) float64 {
+		c := high[edu]
+		if c[0] == 0 {
+			return 0
+		}
+		return float64(c[1]) / float64(c[0])
+	}
+	if rate("Masters") <= rate("HS-grad") {
+		t.Errorf("income rate Masters %v <= HS-grad %v", rate("Masters"), rate("HS-grad"))
+	}
+	if rate("Doctorate") <= rate("11th") {
+		t.Errorf("income rate Doctorate %v <= 11th %v", rate("Doctorate"), rate("11th"))
+	}
+}
+
+func TestCensusOccupationRespectsEducationFloor(t *testing.T) {
+	db := GenerateCensusDB(10000, 8)
+	sc := db.Rel.Schema()
+	eduI, occI := sc.MustIndex("Education"), sc.MustIndex("Occupation")
+	rank := map[string]float64{}
+	for _, e := range educations {
+		rank[e.name] = e.rank
+	}
+	violations := 0
+	for _, tp := range db.Rel.Tuples() {
+		if tp[occI].Str == "Prof-specialty" && rank[tp[eduI].Str] < 4 {
+			violations++
+		}
+	}
+	// Rejection sampling gives up after 20 tries, so a tiny violation rate
+	// is expected — but it must stay small.
+	if float64(violations) > 0.02*float64(db.Rel.Size()) {
+		t.Errorf("education floor violated %d times", violations)
+	}
+}
+
+func TestCensusDeterministic(t *testing.T) {
+	a := GenerateCensusDB(300, 9)
+	b := GenerateCensusDB(300, 9)
+	for i := range a.Class {
+		if a.Class[i] != b.Class[i] {
+			t.Fatalf("class labels differ at %d", i)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package datagen
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"aimq/internal/relation"
+)
+
+const uciSample = `39, State-gov, 77516, Bachelors, 13, Never-married, Adm-clerical, Not-in-family, White, Male, 2174, 0, 40, United-States, <=50K
+50, Self-emp-not-inc, 83311, Bachelors, 13, Married-civ-spouse, Exec-managerial, Husband, White, Male, 0, 0, 13, United-States, <=50K
+
+38, Private, 215646, HS-grad, 9, Divorced, Handlers-cleaners, Not-in-family, White, Male, 0, 0, 40, United-States, <=50K
+|1x0 Cross validator
+52, Self-emp-inc, 287927, HS-grad, 9, Married-civ-spouse, Exec-managerial, Wife, White, Female, 15024, 0, 40, ?, >50K.
+28, ?, 338409, Masters, 14, Married-civ-spouse, Prof-specialty, Wife, Black, Female, 0, 0, 40, Cuba, >50K
+`
+
+func TestLoadUCIAdult(t *testing.T) {
+	db, err := LoadUCIAdult(strings.NewReader(uciSample), 0)
+	if err != nil {
+		t.Fatalf("LoadUCIAdult: %v", err)
+	}
+	if db.Rel.Size() != 5 || len(db.Class) != 5 {
+		t.Fatalf("loaded %d rows, %d classes", db.Rel.Size(), len(db.Class))
+	}
+	sc := db.Rel.Schema()
+	if sc.Arity() != 13 {
+		t.Fatalf("arity = %d", sc.Arity())
+	}
+	first := db.Rel.Tuple(0)
+	if first[sc.MustIndex("Age")].Num != 39 {
+		t.Errorf("age = %v", first[sc.MustIndex("Age")])
+	}
+	if first[sc.MustIndex("Demographic-weight")].Num != 77516 {
+		t.Errorf("fnlwgt = %v", first[sc.MustIndex("Demographic-weight")])
+	}
+	if first[sc.MustIndex("Occupation")].Str != "Adm-clerical" {
+		t.Errorf("occupation = %v", first[sc.MustIndex("Occupation")])
+	}
+	if db.Class[0] != IncomeLow || db.Class[3] != IncomeHigh {
+		t.Errorf("classes = %v", db.Class)
+	}
+	// "?" fields become nulls (row 3's native-country, row 4's workclass).
+	if !db.Rel.Tuple(3)[sc.MustIndex("Native-Country")].IsNull() {
+		t.Errorf("? native-country not null")
+	}
+	if !db.Rel.Tuple(4)[sc.MustIndex("Workclass")].IsNull() {
+		t.Errorf("? workclass not null")
+	}
+	// The trailing "." on test-split class labels is handled (row 3).
+	if db.Class[3] != IncomeHigh {
+		t.Errorf("dotted class label mishandled")
+	}
+}
+
+func TestLoadUCIAdultMaxRows(t *testing.T) {
+	db, err := LoadUCIAdult(strings.NewReader(uciSample), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.Rel.Size() != 2 {
+		t.Errorf("maxRows ignored: %d", db.Rel.Size())
+	}
+}
+
+func TestLoadUCIAdultErrors(t *testing.T) {
+	bad := []string{
+		"",        // empty
+		"1, 2, 3", // wrong field count
+		strings.Replace(uciSample, "39,", "x,", 1),       // bad numeric
+		strings.Replace(uciSample, "<=50K", "50Kish", 1), // bad class
+	}
+	for i, s := range bad {
+		if _, err := LoadUCIAdult(strings.NewReader(s), 0); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	if _, err := LoadUCIAdultFile("/does/not/exist", 0); err == nil {
+		t.Errorf("missing file accepted")
+	}
+}
+
+func TestLoadUCIAdultFile(t *testing.T) {
+	path := t.TempDir() + "/adult.data"
+	if err := writeFile(path, uciSample); err != nil {
+		t.Fatal(err)
+	}
+	db, err := LoadUCIAdultFile(path, 0)
+	if err != nil || db.Rel.Size() != 5 {
+		t.Errorf("LoadUCIAdultFile = %v, %v", db, err)
+	}
+	// The loaded relation is schema-compatible with the synthetic one: a
+	// model learned on either can be applied to the other.
+	if db.Rel.Schema().String() != CensusSchema().String() {
+		t.Errorf("schema mismatch with CensusSchema")
+	}
+	_ = relation.New(db.Rel.Schema())
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,339 @@
+package engine
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"aimq/internal/query"
+	"aimq/internal/relation"
+)
+
+func carSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Attribute{Name: "Make", Type: relation.Categorical},
+		relation.Attribute{Name: "Model", Type: relation.Categorical},
+		relation.Attribute{Name: "Year", Type: relation.Numeric},
+		relation.Attribute{Name: "Price", Type: relation.Numeric},
+	)
+}
+
+func randomRel(n int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	s := carSchema()
+	r := relation.New(s)
+	makes := []string{"Toyota", "Honda", "Ford", "BMW", "Nissan"}
+	models := []string{"Camry", "Accord", "Focus", "Civic", "Altima", "328i"}
+	for i := 0; i < n; i++ {
+		t := relation.Tuple{
+			relation.Cat(makes[rng.Intn(len(makes))]),
+			relation.Cat(models[rng.Intn(len(models))]),
+			relation.Numv(float64(1990 + rng.Intn(17))),
+			relation.Numv(float64(1000 + rng.Intn(30000))),
+		}
+		if rng.Intn(50) == 0 {
+			t[2] = relation.NullValue // sprinkle nulls
+		}
+		r.Append(t)
+	}
+	return r
+}
+
+// naiveExecute is the reference implementation: full scan, no indexes.
+func naiveExecute(r *relation.Relation, q *query.Query) []int {
+	var out []int
+	for i, t := range r.Tuples() {
+		if q.Matches(t) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func sortedCopy(a []int) []int {
+	b := append([]int(nil), a...)
+	sort.Ints(b)
+	return b
+}
+
+func equalIntSets(a, b []int) bool {
+	a, b = sortedCopy(a), sortedCopy(b)
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestExecuteMatchesNaive(t *testing.T) {
+	r := randomRel(2000, 42)
+	e := New(r)
+	s := r.Schema()
+	queries := []*query.Query{
+		query.New(s).Where("Make", query.OpEq, relation.Cat("Toyota")),
+		query.New(s).Where("Model", query.OpEq, relation.Cat("Camry")).
+			Where("Price", query.OpLess, relation.Numv(15000)),
+		query.New(s).Where("Year", query.OpGreater, relation.Numv(2000)),
+		query.New(s).Where("Year", query.OpLess, relation.Numv(1995)),
+		query.New(s).WhereRange("Price", 5000, 10000),
+		query.New(s).WhereRange("Year", 1995, 2000).
+			Where("Make", query.OpEq, relation.Cat("Honda")).
+			Where("Model", query.OpEq, relation.Cat("Civic")),
+		query.New(s), // empty query: all tuples
+		query.New(s).Where("Make", query.OpEq, relation.Cat("NoSuchMake")),
+		query.New(s).Where("Model", query.OpLike, relation.Cat("Accord")),
+	}
+	for i, q := range queries {
+		got := e.Execute(q, 0)
+		want := naiveExecute(r, q)
+		if !equalIntSets(got, want) {
+			t.Errorf("query %d (%s): engine %d results, naive %d", i, q, len(got), len(want))
+		}
+	}
+}
+
+func TestExecuteRandomQueriesProperty(t *testing.T) {
+	r := randomRel(800, 7)
+	e := New(r)
+	s := r.Schema()
+	makes := []string{"Toyota", "Honda", "Ford", "BMW", "Nissan", "Ghost"}
+	f := func(mi uint8, yearLo, yearSpan uint8, priceLt uint16, useMake, useYear, usePrice bool) bool {
+		q := query.New(s)
+		if useMake {
+			q.Where("Make", query.OpEq, relation.Cat(makes[int(mi)%len(makes)]))
+		}
+		if useYear {
+			lo := 1988 + float64(yearLo%20)
+			q.WhereRange("Year", lo, lo+float64(yearSpan%10))
+		}
+		if usePrice {
+			q.Where("Price", query.OpLess, relation.Numv(float64(priceLt)))
+		}
+		return equalIntSets(e.Execute(q, 0), naiveExecute(r, q))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExecuteLimit(t *testing.T) {
+	r := randomRel(500, 3)
+	e := New(r)
+	q := query.New(r.Schema()).Where("Make", query.OpEq, relation.Cat("Toyota"))
+	all := e.Execute(q, 0)
+	if len(all) == 0 {
+		t.Fatalf("no Toyotas in random relation")
+	}
+	lim := e.Execute(q, 3)
+	if len(lim) != 3 {
+		t.Errorf("limit 3 returned %d", len(lim))
+	}
+	huge := e.Execute(q, len(all)+100)
+	if len(huge) != len(all) {
+		t.Errorf("limit beyond result size returned %d, want %d", len(huge), len(all))
+	}
+}
+
+func TestCountAndExecuteTuples(t *testing.T) {
+	r := randomRel(300, 5)
+	e := New(r)
+	q := query.New(r.Schema()).Where("Model", query.OpEq, relation.Cat("Civic"))
+	n := e.Count(q)
+	tuples := e.ExecuteTuples(q, 0)
+	if len(tuples) != n {
+		t.Errorf("ExecuteTuples %d != Count %d", len(tuples), n)
+	}
+	for _, tp := range tuples {
+		if tp[1].Str != "Civic" {
+			t.Errorf("ExecuteTuples returned non-matching tuple %v", tp)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	r := randomRel(100, 9)
+	e := New(r)
+	q := query.New(r.Schema()).Where("Make", query.OpEq, relation.Cat("Ford"))
+	e.Execute(q, 0)
+	e.Execute(q, 0)
+	snap := e.Stats().Snapshot()
+	if snap.Queries != 2 {
+		t.Errorf("Queries = %d", snap.Queries)
+	}
+	if snap.TuplesReturned == 0 || snap.TuplesScanned < snap.TuplesReturned {
+		t.Errorf("counters implausible: %+v", snap)
+	}
+	e.Stats().Reset()
+	if s := e.Stats().Snapshot(); s.Queries != 0 || s.TuplesReturned != 0 || s.TuplesScanned != 0 {
+		t.Errorf("Reset left counters: %+v", s)
+	}
+}
+
+func TestEmptyResultViaIndex(t *testing.T) {
+	r := randomRel(100, 11)
+	e := New(r)
+	// Indexed equality on an absent value must return empty, not fall back
+	// to a full scan (regression guard for nil-vs-empty candidates).
+	q := query.New(r.Schema()).Where("Make", query.OpEq, relation.Cat("DeLorean"))
+	before := e.Stats().Snapshot().TuplesScanned
+	got := e.Execute(q, 0)
+	after := e.Stats().Snapshot().TuplesScanned
+	if len(got) != 0 {
+		t.Errorf("absent value returned %d tuples", len(got))
+	}
+	if after-before != 0 {
+		t.Errorf("absent indexed value scanned %d tuples, want 0", after-before)
+	}
+}
+
+func TestNullsExcludedFromIndexes(t *testing.T) {
+	s := carSchema()
+	r := relation.New(s)
+	r.Append(relation.Tuple{relation.NullValue, relation.Cat("Camry"), relation.NullValue, relation.Numv(5000)})
+	r.Append(relation.Tuple{relation.Cat("Toyota"), relation.Cat("Camry"), relation.Numv(2000), relation.Numv(9000)})
+	e := New(r)
+	got := e.Execute(query.New(s).Where("Year", query.OpLess, relation.Numv(3000)), 0)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("null year leaked into range result: %v", got)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	r := randomRel(1000, 13)
+	e := New(r)
+	s := r.Schema()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			q := query.New(s).WhereRange("Price", float64(1000*w), float64(1000*w+5000))
+			want := naiveExecute(r, q)
+			for i := 0; i < 20; i++ {
+				if got := e.Execute(q, 0); !equalIntSets(got, want) {
+					t.Errorf("worker %d: concurrent execute diverged", w)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if q := e.Stats().Snapshot().Queries; q != 160 {
+		t.Errorf("concurrent query count = %d, want 160", q)
+	}
+}
+
+func TestRangeBoundaries(t *testing.T) {
+	s := relation.MustSchema(relation.Attribute{Name: "X", Type: relation.Numeric})
+	r := relation.New(s)
+	for _, v := range []float64{1, 2, 2, 3, 4, 5} {
+		r.Append(relation.Tuple{relation.Numv(v)})
+	}
+	e := New(r)
+	if n := e.Count(query.New(s).WhereRange("X", 2, 4)); n != 4 {
+		t.Errorf("range [2,4] count = %d, want 4 (inclusive both ends)", n)
+	}
+	if n := e.Count(query.New(s).Where("X", query.OpLess, relation.Numv(2))); n != 1 {
+		t.Errorf("X<2 count = %d, want 1 (strict)", n)
+	}
+	if n := e.Count(query.New(s).Where("X", query.OpGreater, relation.Numv(4))); n != 1 {
+		t.Errorf("X>4 count = %d, want 1 (strict)", n)
+	}
+	if n := e.Count(query.New(s).WhereRange("X", 10, 20)); n != 0 {
+		t.Errorf("empty range count = %d", n)
+	}
+	if n := e.Count(query.New(s).WhereRange("X", 4, 2)); n != 0 {
+		t.Errorf("inverted range count = %d", n)
+	}
+}
+
+func TestIntersectSorted(t *testing.T) {
+	cases := []struct{ a, b, want []int32 }{
+		{[]int32{1, 3, 5, 7}, []int32{3, 4, 5, 8}, []int32{3, 5}},
+		{[]int32{1, 2}, []int32{3, 4}, []int32{}},
+		{nil, []int32{1}, []int32{}},
+		{[]int32{2, 4, 6}, []int32{2, 4, 6}, []int32{2, 4, 6}},
+	}
+	for i, c := range cases {
+		got := intersectSorted(c.a, c.b)
+		if len(got) != len(c.want) {
+			t.Fatalf("case %d: %v", i, got)
+		}
+		for j := range got {
+			if got[j] != c.want[j] {
+				t.Fatalf("case %d: %v, want %v", i, got, c.want)
+			}
+		}
+	}
+}
+
+func TestIndexIntersectionCorrectAndCheaper(t *testing.T) {
+	// Many tuples share each single value, few share both: the two-list
+	// intersection must cut scanning without changing results.
+	s := relation.MustSchema(
+		relation.Attribute{Name: "A", Type: relation.Categorical},
+		relation.Attribute{Name: "B", Type: relation.Categorical},
+	)
+	r := relation.New(s)
+	for i := 0; i < 4000; i++ {
+		a, b := "a0", "b0"
+		if i%2 == 0 {
+			a = "a1"
+		}
+		if i%3 == 0 {
+			b = "b1"
+		}
+		r.Append(relation.Tuple{relation.Cat(a), relation.Cat(b)})
+	}
+	e := New(r)
+	q := query.New(s).
+		Where("A", query.OpEq, relation.Cat("a1")).
+		Where("B", query.OpEq, relation.Cat("b1"))
+	got := e.Execute(q, 0)
+	want := naiveExecute(r, q)
+	if !equalIntSets(got, want) {
+		t.Fatalf("intersection path wrong: %d vs %d results", len(got), len(want))
+	}
+	// Scanned tuples ≈ |result| (the merge pre-filters), far below the
+	// smaller single posting list (~1334).
+	scanned := e.Stats().Snapshot().TuplesScanned
+	if scanned > int64(len(want))+8 {
+		t.Errorf("intersection did not reduce scanning: scanned %d for %d results", scanned, len(want))
+	}
+}
+
+func TestExecuteOpIn(t *testing.T) {
+	r := randomRel(1500, 91)
+	e := New(r)
+	s := r.Schema()
+	q := query.New(s).
+		WhereIn("Make", relation.Cat("Toyota"), relation.Cat("Honda")).
+		Where("Price", query.OpLess, relation.Numv(15000))
+	got := e.Execute(q, 0)
+	want := naiveExecute(r, q)
+	if !equalIntSets(got, want) {
+		t.Fatalf("OpIn execution: %d vs naive %d", len(got), len(want))
+	}
+	// Union list stays position-ordered: the limited result must be a
+	// prefix of the full result.
+	if len(want) > 3 {
+		lim := e.Execute(q, 3)
+		full := e.Execute(q, 0)
+		for i := range lim {
+			if lim[i] != full[i] {
+				t.Fatalf("OpIn limited result not a prefix")
+			}
+		}
+	}
+	// In-list with an absent value contributes nothing.
+	q2 := query.New(s).WhereIn("Make", relation.Cat("DeLorean"))
+	if n := e.Count(q2); n != 0 {
+		t.Errorf("absent in-list matched %d", n)
+	}
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aimq/internal/metrics"
+	"aimq/internal/tane"
+)
+
+// Fig3Result reproduces Figure 3 (robustness of attribute ordering): the
+// Wt_depends dependence weight of each CarDB attribute, estimated over
+// samples of increasing size. The paper's claim: absolute values grow with
+// the sample but the *relative ordering* of attributes is unaffected.
+type Fig3Result struct {
+	Attrs   []string    // attribute names in schema order
+	Sizes   []int       // sample sizes, ascending; last is the full DB
+	Depends [][]float64 // Depends[si][ai] = Wt_depends of attr ai at size si
+	// SpearmanVsFull[si] is the rank correlation of the size-si attribute
+	// ordering against the full-DB ordering.
+	SpearmanVsFull []float64
+}
+
+// RunFig3 mines each sample and computes dependence weights.
+func RunFig3(l *Lab) (*Fig3Result, error) {
+	sizes := append(append([]int{}, l.P.CarSamples...), l.P.CarDBSize)
+	sc := l.Car().Rel.Schema()
+	out := &Fig3Result{Attrs: sc.Names(), Sizes: sizes}
+
+	for _, n := range sizes {
+		p, err := l.CarPipeline(n)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 (n=%d): %w", n, err)
+		}
+		dep := dependsWeights(p.Mined)
+		out.Depends = append(out.Depends, dep)
+	}
+	full := out.Depends[len(out.Depends)-1]
+	for _, dep := range out.Depends {
+		out.SpearmanVsFull = append(out.SpearmanVsFull, metrics.Spearman(dep, full))
+	}
+	return out, nil
+}
+
+// dependsWeights computes Wt_depends for every attribute from the mined
+// AFDs (Algorithm 2 steps 8–10, applied to all attributes).
+func dependsWeights(res *tane.Result) []float64 {
+	out := make([]float64, res.Schema.Arity())
+	for _, a := range res.AFDs {
+		out[a.RHS] += a.Support() / float64(a.LHS.Size())
+	}
+	return out
+}
+
+// Render prints one row per attribute with a column per sample size.
+func (r *Fig3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 3: Robustness of Attribute Ordering (Wt_depends per sample size)\n")
+	fmt.Fprintf(&b, "%-14s", "Attribute")
+	for _, n := range r.Sizes {
+		fmt.Fprintf(&b, " %10s", sizeLabel(n))
+	}
+	b.WriteString("\n")
+	for ai, name := range r.Attrs {
+		fmt.Fprintf(&b, "%-14s", name)
+		for si := range r.Sizes {
+			fmt.Fprintf(&b, " %10.3f", r.Depends[si][ai])
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("Spearman vs full:")
+	for _, s := range r.SpearmanVsFull {
+		fmt.Fprintf(&b, " %10.3f", s)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func sizeLabel(n int) string {
+	if n >= 1000 && n%1000 == 0 {
+		return fmt.Sprintf("%dk", n/1000)
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// Fig4Result reproduces Figure 4 (robustness in mining keys): approximate
+// keys with their quality (support/size) per sample, the paper's claims
+// being (1) the best-quality key is identical across samples and (2) only
+// low-quality keys drop out of small samples.
+type Fig4Result struct {
+	Sizes []int
+	// Keys[si] lists the mined keys at size si in ascending quality order
+	// (the paper's Figure 4 x-axis ordering).
+	Keys [][]KeyQuality
+	// BestKey[si] is the top-quality key's label at size si.
+	BestKey []string
+	// BestSupportKey[si] is the highest-support key (the one Algorithm 2
+	// actually uses for relaxation).
+	BestSupportKey []string
+	// MissingVsFull[si] counts full-DB keys absent from sample si.
+	MissingVsFull []int
+}
+
+// KeyQuality is one mined key with its Figure 4 metrics.
+type KeyQuality struct {
+	Label   string
+	Support float64
+	Quality float64
+}
+
+// RunFig4 mines approximate keys at every sample size.
+func RunFig4(l *Lab) (*Fig4Result, error) {
+	sizes := append(append([]int{}, l.P.CarSamples...), l.P.CarDBSize)
+	out := &Fig4Result{Sizes: sizes}
+	sc := l.Car().Rel.Schema()
+
+	var fullLabels map[string]bool
+	for _, n := range sizes {
+		p, err := l.CarPipeline(n)
+		if err != nil {
+			return nil, fmt.Errorf("fig4 (n=%d): %w", n, err)
+		}
+		keys := make([]KeyQuality, 0, len(p.Mined.AKeys))
+		for _, k := range p.Mined.AKeys {
+			keys = append(keys, KeyQuality{
+				Label:   k.Attrs.Label(sc),
+				Support: k.Support(),
+				Quality: k.Quality(),
+			})
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Quality < keys[j].Quality })
+		out.Keys = append(out.Keys, keys)
+		if len(keys) > 0 {
+			out.BestKey = append(out.BestKey, keys[len(keys)-1].Label)
+		} else {
+			out.BestKey = append(out.BestKey, "(none)")
+		}
+		if bk, ok := p.Mined.BestKey(); ok {
+			out.BestSupportKey = append(out.BestSupportKey, bk.Attrs.Label(sc))
+		} else {
+			out.BestSupportKey = append(out.BestSupportKey, "(none)")
+		}
+	}
+	// Count keys of the full DB missing from each sample.
+	fullLabels = map[string]bool{}
+	for _, k := range out.Keys[len(out.Keys)-1] {
+		fullLabels[k.Label] = true
+	}
+	for si := range sizes {
+		present := map[string]bool{}
+		for _, k := range out.Keys[si] {
+			present[k.Label] = true
+		}
+		missing := 0
+		for label := range fullLabels {
+			if !present[label] {
+				missing++
+			}
+		}
+		out.MissingVsFull = append(out.MissingVsFull, missing)
+	}
+	return out, nil
+}
+
+// BestKeyStable reports whether the highest-support key is identical at
+// every sample size — the property that makes guided relaxation robust to
+// sampling.
+func (r *Fig4Result) BestKeyStable() bool {
+	for _, k := range r.BestSupportKey {
+		if k != r.BestSupportKey[len(r.BestSupportKey)-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// Render prints keys in ascending quality order per sample.
+func (r *Fig4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 4: Robustness in Mining Keys (quality = support/size, ascending)\n")
+	for si, n := range r.Sizes {
+		fmt.Fprintf(&b, "sample %s: %d keys (%d full-DB keys missing), best quality %s, best support %s\n",
+			sizeLabel(n), len(r.Keys[si]), r.MissingVsFull[si], r.BestKey[si], r.BestSupportKey[si])
+		for _, k := range r.Keys[si] {
+			fmt.Fprintf(&b, "    %-40s support=%.3f quality=%.3f\n", k.Label, k.Support, k.Quality)
+		}
+	}
+	fmt.Fprintf(&b, "best-support key stable across samples: %v\n", r.BestKeyStable())
+	return b.String()
+}

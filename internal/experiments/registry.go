@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Renderer is any experiment result that can print itself in the paper's
+// table/figure layout.
+type Renderer interface {
+	Render() string
+}
+
+// Runner executes one experiment against a lab.
+type Runner func(*Lab) (Renderer, error)
+
+// registry maps experiment ids (DESIGN.md's index) to runners.
+var registry = map[string]Runner{
+	"table2": func(l *Lab) (Renderer, error) { return RunTable2(l) },
+	"fig3":   func(l *Lab) (Renderer, error) { return RunFig3(l) },
+	"fig4":   func(l *Lab) (Renderer, error) { return RunFig4(l) },
+	"table3": func(l *Lab) (Renderer, error) { return RunTable3(l) },
+	"fig5":   func(l *Lab) (Renderer, error) { return RunFig5(l) },
+	"fig6":   func(l *Lab) (Renderer, error) { return RunFig6(l) },
+	"fig7":   func(l *Lab) (Renderer, error) { return RunFig7(l) },
+	"fig8":   func(l *Lab) (Renderer, error) { return RunFig8(l) },
+	"fig9":   func(l *Lab) (Renderer, error) { return RunFig9(l) },
+}
+
+// IDs returns the experiment ids in presentation order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return order(out[i]) < order(out[j]) })
+	return out
+}
+
+func order(id string) int {
+	for i, x := range []string{"table2", "fig3", "fig4", "table3", "fig5", "fig6", "fig7", "fig8", "fig9"} {
+		if x == id {
+			return i
+		}
+	}
+	return 99
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, l *Lab) (Renderer, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (have %v)", id, IDs())
+	}
+	return r(l)
+}

@@ -1,0 +1,228 @@
+package feedback
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"aimq/internal/afd"
+	"aimq/internal/query"
+	"aimq/internal/relation"
+	"aimq/internal/similarity"
+	"aimq/internal/supertuple"
+	"aimq/internal/tane"
+)
+
+func carSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Attribute{Name: "Make", Type: relation.Categorical},
+		relation.Attribute{Name: "Model", Type: relation.Categorical},
+		relation.Attribute{Name: "Color", Type: relation.Categorical},
+		relation.Attribute{Name: "Price", Type: relation.Numeric},
+	)
+}
+
+func structuredRel() *relation.Relation {
+	r := relation.New(carSchema())
+	add := func(mk, md, c string, p float64, times int) {
+		for i := 0; i < times; i++ {
+			r.Append(relation.Tuple{relation.Cat(mk), relation.Cat(md), relation.Cat(c), relation.Numv(p + float64(i))})
+		}
+	}
+	add("Toyota", "Camry", "White", 10000, 10)
+	add("Toyota", "Camry", "Black", 12000, 5)
+	add("Honda", "Accord", "White", 10500, 10)
+	add("Honda", "Accord", "Silver", 12500, 5)
+	add("Ford", "F150", "White", 25000, 10)
+	add("Dodge", "Ram", "Black", 26000, 10)
+	return r
+}
+
+func newTuner(t testing.TB) *Tuner {
+	t.Helper()
+	rel := structuredRel()
+	res := tane.Miner{Terr: 0.4, MaxLHS: 2}.Mine(rel)
+	ord, err := afd.Order(res)
+	if err != nil {
+		t.Fatalf("Order: %v", err)
+	}
+	idx := supertuple.Builder{Buckets: 8}.Build(rel)
+	est := similarity.New(idx, ord, similarity.Config{})
+	return &Tuner{Ord: ord, Est: est}
+}
+
+func car(mk, md, c string, p float64) relation.Tuple {
+	return relation.Tuple{relation.Cat(mk), relation.Cat(md), relation.Cat(c), relation.Numv(p)}
+}
+
+func TestRelevantFeedbackRaisesVSim(t *testing.T) {
+	tu := newTuner(t)
+	sc := tu.Ord.Schema
+	model := sc.MustIndex("Model")
+	q := query.New(sc).Where("Model", query.OpLike, relation.Cat("Camry"))
+	before := tu.Est.VSim(model, "Camry", "Accord")
+
+	rep, err := tu.Apply([]Judgment{
+		{Query: q, Tuple: car("Honda", "Accord", "White", 10500), Relevant: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := tu.Est.VSim(model, "Camry", "Accord")
+	if after <= before {
+		t.Errorf("relevant feedback did not raise VSim: %v -> %v", before, after)
+	}
+	if rep.VSimAdjusted != 1 {
+		t.Errorf("VSimAdjusted = %d", rep.VSimAdjusted)
+	}
+	// Symmetric update.
+	if tu.Est.VSim(model, "Accord", "Camry") != after {
+		t.Errorf("VSim update not symmetric")
+	}
+}
+
+func TestIrrelevantFeedbackLowersVSim(t *testing.T) {
+	tu := newTuner(t)
+	sc := tu.Ord.Schema
+	model := sc.MustIndex("Model")
+	q := query.New(sc).Where("Model", query.OpLike, relation.Cat("Camry"))
+	before := tu.Est.VSim(model, "Camry", "F150")
+	if before <= 0 {
+		t.Skipf("no mined similarity to lower")
+	}
+	if _, err := tu.Apply([]Judgment{
+		{Query: q, Tuple: car("Ford", "F150", "White", 25000), Relevant: false},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	after := tu.Est.VSim(model, "Camry", "F150")
+	if after >= before {
+		t.Errorf("irrelevant feedback did not lower VSim: %v -> %v", before, after)
+	}
+}
+
+func TestRepeatedFeedbackConverges(t *testing.T) {
+	tu := newTuner(t)
+	sc := tu.Ord.Schema
+	model := sc.MustIndex("Model")
+	q := query.New(sc).Where("Model", query.OpLike, relation.Cat("Camry"))
+	j := Judgment{Query: q, Tuple: car("Honda", "Accord", "White", 10500), Relevant: true}
+	for i := 0; i < 200; i++ {
+		if _, err := tu.Apply([]Judgment{j}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := tu.Est.VSim(model, "Camry", "Accord")
+	if got < 0.99 || got > 1 {
+		t.Errorf("VSim after repeated positive feedback = %v, want →1 (and never above 1)", got)
+	}
+}
+
+func TestWeightTuningDirection(t *testing.T) {
+	tu := newTuner(t)
+	sc := tu.Ord.Schema
+	price := sc.MustIndex("Price")
+	color := sc.MustIndex("Color")
+	q := query.New(sc).
+		Where("Price", query.OpLike, relation.Numv(10000)).
+		Where("Color", query.OpLike, relation.Cat("White"))
+
+	priceBefore, colorBefore := tu.Ord.Wimp[price], tu.Ord.Wimp[color]
+	// Users accept answers matching the price but with other colors, and
+	// reject color-matching answers at wild prices: price importance must
+	// grow relative to color.
+	var judgments []Judgment
+	for i := 0; i < 20; i++ {
+		judgments = append(judgments,
+			Judgment{Query: q, Tuple: car("Toyota", "Camry", "Black", 10100), Relevant: true},
+			Judgment{Query: q, Tuple: car("Ford", "F150", "White", 25000), Relevant: false},
+		)
+	}
+	if _, err := tu.Apply(judgments); err != nil {
+		t.Fatal(err)
+	}
+	priceAfter, colorAfter := tu.Ord.Wimp[price], tu.Ord.Wimp[color]
+	if priceAfter/colorAfter <= priceBefore/colorBefore {
+		t.Errorf("price/color weight ratio did not grow: %v/%v -> %v/%v",
+			priceBefore, colorBefore, priceAfter, colorAfter)
+	}
+	// Bound-attribute mass is conserved.
+	if math.Abs((priceAfter+colorAfter)-(priceBefore+colorBefore)) > 1e-9 {
+		t.Errorf("bound-attribute mass changed: %v -> %v",
+			priceBefore+colorBefore, priceAfter+colorAfter)
+	}
+}
+
+func TestWeightsStayPositive(t *testing.T) {
+	tu := newTuner(t)
+	sc := tu.Ord.Schema
+	q := query.New(sc).
+		Where("Model", query.OpLike, relation.Cat("Camry")).
+		Where("Price", query.OpLike, relation.Numv(10000))
+	var judgments []Judgment
+	for i := 0; i < 300; i++ {
+		judgments = append(judgments, Judgment{
+			Query: q, Tuple: car("Toyota", "Camry", "White", 10000), Relevant: i%2 == 0,
+		})
+	}
+	if _, err := tu.Apply(judgments); err != nil {
+		t.Fatal(err)
+	}
+	for a := 0; a < sc.Arity(); a++ {
+		if tu.Ord.Wimp[a] <= 0 || math.IsNaN(tu.Ord.Wimp[a]) || math.IsInf(tu.Ord.Wimp[a], 0) {
+			t.Errorf("weight[%d] degenerated to %v", a, tu.Ord.Wimp[a])
+		}
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	tu := newTuner(t)
+	sc := tu.Ord.Schema
+	if _, err := (&Tuner{}).Apply(nil); err == nil {
+		t.Errorf("empty tuner accepted")
+	}
+	bad := &Tuner{Ord: tu.Ord, Est: tu.Est, Rate: 2}
+	if _, err := bad.Apply(nil); err == nil {
+		t.Errorf("rate 2 accepted")
+	}
+	if _, err := tu.Apply([]Judgment{{Query: query.New(sc), Tuple: car("a", "b", "c", 1)}}); err != nil {
+		t.Errorf("unbound query should be skipped, not fail: %v", err)
+	}
+	if _, err := tu.Apply([]Judgment{{Query: query.New(sc).Where("Make", query.OpEq, relation.Cat("x")), Tuple: relation.Tuple{relation.Cat("a")}}}); err == nil {
+		t.Errorf("arity mismatch accepted")
+	}
+}
+
+func TestNullAndRangeHandling(t *testing.T) {
+	tu := newTuner(t)
+	sc := tu.Ord.Schema
+	q := query.New(sc).
+		Where("Model", query.OpLike, relation.Cat("Camry")).
+		WhereRange("Price", 9000, 11000)
+	tuple := relation.Tuple{relation.Cat("Toyota"), relation.NullValue, relation.Cat("White"), relation.Numv(10000)}
+	rep, err := tu.Apply([]Judgment{{Query: q, Tuple: tuple, Relevant: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.VSimAdjusted != 0 {
+		t.Errorf("null model value adjusted a similarity")
+	}
+}
+
+func TestReportDescribe(t *testing.T) {
+	tu := newTuner(t)
+	sc := tu.Ord.Schema
+	q := query.New(sc).
+		Where("Model", query.OpLike, relation.Cat("Camry")).
+		Where("Price", query.OpLike, relation.Numv(10000))
+	rep, err := tu.Apply([]Judgment{
+		{Query: q, Tuple: car("Honda", "Accord", "White", 10400), Relevant: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Describe()
+	if !strings.Contains(out, "applied 1 judgments") {
+		t.Errorf("Describe = %q", out)
+	}
+}

@@ -1,0 +1,157 @@
+// Package metrics implements the evaluation metrics of the paper's §6:
+// the redefined mean reciprocal rank of the user study (§6.4), the
+// Work/RelevantTuple efficiency measure (§6.3), top-k classification
+// accuracy (§6.5), and rank-correlation coefficients used by the
+// robustness analyses.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MRR computes the paper's redefined mean reciprocal rank for one query:
+//
+//	MRR(Q) = Avg( 1 / (|UserRank(t_i) − SystemRank(t_i)| + 1) )
+//
+// where t_i is the system's i-th ranked answer (SystemRank = i+1) and
+// userRanks[i] is the rank the user assigned it (0 = judged completely
+// irrelevant). An empty answer list scores 0.
+func MRR(userRanks []int) float64 {
+	if len(userRanks) == 0 {
+		return 0
+	}
+	total := 0.0
+	for i, ur := range userRanks {
+		system := i + 1
+		total += 1 / (math.Abs(float64(ur-system)) + 1)
+	}
+	return total / float64(len(userRanks))
+}
+
+// WorkPerRelevant is the paper's efficiency measure |T_extracted| /
+// |T_relevant| — "the average number of tuples that an user would have to
+// look at before finding a relevant tuple". Zero relevant tuples yield
+// +Inf (the strategy never paid off).
+func WorkPerRelevant(extracted, relevant int) float64 {
+	if relevant == 0 {
+		return math.Inf(1)
+	}
+	return float64(extracted) / float64(relevant)
+}
+
+// AccuracyAtK returns the fraction of the first k answer classes that match
+// the query's class — Figure 9's measure. Fewer than k answers are graded
+// out of the available count; no answers score 0.
+func AccuracyAtK(queryClass string, answerClasses []string, k int) float64 {
+	if k < len(answerClasses) {
+		answerClasses = answerClasses[:k]
+	}
+	if len(answerClasses) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, c := range answerClasses {
+		if c == queryClass {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(answerClasses))
+}
+
+// Spearman computes Spearman's rank correlation ρ between two equal-length
+// value slices (ties get average ranks). It quantifies the paper's
+// robustness claims: "the relative ordering … is not considerably
+// affected" across sample sizes. Returns 0 for slices shorter than 2.
+func Spearman(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) < 2 {
+		return 0
+	}
+	ra, rb := ranks(a), ranks(b)
+	return pearson(ra, rb)
+}
+
+// KendallTau computes Kendall's τ-a between two equal-length value slices.
+// Returns 0 for slices shorter than 2.
+func KendallTau(a, b []float64) float64 {
+	n := len(a)
+	if len(b) != n || n < 2 {
+		return 0
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			da, db := a[i]-a[j], b[i]-b[j]
+			switch {
+			case da*db > 0:
+				concordant++
+			case da*db < 0:
+				discordant++
+			}
+		}
+	}
+	pairs := n * (n - 1) / 2
+	return float64(concordant-discordant) / float64(pairs)
+}
+
+// ranks assigns 1-based ranks with average ranks for ties.
+func ranks(v []float64) []float64 {
+	n := len(v)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(i, j int) bool { return v[idx[i]] < v[idx[j]] })
+	out := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && v[idx[j+1]] == v[idx[i]] {
+			j++
+		}
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			out[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return out
+}
+
+func pearson(a, b []float64) float64 {
+	n := float64(len(a))
+	var sa, sb float64
+	for i := range a {
+		sa += a[i]
+		sb += b[i]
+	}
+	ma, mb := sa/n, sb/n
+	var cov, va, vb float64
+	for i := range a {
+		da, db := a[i]-ma, b[i]-mb
+		cov += da * db
+		va += da * da
+		vb += db * db
+	}
+	if va == 0 || vb == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(va*vb)
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s / float64(len(v))
+}
+
+// Summary renders a labeled mean for experiment output.
+func Summary(label string, v []float64) string {
+	return fmt.Sprintf("%s: mean=%.4f over %d samples", label, Mean(v), len(v))
+}

@@ -1,0 +1,207 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMRRPerfectAgreement(t *testing.T) {
+	// User ranks exactly match system ranks: every term is 1.
+	if got := MRR([]int{1, 2, 3, 4, 5}); got != 1 {
+		t.Errorf("perfect MRR = %v", got)
+	}
+}
+
+func TestMRRHandValues(t *testing.T) {
+	// System rank 1, user rank 2 → 1/2. System 2, user 1 → 1/2.
+	if got := MRR([]int{2, 1}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("swapped MRR = %v", got)
+	}
+	// Irrelevant (user rank 0) at system rank 1 → 1/2; rank 3 → 1/4.
+	got := MRR([]int{0, 2, 0})
+	want := (1.0/2 + 1.0 + 1.0/4) / 3
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("MRR = %v, want %v", got, want)
+	}
+	if MRR(nil) != 0 {
+		t.Errorf("empty MRR != 0")
+	}
+}
+
+func TestMRRBounds(t *testing.T) {
+	f := func(ranks []int) bool {
+		for i := range ranks {
+			if ranks[i] < 0 {
+				ranks[i] = -ranks[i]
+			}
+			ranks[i] %= 50
+		}
+		m := MRR(ranks)
+		return m >= 0 && m <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWorkPerRelevant(t *testing.T) {
+	if got := WorkPerRelevant(80, 20); got != 4 {
+		t.Errorf("WorkPerRelevant = %v", got)
+	}
+	if got := WorkPerRelevant(10, 0); !math.IsInf(got, 1) {
+		t.Errorf("zero relevant = %v, want +Inf", got)
+	}
+}
+
+func TestAccuracyAtK(t *testing.T) {
+	classes := []string{">50K", ">50K", "<=50K", ">50K"}
+	if got := AccuracyAtK(">50K", classes, 2); got != 1 {
+		t.Errorf("acc@2 = %v", got)
+	}
+	if got := AccuracyAtK(">50K", classes, 4); got != 0.75 {
+		t.Errorf("acc@4 = %v", got)
+	}
+	if got := AccuracyAtK(">50K", classes, 10); got != 0.75 {
+		t.Errorf("acc@10 (short list) = %v", got)
+	}
+	if got := AccuracyAtK(">50K", nil, 5); got != 0 {
+		t.Errorf("acc of empty = %v", got)
+	}
+}
+
+func TestSpearmanPerfectAndInverse(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{10, 20, 30, 40, 50}
+	if got := Spearman(a, b); math.Abs(got-1) > 1e-12 {
+		t.Errorf("monotone Spearman = %v", got)
+	}
+	rev := []float64{50, 40, 30, 20, 10}
+	if got := Spearman(a, rev); math.Abs(got+1) > 1e-12 {
+		t.Errorf("inverse Spearman = %v", got)
+	}
+	if got := Spearman(a, []float64{1, 2}); got != 0 {
+		t.Errorf("mismatched lengths = %v", got)
+	}
+	if got := Spearman([]float64{1}, []float64{2}); got != 0 {
+		t.Errorf("short input = %v", got)
+	}
+	if got := Spearman(a, []float64{3, 3, 3, 3, 3}); got != 0 {
+		t.Errorf("constant input = %v", got)
+	}
+}
+
+func TestSpearmanWithTies(t *testing.T) {
+	a := []float64{1, 2, 2, 4}
+	got := Spearman(a, a)
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("self Spearman with ties = %v", got)
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	if got := KendallTau(a, a); got != 1 {
+		t.Errorf("self tau = %v", got)
+	}
+	rev := []float64{4, 3, 2, 1}
+	if got := KendallTau(a, rev); got != -1 {
+		t.Errorf("inverse tau = %v", got)
+	}
+	// One swap among 4 elements: τ = (5-1)/6.
+	if got := KendallTau(a, []float64{2, 1, 3, 4}); math.Abs(got-4.0/6.0) > 1e-12 {
+		t.Errorf("one-swap tau = %v", got)
+	}
+	if got := KendallTau(a, []float64{1, 2}); got != 0 {
+		t.Errorf("length mismatch tau = %v", got)
+	}
+}
+
+func TestCorrelationBoundsProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		for _, x := range append(append([]float64{}, a...), b...) {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		s, k := Spearman(a, b), KendallTau(a, b)
+		return s >= -1-1e-9 && s <= 1+1e-9 && k >= -1-1e-9 && k <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAndSummary(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Errorf("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+	s := Summary("mrr", []float64{0.5, 0.7})
+	if s != "mrr: mean=0.6000 over 2 samples" {
+		t.Errorf("Summary = %q", s)
+	}
+}
+
+func TestDCGAndNDCG(t *testing.T) {
+	// Perfect descending ranking: nDCG 1.
+	if got := NDCG([]float64{3, 2, 1, 0}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("descending nDCG = %v", got)
+	}
+	// Worst ordering of the same gains scores below 1.
+	worst := NDCG([]float64{0, 1, 2, 3})
+	if worst >= 1 || worst <= 0 {
+		t.Errorf("ascending nDCG = %v", worst)
+	}
+	// All-zero gains score 0.
+	if got := NDCG([]float64{0, 0}); got != 0 {
+		t.Errorf("zero nDCG = %v", got)
+	}
+	// Hand value: DCG([1]) = (2^1−1)/log2(2) = 1.
+	if got := DCG([]float64{1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("DCG([1]) = %v", got)
+	}
+	if got := DCG(nil); got != 0 {
+		t.Errorf("empty DCG = %v", got)
+	}
+}
+
+func TestNDCGBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		gains := make([]float64, len(raw))
+		for i, r := range raw {
+			gains[i] = float64(r % 4)
+		}
+		n := NDCG(gains)
+		return n >= 0 && n <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPrecisionRecallAtK(t *testing.T) {
+	rel := []bool{true, false, true, true, false}
+	if got := PrecisionAtK(rel, 3); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("P@3 = %v", got)
+	}
+	if got := PrecisionAtK(rel, 10); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("P@10 (short) = %v", got)
+	}
+	if got := PrecisionAtK(nil, 5); got != 0 {
+		t.Errorf("P of empty = %v", got)
+	}
+	if got := RecallAtK(rel, 3, 4); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("R@3 = %v", got)
+	}
+	if got := RecallAtK(rel, 5, 0); got != 0 {
+		t.Errorf("R with zero relevant = %v", got)
+	}
+}

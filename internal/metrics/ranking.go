@@ -1,0 +1,73 @@
+package metrics
+
+import "math"
+
+// Ranked-retrieval metrics beyond the paper's redefined MRR, used by the
+// supplementary analyses: nDCG grades how well a system's ordering matches
+// graded relevance, precision/recall@k grade binary relevance coverage.
+
+// DCG computes the discounted cumulative gain of a relevance-graded ranking
+// (gains[i] is the relevance of the i-th ranked answer):
+// Σ (2^gain − 1) / log2(i + 2).
+func DCG(gains []float64) float64 {
+	total := 0.0
+	for i, g := range gains {
+		total += (math.Pow(2, g) - 1) / math.Log2(float64(i)+2)
+	}
+	return total
+}
+
+// NDCG normalizes DCG by the ideal (descending-gain) ordering's DCG,
+// yielding a score in [0, 1]. An all-zero gain vector scores 0.
+func NDCG(gains []float64) float64 {
+	ideal := append([]float64(nil), gains...)
+	// Sort descending (insertion sort: rankings are short).
+	for i := 1; i < len(ideal); i++ {
+		for j := i; j > 0 && ideal[j] > ideal[j-1]; j-- {
+			ideal[j], ideal[j-1] = ideal[j-1], ideal[j]
+		}
+	}
+	idcg := DCG(ideal)
+	if idcg == 0 {
+		return 0
+	}
+	return DCG(gains) / idcg
+}
+
+// PrecisionAtK is the fraction of the first k ranked answers that are
+// relevant. Shorter rankings are graded out of their length; empty ones
+// score 0.
+func PrecisionAtK(relevant []bool, k int) float64 {
+	if k < len(relevant) {
+		relevant = relevant[:k]
+	}
+	if len(relevant) == 0 {
+		return 0
+	}
+	hits := 0
+	for _, r := range relevant {
+		if r {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(relevant))
+}
+
+// RecallAtK is the fraction of all relevant items that appear in the first
+// k ranked answers, given the total number of relevant items in the corpus.
+// Zero totalRelevant scores 0.
+func RecallAtK(relevant []bool, k, totalRelevant int) float64 {
+	if totalRelevant <= 0 {
+		return 0
+	}
+	if k < len(relevant) {
+		relevant = relevant[:k]
+	}
+	hits := 0
+	for _, r := range relevant {
+		if r {
+			hits++
+		}
+	}
+	return float64(hits) / float64(totalRelevant)
+}

@@ -1,0 +1,189 @@
+// Package model persists AIMQ's learned artifacts — the attribute ordering
+// with importance weights and the mined value-similarity matrices — as a
+// JSON snapshot, so an application can run the expensive offline phase once
+// and reload the model across processes.
+//
+// The snapshot deliberately excludes the probed sample and the supertuple
+// index: they are only needed to *build* the model (and for diagnostic
+// introspection), not to answer queries.
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"aimq/internal/afd"
+	"aimq/internal/relation"
+	"aimq/internal/similarity"
+	"aimq/internal/tane"
+)
+
+// Version identifies the snapshot format.
+const Version = 1
+
+// Snapshot is the serializable learned model.
+type Snapshot struct {
+	Version int `json:"version"`
+	// Schema pins the relation shape the model was learned for; Restore
+	// refuses to attach the model to a different schema.
+	Schema []AttrJSON `json:"schema"`
+
+	BestKeyAttrs []int        `json:"best_key_attrs"`
+	BestKeyError float64      `json:"best_key_error"`
+	Relax        []int        `json:"relax_order"`
+	Wimp         []float64    `json:"wimp"`
+	Dependent    []WeightJSON `json:"dependent"`
+	Deciding     []WeightJSON `json:"deciding"`
+
+	// Matrices maps attribute name → value → value → similarity.
+	Matrices map[string]map[string]map[string]float64 `json:"matrices"`
+}
+
+// AttrJSON is one schema attribute.
+type AttrJSON struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// WeightJSON is one group-weight entry of Algorithm 2's output.
+type WeightJSON struct {
+	Attr   int     `json:"attr"`
+	Weight float64 `json:"weight"`
+}
+
+// Capture snapshots a learned ordering and estimator.
+func Capture(ord *afd.Ordering, est *similarity.Estimator) *Snapshot {
+	sc := ord.Schema
+	s := &Snapshot{
+		Version:      Version,
+		BestKeyAttrs: ord.BestKey.Attrs.Members(),
+		BestKeyError: ord.BestKey.Error,
+		Relax:        append([]int(nil), ord.Relax...),
+		Wimp:         append([]float64(nil), ord.Wimp...),
+		Matrices:     make(map[string]map[string]map[string]float64),
+	}
+	for i := 0; i < sc.Arity(); i++ {
+		a := sc.Attr(i)
+		s.Schema = append(s.Schema, AttrJSON{Name: a.Name, Type: a.Type.String()})
+	}
+	for _, w := range ord.Dependent {
+		s.Dependent = append(s.Dependent, WeightJSON{Attr: w.Attr, Weight: w.Weight})
+	}
+	for _, w := range ord.Deciding {
+		s.Deciding = append(s.Deciding, WeightJSON{Attr: w.Attr, Weight: w.Weight})
+	}
+	for _, attr := range sc.Categorical() {
+		s.Matrices[sc.Attr(attr).Name] = est.Matrix(attr)
+	}
+	return s
+}
+
+// Restore rebuilds the ordering and estimator for the given schema. The
+// schema must match the snapshot's (names and types, in order).
+func (s *Snapshot) Restore(sc *relation.Schema) (*afd.Ordering, *similarity.Estimator, error) {
+	if s.Version != Version {
+		return nil, nil, fmt.Errorf("model: snapshot version %d, want %d", s.Version, Version)
+	}
+	if err := s.checkSchema(sc); err != nil {
+		return nil, nil, err
+	}
+	if len(s.Wimp) != sc.Arity() || len(s.Relax) != sc.Arity() {
+		return nil, nil, fmt.Errorf("model: weight/order length %d/%d, schema arity %d",
+			len(s.Wimp), len(s.Relax), sc.Arity())
+	}
+	seen := relation.AttrSet(0)
+	for _, a := range s.Relax {
+		if a < 0 || a >= sc.Arity() || seen.Has(a) {
+			return nil, nil, fmt.Errorf("model: relax order is not a permutation: %v", s.Relax)
+		}
+		seen = seen.Add(a)
+	}
+
+	ord := &afd.Ordering{
+		Schema: sc,
+		BestKey: tane.AKey{
+			Attrs: relation.NewAttrSet(s.BestKeyAttrs...),
+			Error: s.BestKeyError,
+		},
+		Relax: append([]int(nil), s.Relax...),
+		Wimp:  append([]float64(nil), s.Wimp...),
+	}
+	for _, w := range s.Dependent {
+		ord.Dependent = append(ord.Dependent, afd.AttrWeight{Attr: w.Attr, Weight: w.Weight})
+	}
+	for _, w := range s.Deciding {
+		ord.Deciding = append(ord.Deciding, afd.AttrWeight{Attr: w.Attr, Weight: w.Weight})
+	}
+
+	matrices := make(map[int]map[string]map[string]float64)
+	for name, m := range s.Matrices {
+		idx, ok := sc.Index(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("model: matrix for unknown attribute %q", name)
+		}
+		if sc.Type(idx) != relation.Categorical {
+			return nil, nil, fmt.Errorf("model: matrix for numeric attribute %q", name)
+		}
+		matrices[idx] = m
+	}
+	est := similarity.FromMatrices(sc, ord, matrices)
+	return ord, est, nil
+}
+
+func (s *Snapshot) checkSchema(sc *relation.Schema) error {
+	if len(s.Schema) != sc.Arity() {
+		return fmt.Errorf("model: snapshot has %d attributes, schema has %d", len(s.Schema), sc.Arity())
+	}
+	for i, a := range s.Schema {
+		got := sc.Attr(i)
+		if got.Name != a.Name || got.Type.String() != a.Type {
+			return fmt.Errorf("model: attribute %d is %s:%s in snapshot, %s:%s in schema",
+				i, a.Name, a.Type, got.Name, got.Type)
+		}
+	}
+	return nil
+}
+
+// Write serializes the snapshot as indented JSON.
+func (s *Snapshot) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("model: encode: %w", err)
+	}
+	return nil
+}
+
+// Read deserializes a snapshot.
+func Read(r io.Reader) (*Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("model: decode: %w", err)
+	}
+	return &s, nil
+}
+
+// Save writes the snapshot to a file.
+func Save(path string, s *Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("model: %w", err)
+	}
+	defer f.Close()
+	if err := s.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a snapshot from a file.
+func Load(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("model: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,298 @@
+package partition
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"aimq/internal/relation"
+)
+
+// makeRel builds a 3-attribute categorical relation from integer codes.
+func makeRel(cols [][]int) *relation.Relation {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "A", Type: relation.Categorical},
+		relation.Attribute{Name: "B", Type: relation.Categorical},
+		relation.Attribute{Name: "C", Type: relation.Categorical},
+	)
+	r := relation.New(s)
+	for i := range cols[0] {
+		r.Append(relation.Tuple{
+			relation.Cat(string(rune('a' + cols[0][i]))),
+			relation.Cat(string(rune('a' + cols[1][i]))),
+			relation.Cat(string(rune('a' + cols[2][i]))),
+		})
+	}
+	return r
+}
+
+// naivePartition groups positions by their values on attrs (unstripped),
+// then strips singletons. Reference implementation for property tests.
+func naivePartition(rel *relation.Relation, attrs []int) *Partition {
+	groups := map[string][]int32{}
+	for i, t := range rel.Tuples() {
+		k := ""
+		for _, a := range attrs {
+			k += t[a].Key(rel.Schema().Type(a)) + "|"
+		}
+		groups[k] = append(groups[k], int32(i))
+	}
+	p := &Partition{N: rel.Size()}
+	for _, g := range groups {
+		if len(g) >= 2 {
+			p.Classes = append(p.Classes, g)
+		}
+	}
+	return p
+}
+
+// canonical renders a partition as sorted class strings for comparison.
+func canonical(p *Partition) []string {
+	out := make([]string, 0, len(p.Classes))
+	for _, cls := range p.Classes {
+		c := append([]int32(nil), cls...)
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		s := ""
+		for _, x := range c {
+			s += string(rune(x)) + ","
+		}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equalPartitions(a, b *Partition) bool {
+	ca, cb := canonical(a), canonical(b)
+	if len(ca) != len(cb) {
+		return false
+	}
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestSingleStripsSingletons(t *testing.T) {
+	// A: a a b c c c  => classes {0,1}, {3,4,5}
+	rel := makeRel([][]int{{0, 0, 1, 2, 2, 2}, {0, 1, 2, 3, 4, 5}, {0, 0, 0, 0, 0, 0}})
+	p := Single(rel, 0)
+	if p.N != 6 || p.NumClasses() != 2 {
+		t.Fatalf("partition = N%d classes%d", p.N, p.NumClasses())
+	}
+	if p.Rank() != 3 { // (2-1)+(3-1)
+		t.Errorf("Rank = %d", p.Rank())
+	}
+	// B is all-distinct: empty stripped partition.
+	pb := Single(rel, 1)
+	if pb.NumClasses() != 0 || pb.Rank() != 0 {
+		t.Errorf("unique attribute partition = %d classes rank %d", pb.NumClasses(), pb.Rank())
+	}
+	// C is constant: one class of 6.
+	pc := Single(rel, 2)
+	if pc.NumClasses() != 1 || pc.Rank() != 5 {
+		t.Errorf("constant attribute partition = %d classes rank %d", pc.NumClasses(), pc.Rank())
+	}
+}
+
+func TestNullsGroupTogether(t *testing.T) {
+	s := relation.MustSchema(relation.Attribute{Name: "X", Type: relation.Numeric})
+	rel := relation.New(s)
+	rel.Append(relation.Tuple{relation.NullValue})
+	rel.Append(relation.Tuple{relation.NullValue})
+	rel.Append(relation.Tuple{relation.Numv(1)})
+	p := Single(rel, 0)
+	if p.NumClasses() != 1 || len(p.Classes[0]) != 2 {
+		t.Errorf("null class = %+v", p.Classes)
+	}
+}
+
+func TestProductMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 50; trial++ {
+		n := 20 + rng.Intn(80)
+		cols := make([][]int, 3)
+		for c := range cols {
+			cols[c] = make([]int, n)
+			card := 1 + rng.Intn(6)
+			for i := range cols[c] {
+				cols[c][i] = rng.Intn(card)
+			}
+		}
+		rel := makeRel(cols)
+		scratch := NewScratch(n)
+		pa, pb := Single(rel, 0), Single(rel, 1)
+		got := Product(pa, pb, scratch)
+		want := naivePartition(rel, []int{0, 1})
+		if !equalPartitions(got, want) {
+			t.Fatalf("trial %d: product != naive (n=%d)", trial, n)
+		}
+		// Scratch restored.
+		for i, v := range scratch {
+			if v != -1 {
+				t.Fatalf("trial %d: scratch[%d] = %d after Product", trial, i, v)
+			}
+		}
+		// Triple product.
+		got3 := Product(got, Single(rel, 2), scratch)
+		want3 := naivePartition(rel, []int{0, 1, 2})
+		if !equalPartitions(got3, want3) {
+			t.Fatalf("trial %d: triple product != naive", trial)
+		}
+	}
+}
+
+func TestProductCommutative(t *testing.T) {
+	f := func(av, bv []uint8) bool {
+		n := len(av)
+		if len(bv) < n {
+			n = len(bv)
+		}
+		if n < 2 {
+			return true
+		}
+		cols := [][]int{make([]int, n), make([]int, n), make([]int, n)}
+		for i := 0; i < n; i++ {
+			cols[0][i] = int(av[i] % 5)
+			cols[1][i] = int(bv[i] % 5)
+		}
+		rel := makeRel(cols)
+		scratch := NewScratch(n)
+		ab := Product(Single(rel, 0), Single(rel, 1), scratch)
+		ba := Product(Single(rel, 1), Single(rel, 0), scratch)
+		return equalPartitions(ab, ba)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// naiveG3AFD computes g3(X→A) from first principles: group by X, within
+// each group count the most common A value; the rest must be removed.
+func naiveG3AFD(rel *relation.Relation, xattrs []int, a int) float64 {
+	groups := map[string][]int{}
+	for i, t := range rel.Tuples() {
+		k := ""
+		for _, x := range xattrs {
+			k += t[x].Key(rel.Schema().Type(x)) + "|"
+		}
+		groups[k] = append(groups[k], i)
+	}
+	removed := 0
+	for _, g := range groups {
+		counts := map[string]int{}
+		best := 0
+		for _, i := range g {
+			k := rel.Tuple(i)[a].Key(rel.Schema().Type(a))
+			counts[k]++
+			if counts[k] > best {
+				best = counts[k]
+			}
+		}
+		removed += len(g) - best
+	}
+	return float64(removed) / float64(rel.Size())
+}
+
+func TestG3AFDMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 50; trial++ {
+		n := 20 + rng.Intn(100)
+		cols := make([][]int, 3)
+		for c := range cols {
+			cols[c] = make([]int, n)
+			card := 1 + rng.Intn(5)
+			for i := range cols[c] {
+				cols[c][i] = rng.Intn(card)
+			}
+		}
+		rel := makeRel(cols)
+		scratch := NewScratch(n)
+		px := Single(rel, 0)
+		pxa := Product(px, Single(rel, 2), scratch)
+		got := G3AFD(px, pxa, scratch)
+		want := naiveG3AFD(rel, []int{0}, 2)
+		if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("trial %d: G3AFD = %v, naive = %v", trial, got, want)
+		}
+		for i, v := range scratch {
+			if v != -1 {
+				t.Fatalf("trial %d: scratch[%d] not restored", trial, i)
+			}
+		}
+	}
+}
+
+func TestG3AFDExactDependency(t *testing.T) {
+	// B = A (renamed): A→B holds exactly.
+	cols := [][]int{{0, 0, 1, 1, 2}, {3, 3, 4, 4, 5}, {0, 1, 0, 1, 0}}
+	rel := makeRel(cols)
+	scratch := NewScratch(rel.Size())
+	pa := Single(rel, 0)
+	pab := Product(pa, Single(rel, 1), scratch)
+	if g := G3AFD(pa, pab, scratch); g != 0 {
+		t.Errorf("exact FD g3 = %v", g)
+	}
+	// A→C is violated within both classes.
+	pac := Product(pa, Single(rel, 2), scratch)
+	if g := G3AFD(pa, pac, scratch); g != 2.0/5.0 {
+		t.Errorf("A→C g3 = %v, want 0.4", g)
+	}
+}
+
+func TestG3Key(t *testing.T) {
+	cols := [][]int{{0, 0, 1, 2}, {0, 1, 2, 3}, {0, 0, 0, 0}}
+	rel := makeRel(cols)
+	if g := Single(rel, 0).G3Key(); g != 0.25 { // remove 1 of 4
+		t.Errorf("A key g3 = %v", g)
+	}
+	if g := Single(rel, 1).G3Key(); g != 0 { // unique
+		t.Errorf("B key g3 = %v", g)
+	}
+	if g := Single(rel, 2).G3Key(); g != 0.75 { // constant: keep 1
+		t.Errorf("C key g3 = %v", g)
+	}
+}
+
+func TestG3BoundsProperty(t *testing.T) {
+	f := func(av, cv []uint8) bool {
+		n := len(av)
+		if len(cv) < n {
+			n = len(cv)
+		}
+		if n < 2 {
+			return true
+		}
+		cols := [][]int{make([]int, n), make([]int, n), make([]int, n)}
+		for i := 0; i < n; i++ {
+			cols[0][i] = int(av[i] % 4)
+			cols[2][i] = int(cv[i] % 4)
+		}
+		rel := makeRel(cols)
+		scratch := NewScratch(n)
+		px := Single(rel, 0)
+		pxa := Product(px, Single(rel, 2), scratch)
+		g := G3AFD(px, pxa, scratch)
+		gx, gxa := px.G3Key(), pxa.G3Key()
+		// 0 <= g3(X→A) <= g3(X as key); adding attributes can't raise key error.
+		return g >= 0 && g <= gx+1e-12 && gxa <= gx+1e-12 && g <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyRelation(t *testing.T) {
+	s := relation.MustSchema(relation.Attribute{Name: "A", Type: relation.Categorical})
+	rel := relation.New(s)
+	p := Single(rel, 0)
+	if p.G3Key() != 0 || p.NumClasses() != 0 {
+		t.Errorf("empty relation partition misbehaved: %+v", p)
+	}
+	if g := G3AFD(p, p, NewScratch(0)); g != 0 {
+		t.Errorf("empty G3AFD = %v", g)
+	}
+}

@@ -1,0 +1,275 @@
+// Package probe implements AIMQ's Data Collector: it extracts a sample of
+// an autonomous source by issuing probing queries through its boolean
+// interface (paper §3 Figure 1, §6.2).
+//
+// The paper selects probing queries "from a set of spanning queries, i.e.
+// queries which together cover all the tuples stored in the data sources".
+// The Collector realizes that: it enumerates the distinct values of a pivot
+// attribute (discovered from an initial unconstrained probe) and issues one
+// equality query per value; numeric pivots are covered with a sweep of
+// disjoint ranges. The union of the answers is the probed relation, from
+// which simple random samples of the requested sizes are drawn.
+package probe
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"aimq/internal/query"
+	"aimq/internal/relation"
+	"aimq/internal/webdb"
+)
+
+// Collector probes a Source and materializes samples.
+type Collector struct {
+	src webdb.Source
+	rng *rand.Rand
+
+	// PerQueryLimit caps tuples fetched per probing query; 0 means
+	// unlimited. Real Web sources page results, so a cap per query with
+	// more (narrower) queries is the realistic regime.
+	PerQueryLimit int
+	// SeedProbeLimit caps the initial unconstrained probe used to discover
+	// pivot values. Default 2000.
+	SeedProbeLimit int
+	// Buckets is the number of ranges used to span a numeric pivot.
+	// Default 20.
+	Buckets int
+	// MaxFailures tolerated before Collect gives up (flaky sources).
+	// Default 0: any failure aborts.
+	MaxFailures int
+	// Parallelism is the number of spanning queries in flight at once
+	// (remote sources tolerate a handful of concurrent form submissions).
+	// Results are merged in query order, so the probed relation — and
+	// everything sampled from it — is identical regardless of the setting.
+	// Default 1 (sequential).
+	Parallelism int
+}
+
+// New creates a collector over src with the given RNG (used for sampling).
+func New(src webdb.Source, rng *rand.Rand) *Collector {
+	return &Collector{src: src, rng: rng, SeedProbeLimit: 2000, Buckets: 20}
+}
+
+// Collect probes the source with spanning queries over pivot (an attribute
+// name) and returns the probed relation containing every distinct tuple
+// retrieved. Duplicate tuples returned by overlapping probes are kept once.
+func (c *Collector) Collect(pivot string) (*relation.Relation, error) {
+	sc := c.src.Schema()
+	attr, ok := sc.Index(pivot)
+	if !ok {
+		return nil, fmt.Errorf("probe: pivot attribute %q not in schema %s", pivot, sc)
+	}
+
+	// Seed probe: an unconstrained query reveals pivot values (a real
+	// crawler would enumerate the form's dropdown; the seed probe is the
+	// query-only equivalent).
+	seed, err := c.src.Query(query.New(sc), c.SeedProbeLimit)
+	if err != nil {
+		return nil, fmt.Errorf("probe: seed query: %w", err)
+	}
+
+	spanning, err := c.spanningQueries(sc, attr, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	results, failures, firstErr := c.runSpanning(spanning)
+	if failures > c.MaxFailures {
+		return nil, fmt.Errorf("probe: spanning queries failed %d times (tolerance %d): %w",
+			failures, c.MaxFailures, firstErr)
+	}
+
+	out := relation.New(sc)
+	seen := make(map[string]bool)
+	for _, tuples := range results {
+		for _, t := range tuples {
+			k := tupleKey(sc, t)
+			if !seen[k] {
+				seen[k] = true
+				out.Append(t)
+			}
+		}
+	}
+	if out.Size() == 0 {
+		return nil, fmt.Errorf("probe: spanning queries over %s returned no tuples", pivot)
+	}
+	return out, nil
+}
+
+// runSpanning executes the spanning queries — concurrently when
+// Parallelism > 1 — and returns per-query results in query order, plus the
+// failure count and the first error observed.
+func (c *Collector) runSpanning(spanning []*query.Query) ([][]relation.Tuple, int, error) {
+	results := make([][]relation.Tuple, len(spanning))
+	workers := c.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(spanning) {
+		workers = len(spanning)
+	}
+	if workers == 1 {
+		failures := 0
+		var firstErr error
+		for i, q := range spanning {
+			tuples, err := c.src.Query(q, c.PerQueryLimit)
+			if err != nil {
+				failures++
+				if firstErr == nil {
+					firstErr = fmt.Errorf("query %s: %w", q, err)
+				}
+				if failures > c.MaxFailures {
+					break // no point probing further
+				}
+				continue
+			}
+			results[i] = tuples
+		}
+		return results, failures, firstErr
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		failures int
+		firstErr error
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				tuples, err := c.src.Query(spanning[i], c.PerQueryLimit)
+				if err != nil {
+					mu.Lock()
+					failures++
+					if firstErr == nil {
+						firstErr = fmt.Errorf("query %s: %w", spanning[i], err)
+					}
+					mu.Unlock()
+					continue
+				}
+				results[i] = tuples
+			}
+		}()
+	}
+	for i := range spanning {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return results, failures, firstErr
+}
+
+// Samples draws simple random samples of the given sizes (without
+// replacement, independently per size) from rel. This mirrors the paper's
+// 15k/25k/50k subsets of CarDB.
+func (c *Collector) Samples(rel *relation.Relation, sizes ...int) []*relation.Relation {
+	out := make([]*relation.Relation, len(sizes))
+	for i, n := range sizes {
+		out[i] = rel.Sample(n, c.rng)
+	}
+	return out
+}
+
+func (c *Collector) spanningQueries(sc *relation.Schema, attr int, seed []relation.Tuple) ([]*query.Query, error) {
+	typ := sc.Type(attr)
+	if typ == relation.Categorical {
+		seen := map[string]bool{}
+		var qs []*query.Query
+		for _, t := range seed {
+			v := t[attr]
+			if v.IsNull() || seen[v.Str] {
+				continue
+			}
+			seen[v.Str] = true
+			qs = append(qs, query.New(sc).Where(sc.Attr(attr).Name, query.OpEq, v))
+		}
+		if len(qs) == 0 {
+			return nil, fmt.Errorf("probe: seed probe found no values for pivot %s", sc.Attr(attr).Name)
+		}
+		return qs, nil
+	}
+
+	// Numeric pivot: span [min,max] seen in the seed with disjoint ranges,
+	// widened slightly so boundary values are not lost.
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, t := range seed {
+		v := t[attr]
+		if v.IsNull() {
+			continue
+		}
+		min = math.Min(min, v.Num)
+		max = math.Max(max, v.Num)
+	}
+	if math.IsInf(min, 1) {
+		return nil, fmt.Errorf("probe: seed probe found no values for pivot %s", sc.Attr(attr).Name)
+	}
+	span := max - min
+	min -= 0.05*span + 1
+	max += 0.05*span + 1
+	buckets := c.Buckets
+	if buckets < 1 {
+		buckets = 1
+	}
+	width := (max - min) / float64(buckets)
+	var qs []*query.Query
+	name := sc.Attr(attr).Name
+	for b := 0; b < buckets; b++ {
+		lo := min + float64(b)*width
+		hi := lo + width
+		if b == buckets-1 {
+			hi = max
+		}
+		// Shrink hi a hair on interior buckets to keep ranges disjoint
+		// under the engine's inclusive semantics.
+		if b < buckets-1 {
+			hi = math.Nextafter(hi, math.Inf(-1))
+		}
+		qs = append(qs, query.New(sc).WhereRange(name, lo, hi))
+	}
+	return qs, nil
+}
+
+func tupleKey(sc *relation.Schema, t relation.Tuple) string {
+	k := ""
+	for i, v := range t {
+		k += v.Key(sc.Type(i)) + "\x1f"
+	}
+	return k
+}
+
+// PivotCoverage is a diagnostic: it reports, for each candidate pivot
+// attribute, how many distinct values the seed probe exposes. Collect works
+// best with a pivot of moderate cardinality (each value selects a manageable
+// slice of the source). Returned in ascending cardinality order.
+func PivotCoverage(src webdb.Source, seedLimit int) ([]PivotInfo, error) {
+	sc := src.Schema()
+	seed, err := src.Query(query.New(sc), seedLimit)
+	if err != nil {
+		return nil, fmt.Errorf("probe: seed query: %w", err)
+	}
+	out := make([]PivotInfo, 0, sc.Arity())
+	for a := 0; a < sc.Arity(); a++ {
+		seen := map[string]bool{}
+		for _, t := range seed {
+			if !t[a].IsNull() {
+				seen[t[a].Key(sc.Type(a))] = true
+			}
+		}
+		out = append(out, PivotInfo{Attr: sc.Attr(a).Name, DistinctInSeed: len(seen)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].DistinctInSeed < out[j].DistinctInSeed })
+	return out, nil
+}
+
+// PivotInfo describes one candidate pivot attribute.
+type PivotInfo struct {
+	Attr           string
+	DistinctInSeed int
+}

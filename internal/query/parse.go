@@ -1,0 +1,116 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"aimq/internal/relation"
+)
+
+// Parse builds a query from a compact textual form used by the CLI tools and
+// examples:
+//
+//	Model like Camry, Price < 10000, Year = 2000, Mileage between 10000 and 20000
+//
+// Attribute names are resolved against the schema; values are parsed under
+// the attribute's type. The separator between predicates is a comma.
+func Parse(s *relation.Schema, text string) (*Query, error) {
+	q := New(s)
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return q, nil
+	}
+	for _, clause := range strings.Split(text, ",") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		pred, err := parseClause(s, clause)
+		if err != nil {
+			return nil, err
+		}
+		q.Preds = append(q.Preds, pred)
+	}
+	return q, nil
+}
+
+func parseClause(s *relation.Schema, clause string) (Predicate, error) {
+	fields := strings.Fields(clause)
+	if len(fields) < 3 {
+		return Predicate{}, fmt.Errorf("parse query clause %q: want ATTR OP VALUE", clause)
+	}
+	attrName := fields[0]
+	attr, ok := s.Index(attrName)
+	if !ok {
+		return Predicate{}, fmt.Errorf("parse query clause %q: unknown attribute %q", clause, attrName)
+	}
+	typ := s.Type(attr)
+	opText := strings.ToLower(fields[1])
+
+	if opText == "in" {
+		// ATTR in (V1 | V2 | ...) — values separated by | so they may
+		// contain spaces; parentheses optional.
+		raw := strings.TrimSpace(strings.Join(fields[2:], " "))
+		raw = strings.TrimPrefix(raw, "(")
+		raw = strings.TrimSuffix(raw, ")")
+		var values []relation.Value
+		for _, part := range strings.Split(raw, "|") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			v, err := relation.ParseValue(part, typ)
+			if err != nil {
+				return Predicate{}, fmt.Errorf("parse query clause %q: %w", clause, err)
+			}
+			values = append(values, v)
+		}
+		if len(values) == 0 {
+			return Predicate{}, fmt.Errorf("parse query clause %q: in-list is empty", clause)
+		}
+		return Predicate{Attr: attr, Op: OpIn, Values: values}, nil
+	}
+
+	if opText == "between" {
+		// ATTR between LO and HI
+		if len(fields) != 5 || strings.ToLower(fields[3]) != "and" {
+			return Predicate{}, fmt.Errorf("parse query clause %q: want ATTR between LO and HI", clause)
+		}
+		if typ != relation.Numeric {
+			return Predicate{}, fmt.Errorf("parse query clause %q: between requires a numeric attribute", clause)
+		}
+		lo, err := relation.ParseValue(fields[2], typ)
+		if err != nil {
+			return Predicate{}, fmt.Errorf("parse query clause %q: %w", clause, err)
+		}
+		hi, err := relation.ParseValue(fields[4], typ)
+		if err != nil {
+			return Predicate{}, fmt.Errorf("parse query clause %q: %w", clause, err)
+		}
+		return Predicate{Attr: attr, Op: OpRange, Value: lo, Hi: hi}, nil
+	}
+
+	var op Op
+	switch opText {
+	case "=", "==":
+		op = OpEq
+	case "like", "~":
+		op = OpLike
+	case "<":
+		op = OpLess
+	case ">":
+		op = OpGreater
+	default:
+		return Predicate{}, fmt.Errorf("parse query clause %q: unknown operator %q", clause, fields[1])
+	}
+	if (op == OpLess || op == OpGreater) && typ != relation.Numeric {
+		return Predicate{}, fmt.Errorf("parse query clause %q: %s requires a numeric attribute", clause, op)
+	}
+	// Values may contain spaces (e.g. "New York"); rejoin the remainder.
+	raw := strings.Join(fields[2:], " ")
+	v, err := relation.ParseValue(raw, typ)
+	if err != nil {
+		return Predicate{}, fmt.Errorf("parse query clause %q: %w", clause, err)
+	}
+	return Predicate{Attr: attr, Op: op, Value: v}, nil
+}

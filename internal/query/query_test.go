@@ -1,0 +1,309 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"aimq/internal/relation"
+)
+
+func carSchema(t testing.TB) *relation.Schema {
+	t.Helper()
+	return relation.MustSchema(
+		relation.Attribute{Name: "Make", Type: relation.Categorical},
+		relation.Attribute{Name: "Model", Type: relation.Categorical},
+		relation.Attribute{Name: "Year", Type: relation.Numeric},
+		relation.Attribute{Name: "Price", Type: relation.Numeric},
+	)
+}
+
+func camry(year, price float64) relation.Tuple {
+	return relation.Tuple{relation.Cat("Toyota"), relation.Cat("Camry"), relation.Numv(year), relation.Numv(price)}
+}
+
+func TestPredicateMatches(t *testing.T) {
+	s := carSchema(t)
+	tup := camry(2000, 10000)
+	cases := []struct {
+		p    Predicate
+		want bool
+	}{
+		{Predicate{Attr: 1, Op: OpEq, Value: relation.Cat("Camry")}, true},
+		{Predicate{Attr: 1, Op: OpEq, Value: relation.Cat("Accord")}, false},
+		{Predicate{Attr: 1, Op: OpLike, Value: relation.Cat("Camry")}, true}, // like == eq at the source
+		{Predicate{Attr: 3, Op: OpLess, Value: relation.Numv(10001)}, true},
+		{Predicate{Attr: 3, Op: OpLess, Value: relation.Numv(10000)}, false},
+		{Predicate{Attr: 3, Op: OpGreater, Value: relation.Numv(9999)}, true},
+		{Predicate{Attr: 3, Op: OpGreater, Value: relation.Numv(10000)}, false},
+		{Predicate{Attr: 2, Op: OpRange, Value: relation.Numv(2000), Hi: relation.Numv(2005)}, true},
+		{Predicate{Attr: 2, Op: OpRange, Value: relation.Numv(2001), Hi: relation.Numv(2005)}, false},
+		// Comparison on a categorical attribute never matches.
+		{Predicate{Attr: 0, Op: OpLess, Value: relation.Cat("Z")}, false},
+	}
+	for i, c := range cases {
+		if got := c.p.Matches(tup, s); got != c.want {
+			t.Errorf("case %d (%s): Matches = %v, want %v", i, c.p.Render(s), got, c.want)
+		}
+	}
+}
+
+func TestNullNeverMatches(t *testing.T) {
+	s := carSchema(t)
+	tup := relation.Tuple{relation.NullValue, relation.Cat("Camry"), relation.NullValue, relation.Numv(1)}
+	preds := []Predicate{
+		{Attr: 0, Op: OpEq, Value: relation.Cat("Toyota")},
+		{Attr: 0, Op: OpEq, Value: relation.NullValue},
+		{Attr: 2, Op: OpLess, Value: relation.Numv(5000)},
+		{Attr: 2, Op: OpRange, Value: relation.Numv(0), Hi: relation.Numv(9999)},
+	}
+	for i, p := range preds {
+		if p.Matches(tup, s) {
+			t.Errorf("case %d: predicate matched a null binding", i)
+		}
+	}
+}
+
+func TestQueryBuilderAndMatches(t *testing.T) {
+	s := carSchema(t)
+	q := New(s).
+		Where("Model", OpEq, relation.Cat("Camry")).
+		Where("Price", OpLess, relation.Numv(11000))
+	if !q.Matches(camry(2000, 10000)) {
+		t.Errorf("query should match cheap Camry")
+	}
+	if q.Matches(camry(2000, 12000)) {
+		t.Errorf("query should reject expensive Camry")
+	}
+	if q.IsImprecise() {
+		t.Errorf("precise query flagged imprecise")
+	}
+	q2 := New(s).Where("Model", OpLike, relation.Cat("Camry"))
+	if !q2.IsImprecise() {
+		t.Errorf("like query not flagged imprecise")
+	}
+}
+
+func TestWhereRange(t *testing.T) {
+	s := carSchema(t)
+	q := New(s).WhereRange("Year", 1999, 2001)
+	if !q.Matches(camry(2000, 1)) || q.Matches(camry(1998, 1)) {
+		t.Errorf("WhereRange semantics wrong")
+	}
+}
+
+func TestToPrecise(t *testing.T) {
+	s := carSchema(t)
+	q := New(s).
+		Where("Model", OpLike, relation.Cat("Camry")).
+		Where("Price", OpLike, relation.Numv(10000)).
+		Where("Year", OpEq, relation.Numv(2000))
+	p := q.ToPrecise()
+	if p.IsImprecise() {
+		t.Errorf("ToPrecise left like predicates")
+	}
+	// Original untouched.
+	if !q.IsImprecise() {
+		t.Errorf("ToPrecise mutated the original query")
+	}
+	if len(p.Preds) != 3 {
+		t.Errorf("ToPrecise dropped predicates: %d", len(p.Preds))
+	}
+}
+
+func TestBoundAttrsAndBinding(t *testing.T) {
+	s := carSchema(t)
+	q := New(s).
+		Where("Model", OpEq, relation.Cat("Camry")).
+		Where("Price", OpLess, relation.Numv(10000))
+	bound := q.BoundAttrs()
+	if !bound.Has(1) || !bound.Has(3) || bound.Size() != 2 {
+		t.Errorf("BoundAttrs = %v", bound.Members())
+	}
+	p, ok := q.Binding(3)
+	if !ok || p.Op != OpLess {
+		t.Errorf("Binding(Price) = %v, %v", p, ok)
+	}
+	if _, ok := q.Binding(0); ok {
+		t.Errorf("Binding(Make) should be absent")
+	}
+}
+
+func TestDropAttrs(t *testing.T) {
+	s := carSchema(t)
+	q := FromTuple(s, camry(2000, 10000))
+	if len(q.Preds) != 4 {
+		t.Fatalf("FromTuple preds = %d", len(q.Preds))
+	}
+	rel := q.DropAttrs(relation.NewAttrSet(2, 3))
+	if len(rel.Preds) != 2 {
+		t.Errorf("DropAttrs preds = %d", len(rel.Preds))
+	}
+	if rel.BoundAttrs().Has(2) || rel.BoundAttrs().Has(3) {
+		t.Errorf("DropAttrs kept dropped attributes")
+	}
+	// Relaxed query matches strictly more tuples.
+	if !rel.Matches(camry(1995, 99999)) {
+		t.Errorf("relaxed query should match any Toyota Camry")
+	}
+}
+
+func TestFromTupleSkipsNulls(t *testing.T) {
+	s := carSchema(t)
+	tup := relation.Tuple{relation.Cat("Toyota"), relation.NullValue, relation.Numv(2000), relation.NullValue}
+	q := FromTuple(s, tup)
+	if len(q.Preds) != 2 {
+		t.Errorf("FromTuple kept null bindings: %d preds", len(q.Preds))
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := carSchema(t)
+	q := New(s).Where("Model", OpEq, relation.Cat("Camry"))
+	c := q.Clone()
+	c.Preds[0].Value = relation.Cat("Accord")
+	if q.Preds[0].Value.Str != "Camry" {
+		t.Errorf("Clone aliased predicate storage")
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	s := carSchema(t)
+	q := New(s).
+		Where("Price", OpLess, relation.Numv(10000)).
+		Where("Model", OpEq, relation.Cat("Camry"))
+	got := q.String()
+	// Attribute order: Model before Price regardless of insertion order.
+	if got != "Q(Model = Camry ∧ Price < 10000)" {
+		t.Errorf("String = %q", got)
+	}
+	q2 := New(s).WhereRange("Year", 1999, 2001)
+	if got := q2.String(); got != "Q(Year between 1999 and 2001)" {
+		t.Errorf("range String = %q", got)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	for op, want := range map[Op]string{OpEq: "=", OpLike: "like", OpLess: "<", OpGreater: ">", OpRange: "between"} {
+		if op.String() != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, op.String(), want)
+		}
+	}
+	if !strings.Contains(Op(99).String(), "99") {
+		t.Errorf("unknown Op string = %q", Op(99).String())
+	}
+}
+
+func TestParse(t *testing.T) {
+	s := carSchema(t)
+	q, err := Parse(s, "Model like Camry, Price < 10000, Year between 1999 and 2001")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Preds) != 3 {
+		t.Fatalf("Parse preds = %d", len(q.Preds))
+	}
+	if !q.IsImprecise() {
+		t.Errorf("parsed query should be imprecise")
+	}
+	if q.Preds[0].Op != OpLike || q.Preds[0].Value.Str != "Camry" {
+		t.Errorf("pred 0 = %+v", q.Preds[0])
+	}
+	if q.Preds[2].Op != OpRange || q.Preds[2].Hi.Num != 2001 {
+		t.Errorf("pred 2 = %+v", q.Preds[2])
+	}
+}
+
+func TestParseMultiWordValue(t *testing.T) {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "Location", Type: relation.Categorical},
+	)
+	q, err := Parse(s, "Location = New York")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.Preds[0].Value.Str != "New York" {
+		t.Errorf("multi-word value = %q", q.Preds[0].Value.Str)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	s := carSchema(t)
+	q, err := Parse(s, "   ")
+	if err != nil || len(q.Preds) != 0 {
+		t.Errorf("Parse empty = %v, %v", q, err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	s := carSchema(t)
+	bad := []string{
+		"Model",                // too short
+		"Ghost = x",            // unknown attribute
+		"Model ?? Camry",       // unknown operator
+		"Make < Z",             // comparison on categorical
+		"Year = notnum",        // bad numeric value
+		"Year between 1 2",     // malformed between
+		"Year between 1 or 2",  // wrong keyword
+		"Make between a and b", // between on categorical
+		"Year between x and 2", // bad lo
+		"Year between 1 and y", // bad hi
+	}
+	for _, text := range bad {
+		if _, err := Parse(s, text); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", text)
+		}
+	}
+}
+
+func TestOpIn(t *testing.T) {
+	s := carSchema(t)
+	q := New(s).WhereIn("Make", relation.Cat("Toyota"), relation.Cat("Honda"))
+	if !q.Matches(camry(2000, 9000)) {
+		t.Errorf("in-list missed a member")
+	}
+	ford := relation.Tuple{relation.Cat("Ford"), relation.Cat("Focus"), relation.Numv(2002), relation.Numv(15000)}
+	if q.Matches(ford) {
+		t.Errorf("in-list matched a non-member")
+	}
+	nullMake := relation.Tuple{relation.NullValue, relation.Cat("Camry"), relation.Numv(2000), relation.Numv(9000)}
+	if q.Matches(nullMake) {
+		t.Errorf("in-list matched a null")
+	}
+	// Numeric in-lists.
+	qn := New(s).WhereIn("Year", relation.Numv(2000), relation.Numv(2002))
+	if !qn.Matches(camry(2000, 1)) || qn.Matches(camry(2001, 1)) {
+		t.Errorf("numeric in-list wrong")
+	}
+	if got := q.String(); got != "Q(Make in (Toyota, Honda))" {
+		t.Errorf("in String = %q", got)
+	}
+	if OpIn.String() != "in" {
+		t.Errorf("OpIn.String() = %q", OpIn.String())
+	}
+}
+
+func TestParseIn(t *testing.T) {
+	s := carSchema(t)
+	q, err := Parse(s, "Make in (Toyota | Honda), Price < 12000")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(q.Preds) != 2 || q.Preds[0].Op != OpIn || len(q.Preds[0].Values) != 2 {
+		t.Fatalf("parsed = %+v", q.Preds)
+	}
+	// Parens optional; multi-word values survive.
+	loc := relation.MustSchema(relation.Attribute{Name: "Location", Type: relation.Categorical})
+	q2, err := Parse(loc, "Location in New York | Los Angeles")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q2.Preds[0].Values[0].Str != "New York" || q2.Preds[0].Values[1].Str != "Los Angeles" {
+		t.Errorf("in values = %+v", q2.Preds[0].Values)
+	}
+	if _, err := Parse(s, "Make in ()"); err == nil {
+		t.Errorf("empty in-list accepted")
+	}
+	if _, err := Parse(s, "Year in (x | y)"); err == nil {
+		t.Errorf("garbage numeric in-list accepted")
+	}
+}

@@ -1,0 +1,116 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// InferCSV reads a plain CSV with a single header row (no type row, unlike
+// WriteCSV's format) and infers each attribute's type from the data: a
+// column is numeric when every non-empty cell parses as a number and the
+// column is not obviously an identifier-like low-information code. Empty
+// cells and the literal "?" (UCI's missing marker) become nulls.
+//
+// maxRows caps how many data rows are loaded (0 = all).
+func InferCSV(rd io.Reader, maxRows int) (*Relation, error) {
+	cr := csv.NewReader(rd)
+	cr.TrimLeadingSpace = true
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("infer csv: read header: %w", err)
+	}
+	for i := range header {
+		header[i] = strings.TrimSpace(header[i])
+		if header[i] == "" {
+			return nil, fmt.Errorf("infer csv: empty name for column %d", i)
+		}
+	}
+
+	var rows [][]string
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("infer csv: %w", err)
+		}
+		rows = append(rows, rec)
+		if maxRows > 0 && len(rows) >= maxRows {
+			break
+		}
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("infer csv: no data rows")
+	}
+
+	numeric := make([]bool, len(header))
+	for c := range header {
+		numeric[c] = true
+		seen := false
+		for _, row := range rows {
+			cell := strings.TrimSpace(row[c])
+			if cell == "" || cell == "?" {
+				continue
+			}
+			seen = true
+			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+				numeric[c] = false
+				break
+			}
+		}
+		if !seen {
+			numeric[c] = false // all-null columns default to categorical
+		}
+	}
+
+	attrs := make([]Attribute, len(header))
+	for i, name := range header {
+		t := Categorical
+		if numeric[i] {
+			t = Numeric
+		}
+		attrs[i] = Attribute{Name: name, Type: t}
+	}
+	schema, err := NewSchema(attrs...)
+	if err != nil {
+		return nil, fmt.Errorf("infer csv: %w", err)
+	}
+
+	rel := New(schema)
+	for _, row := range rows {
+		t := make(Tuple, len(row))
+		for c, cell := range row {
+			cell = strings.TrimSpace(cell)
+			if cell == "" || cell == "?" {
+				t[c] = NullValue
+				continue
+			}
+			if numeric[c] {
+				f, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("infer csv: column %s: %w", header[c], err)
+				}
+				t[c] = Numv(f)
+			} else {
+				t[c] = Cat(cell)
+			}
+		}
+		rel.Append(t)
+	}
+	return rel, nil
+}
+
+// InferCSVFile is InferCSV over a file path.
+func InferCSVFile(path string, maxRows int) (*Relation, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("infer csv: %w", err)
+	}
+	defer f.Close()
+	return InferCSV(f, maxRows)
+}

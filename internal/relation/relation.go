@@ -1,0 +1,160 @@
+package relation
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Tuple is one row of a relation: values in schema order. Tuples are value
+// slices rather than maps so the miners can iterate the 100k-row datasets
+// without per-row allocation.
+type Tuple []Value
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Render formats the tuple under the given schema as Name=value pairs.
+func (t Tuple) Render(s *Schema) string {
+	out := "("
+	for i, v := range t {
+		if i > 0 {
+			out += ", "
+		}
+		out += s.Attr(i).Name + "=" + v.Render(s.Type(i))
+	}
+	return out + ")"
+}
+
+// Relation is an in-memory bag of tuples under a fixed schema. It is the
+// storage substrate for both the simulated autonomous database and the
+// mined samples. A Relation is append-only; components that need subsets
+// build new Relations (Sample, Select).
+type Relation struct {
+	schema *Schema
+	tuples []Tuple
+}
+
+// New creates an empty relation with the given schema.
+func New(s *Schema) *Relation {
+	return &Relation{schema: s}
+}
+
+// FromTuples creates a relation holding the given tuples (not copied).
+// Every tuple must match the schema arity.
+func FromTuples(s *Schema, tuples []Tuple) (*Relation, error) {
+	for i, t := range tuples {
+		if len(t) != s.Arity() {
+			return nil, fmt.Errorf("relation: tuple %d has arity %d, schema has %d", i, len(t), s.Arity())
+		}
+	}
+	return &Relation{schema: s, tuples: tuples}, nil
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Size returns the number of tuples.
+func (r *Relation) Size() int { return len(r.tuples) }
+
+// Tuple returns the tuple at position i. The returned slice is shared; do
+// not mutate it.
+func (r *Relation) Tuple(i int) Tuple { return r.tuples[i] }
+
+// Tuples returns the underlying tuple slice. Shared, not a copy; callers
+// must treat it as read-only.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Append adds a tuple to the relation. It panics on arity mismatch, which
+// is always a programming error.
+func (r *Relation) Append(t Tuple) {
+	if len(t) != r.schema.Arity() {
+		panic(fmt.Sprintf("relation: append arity %d to schema arity %d", len(t), r.schema.Arity()))
+	}
+	r.tuples = append(r.tuples, t)
+}
+
+// Sample returns a new relation holding a simple random sample of n tuples
+// drawn without replacement using rng. If n >= Size the whole relation is
+// returned (as a shallow copy). This is the paper's §6.2 sampling primitive.
+func (r *Relation) Sample(n int, rng *rand.Rand) *Relation {
+	if n >= len(r.tuples) {
+		out := make([]Tuple, len(r.tuples))
+		copy(out, r.tuples)
+		return &Relation{schema: r.schema, tuples: out}
+	}
+	perm := rng.Perm(len(r.tuples))
+	out := make([]Tuple, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.tuples[perm[i]]
+	}
+	return &Relation{schema: r.schema, tuples: out}
+}
+
+// Select returns a new relation with the tuples for which keep returns true.
+func (r *Relation) Select(keep func(Tuple) bool) *Relation {
+	out := New(r.schema)
+	for _, t := range r.tuples {
+		if keep(t) {
+			out.Append(t)
+		}
+	}
+	return out
+}
+
+// Head returns a new relation holding the first n tuples (or all if fewer).
+func (r *Relation) Head(n int) *Relation {
+	if n > len(r.tuples) {
+		n = len(r.tuples)
+	}
+	out := make([]Tuple, n)
+	copy(out, r.tuples)
+	return &Relation{schema: r.schema, tuples: out}
+}
+
+// DistinctValues returns the distinct non-null values of attribute attr in
+// first-seen order.
+func (r *Relation) DistinctValues(attr int) []Value {
+	seen := make(map[string]bool)
+	var out []Value
+	typ := r.schema.Type(attr)
+	for _, t := range r.tuples {
+		v := t[attr]
+		if v.IsNull() {
+			continue
+		}
+		k := v.Key(typ)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// NumericRange returns the min and max of a numeric attribute over non-null
+// values, and ok=false if the attribute has no non-null values.
+func (r *Relation) NumericRange(attr int) (min, max float64, ok bool) {
+	first := true
+	for _, t := range r.tuples {
+		v := t[attr]
+		if v.IsNull() {
+			continue
+		}
+		if first {
+			min, max = v.Num, v.Num
+			first = false
+			continue
+		}
+		if v.Num < min {
+			min = v.Num
+		}
+		if v.Num > max {
+			max = v.Num
+		}
+	}
+	return min, max, !first
+}

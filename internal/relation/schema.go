@@ -1,0 +1,188 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attribute describes one column of a relation.
+type Attribute struct {
+	Name string
+	Type AttrType
+}
+
+// Schema is an ordered list of attributes with name-based lookup. A Schema
+// is immutable after construction; components share pointers to it freely.
+type Schema struct {
+	attrs []Attribute
+	index map[string]int
+}
+
+// NewSchema builds a schema from the given attributes. Attribute names must
+// be non-empty and unique (case-sensitive).
+func NewSchema(attrs ...Attribute) (*Schema, error) {
+	s := &Schema{
+		attrs: make([]Attribute, len(attrs)),
+		index: make(map[string]int, len(attrs)),
+	}
+	copy(s.attrs, attrs)
+	for i, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("schema: attribute %d has empty name", i)
+		}
+		if _, dup := s.index[a.Name]; dup {
+			return nil, fmt.Errorf("schema: duplicate attribute %q", a.Name)
+		}
+		s.index[a.Name] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; intended for statically
+// known schemas (generators, tests).
+func MustSchema(attrs ...Attribute) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Arity returns the number of attributes.
+func (s *Schema) Arity() int { return len(s.attrs) }
+
+// Attr returns the attribute at position i.
+func (s *Schema) Attr(i int) Attribute { return s.attrs[i] }
+
+// Attrs returns a copy of the attribute list.
+func (s *Schema) Attrs() []Attribute {
+	out := make([]Attribute, len(s.attrs))
+	copy(out, s.attrs)
+	return out
+}
+
+// Names returns the attribute names in schema order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Index returns the position of the named attribute and whether it exists.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// MustIndex returns the position of the named attribute, panicking if absent.
+// Use only where the attribute is statically known to exist.
+func (s *Schema) MustIndex(name string) int {
+	i, ok := s.index[name]
+	if !ok {
+		panic(fmt.Sprintf("schema: no attribute %q", name))
+	}
+	return i
+}
+
+// Type returns the type of the attribute at position i.
+func (s *Schema) Type(i int) AttrType { return s.attrs[i].Type }
+
+// Categorical returns the positions of all categorical attributes.
+func (s *Schema) Categorical() []int {
+	var out []int
+	for i, a := range s.attrs {
+		if a.Type == Categorical {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// NumericAttrs returns the positions of all numeric attributes.
+func (s *Schema) NumericAttrs() []int {
+	var out []int
+	for i, a := range s.attrs {
+		if a.Type == Numeric {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// String renders the schema as R(Name:type, ...).
+func (s *Schema) String() string {
+	parts := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		parts[i] = fmt.Sprintf("%s:%s", a.Name, a.Type)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// AttrSet is a set of attribute positions, represented as a bitmask. Schemas
+// in AIMQ's domain are small (≤ 64 attributes), which makes the bitmask both
+// compact and the natural key for the TANE lattice.
+type AttrSet uint64
+
+// NewAttrSet builds a set from attribute positions.
+func NewAttrSet(idxs ...int) AttrSet {
+	var s AttrSet
+	for _, i := range idxs {
+		s |= 1 << uint(i)
+	}
+	return s
+}
+
+// Has reports whether position i is in the set.
+func (s AttrSet) Has(i int) bool { return s&(1<<uint(i)) != 0 }
+
+// Add returns the set with position i added.
+func (s AttrSet) Add(i int) AttrSet { return s | 1<<uint(i) }
+
+// Remove returns the set with position i removed.
+func (s AttrSet) Remove(i int) AttrSet { return s &^ (1 << uint(i)) }
+
+// Union returns the union of two sets.
+func (s AttrSet) Union(o AttrSet) AttrSet { return s | o }
+
+// Intersect returns the intersection of two sets.
+func (s AttrSet) Intersect(o AttrSet) AttrSet { return s & o }
+
+// Contains reports whether o ⊆ s.
+func (s AttrSet) Contains(o AttrSet) bool { return s&o == o }
+
+// Size returns the number of positions in the set.
+func (s AttrSet) Size() int {
+	n := 0
+	for v := s; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+// Empty reports whether the set has no members.
+func (s AttrSet) Empty() bool { return s == 0 }
+
+// Members returns the positions in ascending order.
+func (s AttrSet) Members() []int {
+	out := make([]int, 0, s.Size())
+	for i := 0; s>>uint(i) != 0; i++ {
+		if s.Has(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Label renders the set using the schema's attribute names, e.g. "{Make,Year}".
+func (s AttrSet) Label(sc *Schema) string {
+	ms := s.Members()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = sc.Attr(m).Name
+	}
+	sort.Strings(names)
+	return "{" + strings.Join(names, ",") + "}"
+}

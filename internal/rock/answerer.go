@@ -1,0 +1,144 @@
+package rock
+
+import (
+	"math"
+	"sort"
+
+	"aimq/internal/core"
+	"aimq/internal/query"
+	"aimq/internal/relation"
+)
+
+// Answerer answers imprecise queries from a fitted ROCK clustering: the
+// query is itemized, routed to the best-matching cluster by the labeling
+// criterion, and the cluster's members are ranked by Jaccard similarity to
+// the query items. It implements core.Answerer so the experiments can swap
+// it in for AIMQ directly. Like the paper's ROCK comparator, it gives every
+// attribute equal importance and uses ROCK's own similarity model.
+type Answerer struct {
+	C *Clustering
+	// K is the number of answers returned. Default 10.
+	K int
+	// Tsim discards answers whose Jaccard similarity to the query is not
+	// above this (the census experiment uses 0.4). Default 0: keep all.
+	Tsim float64
+}
+
+// Name implements core.Answerer.
+func (a *Answerer) Name() string { return "ROCK" }
+
+// Answer implements core.Answerer.
+func (a *Answerer) Answer(q *query.Query) (*core.Result, error) {
+	k := a.K
+	if k == 0 {
+		k = 10
+	}
+	items := a.C.items.itemsOfQuery(q)
+	res := &core.Result{Query: q, Precise: q.ToPrecise()}
+
+	cluster := a.routeToCluster(items)
+	var candidates []int
+	if cluster >= 0 {
+		candidates = a.C.Members[cluster]
+	} else {
+		// No cluster attracted the query (it has no neighbors at θ):
+		// degrade to a full ranking pass, ROCK's only remaining option.
+		candidates = make([]int, a.C.Rel.Size())
+		for i := range candidates {
+			candidates[i] = i
+		}
+	}
+
+	type scored struct {
+		pos int
+		sim float64
+	}
+	var all []scored
+	for _, pos := range candidates {
+		sim := jaccard(items, a.C.items.itemsOf(a.C.Rel.Tuple(pos)))
+		if sim > a.Tsim {
+			all = append(all, scored{pos, sim})
+		}
+	}
+	res.Work.TuplesExtracted = len(candidates)
+	res.Work.TuplesQualified = len(all)
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].sim != all[j].sim {
+			return all[i].sim > all[j].sim
+		}
+		return all[i].pos < all[j].pos
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	for _, s := range all {
+		res.Answers = append(res.Answers, core.Answer{
+			Tuple:   a.C.Rel.Tuple(s.pos),
+			Sim:     s.sim,
+			BaseSim: s.sim,
+		})
+	}
+	return res, nil
+}
+
+// routeToCluster picks the cluster maximizing the labeling criterion
+// N_i/(n_i+1)^f(θ) for the query item set, or −1 when the query has no
+// neighbors at θ in any cluster.
+func (a *Answerer) routeToCluster(items []int32) int {
+	f := fTheta(a.C.Cfg.Theta)
+	best, bestScore := -1, 0.0
+	for ci, members := range a.C.Members {
+		n := 0
+		for _, pos := range members {
+			if jaccard(items, a.C.items.itemsOf(a.C.Rel.Tuple(pos))) >= a.C.Cfg.Theta {
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		score := float64(n) / math.Pow(float64(len(members)+1), f)
+		if score > bestScore {
+			best, bestScore = ci, score
+		}
+	}
+	return best
+}
+
+// Similarity returns ROCK's tuple-tuple similarity (item-set Jaccard with
+// every attribute weighted equally) — the measure its rankings use.
+func (a *Answerer) Similarity(t1, t2 relation.Tuple) float64 {
+	return jaccard(a.C.items.itemsOf(t1), a.C.items.itemsOf(t2))
+}
+
+// SimilarTuples ranks the whole relation by ROCK's Jaccard similarity to a
+// given tuple and returns the top k (used by the user-study experiment,
+// where ROCK supplies 10 answers per query tuple).
+func (a *Answerer) SimilarTuples(t relation.Tuple, k int) []core.Answer {
+	items := a.C.items.itemsOf(t)
+	type scored struct {
+		pos int
+		sim float64
+	}
+	all := make([]scored, 0, a.C.Rel.Size())
+	for pos := 0; pos < a.C.Rel.Size(); pos++ {
+		sim := jaccard(items, a.C.items.itemsOf(a.C.Rel.Tuple(pos)))
+		if sim > a.Tsim {
+			all = append(all, scored{pos, sim})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].sim != all[j].sim {
+			return all[i].sim > all[j].sim
+		}
+		return all[i].pos < all[j].pos
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := make([]core.Answer, len(all))
+	for i, s := range all {
+		out[i] = core.Answer{Tuple: a.C.Rel.Tuple(s.pos), Sim: s.sim, BaseSim: s.sim}
+	}
+	return out
+}

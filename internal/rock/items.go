@@ -1,0 +1,146 @@
+package rock
+
+import (
+	"math"
+
+	"aimq/internal/query"
+	"aimq/internal/relation"
+)
+
+// itemizer converts tuples into sorted item-id sets. Items are
+// attribute-value pairs; numeric values are discretized into equal-width
+// buckets over the relation's observed range so the Jaccard measure has
+// co-occurrence signal to work with (mirrors the supertuple bucketing on
+// the AIMQ side).
+type itemizer struct {
+	schema  *relation.Schema
+	buckets map[int]struct {
+		min, width float64
+		n          int
+	}
+	ids  map[string]int32
+	next int32
+}
+
+func newItemizer(rel *relation.Relation, buckets int) *itemizer {
+	iz := &itemizer{
+		schema: rel.Schema(),
+		buckets: make(map[int]struct {
+			min, width float64
+			n          int
+		}),
+		ids: make(map[string]int32),
+	}
+	for _, a := range rel.Schema().NumericAttrs() {
+		min, max, ok := rel.NumericRange(a)
+		if !ok {
+			continue
+		}
+		width := (max - min) / float64(buckets)
+		if width <= 0 {
+			width = 1
+		}
+		iz.buckets[a] = struct {
+			min, width float64
+			n          int
+		}{min, width, buckets}
+	}
+	return iz
+}
+
+// itemLabel renders the item string for one attribute value.
+func (iz *itemizer) itemLabel(attr int, v relation.Value) (string, bool) {
+	if v.IsNull() {
+		return "", false
+	}
+	name := iz.schema.Attr(attr).Name
+	if iz.schema.Type(attr) == relation.Categorical {
+		return name + "=" + v.Str, true
+	}
+	bk, ok := iz.buckets[attr]
+	if !ok {
+		return name + "=" + v.Render(relation.Numeric), true
+	}
+	i := int(math.Floor((v.Num - bk.min) / bk.width))
+	if i < 0 {
+		i = 0
+	}
+	if i >= bk.n {
+		i = bk.n - 1
+	}
+	return name + "#" + string(rune('0'+i/10)) + string(rune('0'+i%10)), true
+}
+
+func (iz *itemizer) idOf(label string) int32 {
+	if id, ok := iz.ids[label]; ok {
+		return id
+	}
+	id := iz.next
+	iz.ids[label] = id
+	iz.next++
+	return id
+}
+
+// itemsOf returns the ascending item-id set of a tuple.
+func (iz *itemizer) itemsOf(t relation.Tuple) []int32 {
+	out := make([]int32, 0, len(t))
+	for a, v := range t {
+		if label, ok := iz.itemLabel(a, v); ok {
+			out = append(out, iz.idOf(label))
+		}
+	}
+	sortInt32(out)
+	return out
+}
+
+// itemsOfQuery converts a query's equality/like bindings into an item set;
+// range and comparison predicates contribute their boundary (midpoint for
+// ranges), mirroring the AIMQ side's treatment.
+func (iz *itemizer) itemsOfQuery(q *query.Query) []int32 {
+	out := make([]int32, 0, len(q.Preds))
+	for _, p := range q.Preds {
+		v := p.Value
+		if p.Op == query.OpRange {
+			v = relation.Numv((p.Value.Num + p.Hi.Num) / 2)
+		}
+		if label, ok := iz.itemLabel(p.Attr, v); ok {
+			out = append(out, iz.idOf(label))
+		}
+	}
+	sortInt32(out)
+	return out
+}
+
+func sortInt32(a []int32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// jaccard computes |A∩B|/|A∪B| over two ascending item-id sets.
+func jaccard(a, b []int32) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

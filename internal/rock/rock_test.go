@@ -1,0 +1,298 @@
+package rock
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"aimq/internal/query"
+	"aimq/internal/relation"
+)
+
+func carSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Attribute{Name: "Make", Type: relation.Categorical},
+		relation.Attribute{Name: "Model", Type: relation.Categorical},
+		relation.Attribute{Name: "Class", Type: relation.Categorical},
+		relation.Attribute{Name: "Price", Type: relation.Numeric},
+	)
+}
+
+// twoBlobRel builds two clearly separated groups: sedans around 10k and
+// trucks around 25k. ROCK should recover the split.
+func twoBlobRel(n int, seed int64) *relation.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	r := relation.New(carSchema())
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			models := []struct{ mk, md string }{{"Toyota", "Camry"}, {"Honda", "Accord"}}
+			m := models[rng.Intn(2)]
+			r.Append(relation.Tuple{
+				relation.Cat(m.mk), relation.Cat(m.md), relation.Cat("sedan"),
+				relation.Numv(9500 + float64(rng.Intn(1000))),
+			})
+		} else {
+			models := []struct{ mk, md string }{{"Ford", "F150"}, {"Dodge", "Ram"}}
+			m := models[rng.Intn(2)]
+			r.Append(relation.Tuple{
+				relation.Cat(m.mk), relation.Cat(m.md), relation.Cat("truck"),
+				relation.Numv(24500 + float64(rng.Intn(1000))),
+			})
+		}
+	}
+	return r
+}
+
+func TestJaccardItemSets(t *testing.T) {
+	cases := []struct {
+		a, b []int32
+		want float64
+	}{
+		{[]int32{1, 2, 3}, []int32{1, 2, 3}, 1},
+		{[]int32{1, 2, 3}, []int32{2, 3, 4}, 0.5},
+		{[]int32{1, 2}, []int32{3, 4}, 0},
+		{nil, nil, 0},
+		{[]int32{1}, nil, 0},
+	}
+	for i, c := range cases {
+		if got := jaccard(c.a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: jaccard = %v, want %v", i, got, c.want)
+		}
+		if got, rev := jaccard(c.a, c.b), jaccard(c.b, c.a); got != rev {
+			t.Errorf("case %d: asymmetric", i)
+		}
+	}
+}
+
+func TestItemizer(t *testing.T) {
+	rel := twoBlobRel(100, 1)
+	iz := newItemizer(rel, 10)
+	tp := rel.Tuple(0)
+	items := iz.itemsOf(tp)
+	if len(items) != 4 {
+		t.Fatalf("items = %d, want 4", len(items))
+	}
+	// Deterministic and sorted.
+	again := iz.itemsOf(tp)
+	for i := range items {
+		if items[i] != again[i] {
+			t.Errorf("itemsOf not deterministic")
+		}
+		if i > 0 && items[i] <= items[i-1] {
+			t.Errorf("items not strictly ascending: %v", items)
+		}
+	}
+	// Same tuple content ⇒ identical item set; different class ⇒ differs.
+	if jaccard(iz.itemsOf(rel.Tuple(0)), iz.itemsOf(rel.Tuple(0))) != 1 {
+		t.Errorf("identical tuples not identical items")
+	}
+	// Nulls skipped.
+	null := relation.Tuple{relation.NullValue, relation.Cat("Camry"), relation.NullValue, relation.NullValue}
+	if got := iz.itemsOf(null); len(got) != 1 {
+		t.Errorf("null tuple items = %d", len(got))
+	}
+}
+
+func TestItemizerQuery(t *testing.T) {
+	rel := twoBlobRel(100, 2)
+	iz := newItemizer(rel, 10)
+	q := query.New(rel.Schema()).
+		Where("Model", query.OpLike, relation.Cat("Camry")).
+		WhereRange("Price", 9000, 11000)
+	items := iz.itemsOfQuery(q)
+	if len(items) != 2 {
+		t.Fatalf("query items = %d", len(items))
+	}
+	// The range midpoint (10000) lands in the same bucket as a sedan tuple.
+	sedan := relation.Tuple{relation.Cat("Toyota"), relation.Cat("Camry"), relation.Cat("sedan"), relation.Numv(10000)}
+	if jaccard(items, iz.itemsOf(sedan)) == 0 {
+		t.Errorf("query items disjoint from matching tuple")
+	}
+}
+
+func TestClusterSeparatesBlobs(t *testing.T) {
+	rel := twoBlobRel(400, 3)
+	c, err := Cluster(rel, Config{Theta: 0.4, TargetClusters: 2, SampleSize: 200, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count cross-contamination: tuples in the same cluster must share a
+	// class with the cluster's majority.
+	byCluster := map[int]map[string]int{}
+	for pos, cl := range c.Assign {
+		if cl < 0 {
+			continue
+		}
+		if byCluster[cl] == nil {
+			byCluster[cl] = map[string]int{}
+		}
+		byCluster[cl][rel.Tuple(pos)[2].Str]++
+	}
+	for cl, counts := range byCluster {
+		total, max := 0, 0
+		for _, n := range counts {
+			total += n
+			if n > max {
+				max = n
+			}
+		}
+		if total >= 10 && float64(max)/float64(total) < 0.95 {
+			t.Errorf("cluster %d impure: %v", cl, counts)
+		}
+	}
+	if c.NumClusters() < 2 {
+		t.Errorf("NumClusters = %d", c.NumClusters())
+	}
+	sizes := c.Sizes()
+	for i := 1; i < len(sizes); i++ {
+		if sizes[i-1] < sizes[i] {
+			t.Errorf("Sizes not descending")
+		}
+	}
+}
+
+func TestLabelingCoversFullRelation(t *testing.T) {
+	rel := twoBlobRel(600, 5)
+	c, err := Cluster(rel, Config{Theta: 0.4, TargetClusters: 4, SampleSize: 150, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labeled := 0
+	for _, a := range c.Assign {
+		if a >= 0 {
+			labeled++
+		}
+	}
+	// The blobs are dense: essentially everything should be labeled.
+	if labeled < rel.Size()*9/10 {
+		t.Errorf("only %d of %d labeled", labeled, rel.Size())
+	}
+	memberCount := 0
+	for _, m := range c.Members {
+		memberCount += len(m)
+	}
+	if memberCount != labeled {
+		t.Errorf("Members total %d != labeled %d", memberCount, labeled)
+	}
+	for ci, m := range c.Members {
+		for _, pos := range m {
+			if c.ClusterOf(pos) != ci {
+				t.Fatalf("Assign/Members inconsistent at %d", pos)
+			}
+		}
+	}
+}
+
+func TestClusterEmptyRelation(t *testing.T) {
+	if _, err := Cluster(relation.New(carSchema()), Config{}); err == nil {
+		t.Errorf("clustering an empty relation succeeded")
+	}
+}
+
+func TestAnswererRanksWithinCluster(t *testing.T) {
+	rel := twoBlobRel(400, 7)
+	c, err := Cluster(rel, Config{Theta: 0.4, TargetClusters: 2, SampleSize: 200, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Answerer{C: c, K: 10}
+	q := query.New(rel.Schema()).
+		Where("Model", query.OpLike, relation.Cat("Camry")).
+		Where("Class", query.OpLike, relation.Cat("sedan"))
+	res, err := a.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) == 0 || len(res.Answers) > 10 {
+		t.Fatalf("answers = %d", len(res.Answers))
+	}
+	for i, ans := range res.Answers {
+		if ans.Tuple[2].Str != "sedan" {
+			t.Errorf("answer %d is a %s, want sedan", i, ans.Tuple[2].Str)
+		}
+		if i > 0 && res.Answers[i-1].Sim < ans.Sim {
+			t.Errorf("answers not ranked")
+		}
+	}
+	if a.Name() != "ROCK" {
+		t.Errorf("Name = %q", a.Name())
+	}
+}
+
+func TestAnswererFallbackWithoutNeighbors(t *testing.T) {
+	rel := twoBlobRel(200, 9)
+	c, err := Cluster(rel, Config{Theta: 0.4, TargetClusters: 2, SampleSize: 100, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Answerer{C: c, K: 5}
+	// A query with a single unseen binding has no neighbors at θ.
+	q := query.New(rel.Schema()).Where("Model", query.OpLike, relation.Cat("DeLorean"))
+	res, err := a.Answer(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fallback scans everything; with zero overlap nothing qualifies.
+	if res.Work.TuplesExtracted != rel.Size() {
+		t.Errorf("fallback scanned %d, want %d", res.Work.TuplesExtracted, rel.Size())
+	}
+}
+
+func TestSimilarTuples(t *testing.T) {
+	rel := twoBlobRel(300, 11)
+	c, err := Cluster(rel, Config{Theta: 0.4, TargetClusters: 2, SampleSize: 150, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Answerer{C: c}
+	probe := rel.Tuple(0) // a sedan
+	got := a.SimilarTuples(probe, 10)
+	if len(got) != 10 {
+		t.Fatalf("SimilarTuples = %d", len(got))
+	}
+	if got[0].Sim != 1 {
+		t.Errorf("most similar tuple sim = %v, want 1 (itself)", got[0].Sim)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Sim < got[i].Sim {
+			t.Errorf("SimilarTuples not ranked")
+		}
+	}
+}
+
+func TestFTheta(t *testing.T) {
+	if got := fTheta(0.5); math.Abs(got-1.0/3.0) > 1e-12 {
+		t.Errorf("f(0.5) = %v", got)
+	}
+	if got := fTheta(0); got != 1 {
+		t.Errorf("f(0) = %v", got)
+	}
+}
+
+func TestClusterTimingsRecorded(t *testing.T) {
+	rel := twoBlobRel(300, 21)
+	c, err := Cluster(rel, Config{Theta: 0.4, SampleSize: 150, Seed: 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ti := c.Timings
+	if ti.LinkComputation <= 0 || ti.InitialClustering < 0 || ti.DataLabeling < 0 {
+		t.Errorf("timings not recorded: %+v", ti)
+	}
+}
+
+func TestAnswererSimilarity(t *testing.T) {
+	rel := twoBlobRel(200, 23)
+	c, err := Cluster(rel, Config{Theta: 0.4, SampleSize: 100, Seed: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &Answerer{C: c}
+	t1, t2 := rel.Tuple(0), rel.Tuple(2) // both sedans
+	if got := a.Similarity(t1, t1); got != 1 {
+		t.Errorf("self similarity = %v", got)
+	}
+	if got, rev := a.Similarity(t1, t2), a.Similarity(t2, t1); got != rev {
+		t.Errorf("asymmetric: %v vs %v", got, rev)
+	}
+}

@@ -1,0 +1,373 @@
+// Package similarity implements AIMQ's query-tuple similarity estimation
+// (paper §5): the categorical value-similarity measure VSim mined from
+// supertuples, the numeric similarity, and the weighted combination Sim(Q,t)
+// used to rank answers.
+//
+//	Sim(Q,t) = Σ_i W_imp(A_i) × { VSim(Q.A_i, t.A_i)          categorical
+//	                            { 1 − |Q.A_i − t.A_i| / Q.A_i  numerical
+//
+// over the attributes bound by Q, with the numeric distance clamped at 1 so
+// similarity is bounded below by 0. VSim between two values of a
+// categorical attribute is the weighted sum of bag-semantics Jaccard
+// coefficients between the corresponding supertuples' per-attribute keyword
+// bags, again weighted by attribute importance.
+package similarity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"aimq/internal/afd"
+	"aimq/internal/bag"
+	"aimq/internal/query"
+	"aimq/internal/relation"
+	"aimq/internal/supertuple"
+)
+
+// Estimator computes value and query-tuple similarities. Build one per
+// mined sample with New; it precomputes the pairwise value-similarity
+// matrix for every categorical attribute (the paper's O(m·k²) offline
+// "similarity estimation" phase of Table 2).
+type Estimator struct {
+	Schema   *relation.Schema
+	Ordering *afd.Ordering
+	Index    *supertuple.Index
+
+	// MinSim: precomputed pair similarities below this are dropped from
+	// the matrix (they read back as 0). Keeps the matrices sparse.
+	MinSim float64
+
+	// matrices[attr][v1][v2] = VSim(v1, v2), v1 != v2, symmetric storage.
+	matrices map[int]map[string]map[string]float64
+}
+
+// Config tunes Estimator construction.
+type Config struct {
+	// MinSim drops precomputed similarities below this value. Default 0
+	// (keep all nonzero).
+	MinSim float64
+}
+
+// New builds an estimator from a supertuple index and an attribute
+// ordering, precomputing all pairwise categorical value similarities. The
+// per-attribute matrices are independent, so they are computed in parallel
+// (this is the offline "similarity estimation" phase of Table 2).
+func New(idx *supertuple.Index, ord *afd.Ordering, cfg Config) *Estimator {
+	e := &Estimator{
+		Schema:   idx.Schema,
+		Ordering: ord,
+		Index:    idx,
+		MinSim:   cfg.MinSim,
+		matrices: make(map[int]map[string]map[string]float64),
+	}
+	cats := e.Schema.Categorical()
+	results := make([]map[string]map[string]float64, len(cats))
+	var wg sync.WaitGroup
+	for i, attr := range cats {
+		wg.Add(1)
+		go func(i, attr int) {
+			defer wg.Done()
+			results[i] = e.computeMatrix(attr)
+		}(i, attr)
+	}
+	wg.Wait()
+	for i, attr := range cats {
+		e.matrices[attr] = results[i]
+	}
+	return e
+}
+
+// computeMatrix computes VSim for every pair of values of one categorical
+// attribute. Attribute-bag weights are the importance weights over the
+// *other* attributes of the relation (the supertuple never bags its own
+// attribute).
+func (e *Estimator) computeMatrix(attr int) map[string]map[string]float64 {
+	values := e.Index.Values(attr)
+	others := relation.AttrSet(0)
+	for a := 0; a < e.Schema.Arity(); a++ {
+		if a != attr {
+			others = others.Add(a)
+		}
+	}
+	weights := e.Ordering.ImportanceWeights(others)
+
+	m := make(map[string]map[string]float64, len(values))
+	put := func(a, b string, sim float64) {
+		row := m[a]
+		if row == nil {
+			row = make(map[string]float64)
+			m[a] = row
+		}
+		row[b] = sim
+	}
+	for i := 0; i < len(values); i++ {
+		st1 := e.Index.Get(attr, values[i])
+		for j := i + 1; j < len(values); j++ {
+			st2 := e.Index.Get(attr, values[j])
+			sim := vsim(st1, st2, weights)
+			if sim <= 0 || sim < e.MinSim {
+				continue
+			}
+			put(values[i], values[j], sim)
+			put(values[j], values[i], sim)
+		}
+	}
+	return m
+}
+
+// vsim is VSim(C1, C2) = Σ W_imp(A_i) × SimJ(C1.A_i, C2.A_i) over the
+// supertuples' attribute bags.
+func vsim(st1, st2 *supertuple.SuperTuple, weights map[int]float64) float64 {
+	total := 0.0
+	for a, w := range weights {
+		b1, ok1 := st1.Bags[a]
+		b2, ok2 := st2.Bags[a]
+		if !ok1 || !ok2 {
+			continue
+		}
+		total += w * bag.Jaccard(b1, b2)
+	}
+	return total
+}
+
+// VSim returns the mined similarity between two values of a categorical
+// attribute. Identical values have similarity 1; values unseen in the
+// sample have similarity 0 to everything else.
+func (e *Estimator) VSim(attr int, v1, v2 string) float64 {
+	if v1 == v2 {
+		return 1
+	}
+	row := e.matrices[attr][v1]
+	if row == nil {
+		return 0
+	}
+	return row[v2]
+}
+
+// Matrix returns a deep copy of the pairwise similarity matrix of one
+// categorical attribute (v1 → v2 → sim; symmetric, self-pairs omitted).
+// Used by model persistence.
+func (e *Estimator) Matrix(attr int) map[string]map[string]float64 {
+	src := e.matrices[attr]
+	out := make(map[string]map[string]float64, len(src))
+	for v1, row := range src {
+		cp := make(map[string]float64, len(row))
+		for v2, s := range row {
+			cp[v2] = s
+		}
+		out[v1] = cp
+	}
+	return out
+}
+
+// FromMatrices reconstructs an estimator from persisted similarity
+// matrices, bypassing the supertuple mining pass. The matrices map is keyed
+// by attribute position and is used as-is (not copied).
+func FromMatrices(sc *relation.Schema, ord *afd.Ordering, matrices map[int]map[string]map[string]float64) *Estimator {
+	e := &Estimator{
+		Schema:   sc,
+		Ordering: ord,
+		matrices: make(map[int]map[string]map[string]float64, len(matrices)),
+	}
+	for _, attr := range sc.Categorical() {
+		m := matrices[attr]
+		if m == nil {
+			m = make(map[string]map[string]float64)
+		}
+		e.matrices[attr] = m
+	}
+	return e
+}
+
+// SetVSim overrides the mined similarity between two values of a
+// categorical attribute (both directions). It is the mutation hook used by
+// relevance-feedback tuning (paper §7); sim is clamped to [0, 1] and
+// identical values are ignored (self-similarity is always 1).
+func (e *Estimator) SetVSim(attr int, v1, v2 string, sim float64) {
+	if v1 == v2 {
+		return
+	}
+	if sim < 0 {
+		sim = 0
+	}
+	if sim > 1 {
+		sim = 1
+	}
+	m := e.matrices[attr]
+	if m == nil {
+		m = make(map[string]map[string]float64)
+		e.matrices[attr] = m
+	}
+	put := func(a, b string) {
+		row := m[a]
+		if row == nil {
+			row = make(map[string]float64)
+			m[a] = row
+		}
+		row[b] = sim
+	}
+	put(v1, v2)
+	put(v2, v1)
+}
+
+// ValueSim pairs a value with its similarity to some reference value.
+type ValueSim struct {
+	Value string
+	Sim   float64
+}
+
+// TopSimilar returns the n values most similar to v under attr, descending,
+// excluding v itself and zero-similarity values. This regenerates the
+// paper's Table 3 rows.
+func (e *Estimator) TopSimilar(attr int, v string, n int) []ValueSim {
+	row := e.matrices[attr][v]
+	out := make([]ValueSim, 0, len(row))
+	for o, s := range row {
+		if s > 0 {
+			out = append(out, ValueSim{Value: o, Sim: s})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sim != out[j].Sim {
+			return out[i].Sim > out[j].Sim
+		}
+		return out[i].Value < out[j].Value
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// Edge is one edge of a value-similarity graph.
+type Edge struct {
+	A, B string
+	Sim  float64
+}
+
+// Graph returns the similarity graph of an attribute: all value pairs with
+// similarity >= threshold, each pair once (A < B), sorted by descending
+// similarity. This regenerates the paper's Figure 5 (Make=Ford's
+// neighborhood).
+func (e *Estimator) Graph(attr int, threshold float64) []Edge {
+	var out []Edge
+	for a, row := range e.matrices[attr] {
+		for b, s := range row {
+			if a < b && s >= threshold {
+				out = append(out, Edge{A: a, B: b, Sim: s})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Sim != out[j].Sim {
+			return out[i].Sim > out[j].Sim
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// NumericSim is the paper's numeric similarity 1 − |q−t|/q clamped to
+// [0,1]. A zero query value degenerates the ratio, so equality is required
+// there.
+func NumericSim(q, t float64) float64 {
+	if q == 0 {
+		if t == 0 {
+			return 1
+		}
+		return 0
+	}
+	d := math.Abs(q-t) / math.Abs(q)
+	if d > 1 {
+		d = 1
+	}
+	return 1 - d
+}
+
+// Sim computes Sim(Q, t): the importance-weighted similarity between an
+// imprecise query and a candidate tuple over the query's bound attributes.
+// Range predicates and comparisons contribute via their boundary value
+// (range via its midpoint). Null tuple values contribute 0.
+func (e *Estimator) Sim(q *query.Query, t relation.Tuple) float64 {
+	bound := q.BoundAttrs()
+	if bound.Empty() {
+		return 0
+	}
+	weights := e.Ordering.ImportanceWeights(bound)
+	total := 0.0
+	for _, p := range q.Preds {
+		w := weights[p.Attr]
+		tv := t[p.Attr]
+		if tv.IsNull() {
+			continue
+		}
+		typ := e.Schema.Type(p.Attr)
+		if p.Op == query.OpIn {
+			// Disjunction: the tuple is as similar as its best alternative.
+			best := 0.0
+			for _, alt := range p.Values {
+				var s float64
+				if typ == relation.Categorical {
+					s = e.VSim(p.Attr, alt.Str, tv.Str)
+				} else {
+					s = NumericSim(alt.Num, tv.Num)
+				}
+				if s > best {
+					best = s
+				}
+			}
+			total += w * best
+			continue
+		}
+		qv := p.Value
+		if p.Op == query.OpRange {
+			qv = relation.Numv((p.Value.Num + p.Hi.Num) / 2)
+		}
+		if typ == relation.Categorical {
+			total += w * e.VSim(p.Attr, qv.Str, tv.Str)
+		} else {
+			total += w * NumericSim(qv.Num, tv.Num)
+		}
+	}
+	return total
+}
+
+// SimTuples computes the similarity between two tuples over the given
+// attributes, treating the first tuple as a fully-bound query (Algorithm 1
+// measures Sim(t, t′) between a base-set tuple and a retrieved tuple).
+func (e *Estimator) SimTuples(t1, t2 relation.Tuple, attrs relation.AttrSet) float64 {
+	if attrs.Empty() {
+		return 0
+	}
+	weights := e.Ordering.ImportanceWeights(attrs)
+	total := 0.0
+	for _, a := range attrs.Members() {
+		v1, v2 := t1[a], t2[a]
+		if v1.IsNull() || v2.IsNull() {
+			continue
+		}
+		if e.Schema.Type(a) == relation.Categorical {
+			total += weights[a] * e.VSim(a, v1.Str, v2.Str)
+		} else {
+			total += weights[a] * NumericSim(v1.Num, v2.Num)
+		}
+	}
+	return total
+}
+
+// DescribeNeighborhood renders the top similar values of one AV-pair, in
+// the style of the paper's Table 3 / Figure 5 commentary.
+func (e *Estimator) DescribeNeighborhood(attr int, v string, n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s=%s:", e.Schema.Attr(attr).Name, v)
+	for _, vs := range e.TopSimilar(attr, v, n) {
+		fmt.Fprintf(&b, " %s(%.3f)", vs.Value, vs.Sim)
+	}
+	return b.String()
+}

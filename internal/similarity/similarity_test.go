@@ -1,0 +1,289 @@
+package similarity
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"aimq/internal/afd"
+	"aimq/internal/query"
+	"aimq/internal/relation"
+	"aimq/internal/supertuple"
+	"aimq/internal/tane"
+)
+
+func carSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Attribute{Name: "Make", Type: relation.Categorical},
+		relation.Attribute{Name: "Model", Type: relation.Categorical},
+		relation.Attribute{Name: "Class", Type: relation.Categorical},
+		relation.Attribute{Name: "Price", Type: relation.Numeric},
+	)
+}
+
+// structuredRel plants similarity structure: Camry/Accord are midsize
+// sedans at similar prices; F150/Ram are trucks at higher prices. So
+// VSim(Camry, Accord) should far exceed VSim(Camry, F150).
+func structuredRel() *relation.Relation {
+	r := relation.New(carSchema())
+	add := func(mk, md, cl string, p float64, times int) {
+		for i := 0; i < times; i++ {
+			// Tiny per-tuple price jitter keeps Price a near-key (Algorithm 2
+			// needs an approximate key) without moving values across buckets.
+			r.Append(relation.Tuple{relation.Cat(mk), relation.Cat(md), relation.Cat(cl), relation.Numv(p + float64(i))})
+		}
+	}
+	add("Toyota", "Camry", "sedan", 10000, 10)
+	add("Toyota", "Camry", "sedan", 12000, 5)
+	add("Honda", "Accord", "sedan", 10500, 10)
+	add("Honda", "Accord", "sedan", 12500, 5)
+	add("Ford", "F150", "truck", 25000, 10)
+	add("Dodge", "Ram", "truck", 26000, 10)
+	return r
+}
+
+func buildEstimator(t testing.TB, rel *relation.Relation) *Estimator {
+	t.Helper()
+	res := tane.Miner{Terr: 0.4, MaxLHS: 2}.Mine(rel)
+	ord, err := afd.Order(res)
+	if err != nil {
+		t.Fatalf("Order: %v", err)
+	}
+	idx := supertuple.Builder{Buckets: 8}.Build(rel)
+	return New(idx, ord, Config{})
+}
+
+func TestVSimStructure(t *testing.T) {
+	e := buildEstimator(t, structuredRel())
+	model := e.Schema.MustIndex("Model")
+	sedans := e.VSim(model, "Camry", "Accord")
+	cross := e.VSim(model, "Camry", "F150")
+	if sedans <= cross {
+		t.Errorf("VSim(Camry,Accord)=%v should exceed VSim(Camry,F150)=%v", sedans, cross)
+	}
+	if sedans <= 0 || sedans > 1 {
+		t.Errorf("VSim out of range: %v", sedans)
+	}
+}
+
+func TestVSimIdentityAndSymmetry(t *testing.T) {
+	e := buildEstimator(t, structuredRel())
+	model := e.Schema.MustIndex("Model")
+	if e.VSim(model, "Camry", "Camry") != 1 {
+		t.Errorf("self similarity != 1")
+	}
+	vals := e.Index.Values(model)
+	for _, a := range vals {
+		for _, b := range vals {
+			if e.VSim(model, a, b) != e.VSim(model, b, a) {
+				t.Errorf("VSim(%s,%s) asymmetric", a, b)
+			}
+		}
+	}
+	if e.VSim(model, "Camry", "UnseenValue") != 0 {
+		t.Errorf("unseen value has nonzero similarity")
+	}
+	if e.VSim(model, "Unseen1", "Unseen2") != 0 {
+		t.Errorf("two unseen values have nonzero similarity")
+	}
+}
+
+func TestTopSimilar(t *testing.T) {
+	e := buildEstimator(t, structuredRel())
+	model := e.Schema.MustIndex("Model")
+	top := e.TopSimilar(model, "Camry", 2)
+	if len(top) == 0 || top[0].Value != "Accord" {
+		t.Fatalf("TopSimilar(Camry) = %v, want Accord first", top)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i-1].Sim < top[i].Sim {
+			t.Errorf("TopSimilar not descending")
+		}
+	}
+	if len(e.TopSimilar(model, "NoSuch", 5)) != 0 {
+		t.Errorf("TopSimilar of unseen value returned entries")
+	}
+}
+
+func TestGraph(t *testing.T) {
+	e := buildEstimator(t, structuredRel())
+	model := e.Schema.MustIndex("Model")
+	edges := e.Graph(model, 0)
+	if len(edges) == 0 {
+		t.Fatalf("no edges in similarity graph")
+	}
+	seen := map[string]bool{}
+	for _, ed := range edges {
+		if ed.A >= ed.B {
+			t.Errorf("edge %v not canonical", ed)
+		}
+		k := ed.A + "|" + ed.B
+		if seen[k] {
+			t.Errorf("duplicate edge %v", ed)
+		}
+		seen[k] = true
+	}
+	// High threshold prunes.
+	pruned := e.Graph(model, 0.99)
+	if len(pruned) >= len(edges) {
+		t.Errorf("threshold did not prune: %d vs %d", len(pruned), len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i-1].Sim < edges[i].Sim {
+			t.Errorf("edges not sorted by similarity")
+		}
+	}
+}
+
+func TestNumericSim(t *testing.T) {
+	cases := []struct {
+		q, t, want float64
+	}{
+		{10000, 10000, 1},
+		{10000, 10500, 0.95},
+		{10000, 5000, 0.5},
+		{10000, 25000, 0}, // distance ratio 1.5 clamps to 1
+		{10000, 0, 0},
+		{0, 0, 1},
+		{0, 5, 0},
+		{-100, -110, 0.9},
+	}
+	for _, c := range cases {
+		if got := NumericSim(c.q, c.t); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("NumericSim(%v,%v) = %v, want %v", c.q, c.t, got, c.want)
+		}
+	}
+}
+
+func TestNumericSimBounds(t *testing.T) {
+	f := func(q, tv float64) bool {
+		if math.IsNaN(q) || math.IsNaN(tv) || math.IsInf(q, 0) || math.IsInf(tv, 0) {
+			return true
+		}
+		s := NumericSim(q, tv)
+		return s >= 0 && s <= 1 && !math.IsNaN(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimQueryTuple(t *testing.T) {
+	e := buildEstimator(t, structuredRel())
+	s := e.Schema
+	q := query.New(s).
+		Where("Model", query.OpLike, relation.Cat("Camry")).
+		Where("Price", query.OpLike, relation.Numv(10000))
+	camry := relation.Tuple{relation.Cat("Toyota"), relation.Cat("Camry"), relation.Cat("sedan"), relation.Numv(10000)}
+	accord := relation.Tuple{relation.Cat("Honda"), relation.Cat("Accord"), relation.Cat("sedan"), relation.Numv(10500)}
+	truck := relation.Tuple{relation.Cat("Ford"), relation.Cat("F150"), relation.Cat("truck"), relation.Numv(25000)}
+
+	sCamry, sAccord, sTruck := e.Sim(q, camry), e.Sim(q, accord), e.Sim(q, truck)
+	if !(sCamry > sAccord && sAccord > sTruck) {
+		t.Errorf("Sim ordering wrong: camry=%v accord=%v truck=%v", sCamry, sAccord, sTruck)
+	}
+	if math.Abs(sCamry-1) > 1e-9 {
+		t.Errorf("exact match Sim = %v, want 1", sCamry)
+	}
+	if sTruck < 0 || sTruck > 1 {
+		t.Errorf("Sim out of bounds: %v", sTruck)
+	}
+	if got := e.Sim(query.New(s), camry); got != 0 {
+		t.Errorf("empty query Sim = %v", got)
+	}
+}
+
+func TestSimRangePredicateUsesMidpoint(t *testing.T) {
+	e := buildEstimator(t, structuredRel())
+	s := e.Schema
+	q := query.New(s).WhereRange("Price", 9000, 11000) // midpoint 10000
+	tp := relation.Tuple{relation.Cat("Toyota"), relation.Cat("Camry"), relation.Cat("sedan"), relation.Numv(10000)}
+	if got := e.Sim(q, tp); math.Abs(got-1) > 1e-9 {
+		t.Errorf("range midpoint Sim = %v, want 1", got)
+	}
+}
+
+func TestSimNullTupleValue(t *testing.T) {
+	e := buildEstimator(t, structuredRel())
+	s := e.Schema
+	q := query.New(s).
+		Where("Model", query.OpLike, relation.Cat("Camry")).
+		Where("Price", query.OpLike, relation.Numv(10000))
+	tp := relation.Tuple{relation.Cat("Toyota"), relation.NullValue, relation.Cat("sedan"), relation.Numv(10000)}
+	got := e.Sim(q, tp)
+	if got <= 0 || got >= 1 {
+		t.Errorf("null-model Sim = %v, want strictly between 0 and 1", got)
+	}
+}
+
+func TestSimTuples(t *testing.T) {
+	e := buildEstimator(t, structuredRel())
+	all := relation.NewAttrSet(0, 1, 2, 3)
+	camry := relation.Tuple{relation.Cat("Toyota"), relation.Cat("Camry"), relation.Cat("sedan"), relation.Numv(10000)}
+	accord := relation.Tuple{relation.Cat("Honda"), relation.Cat("Accord"), relation.Cat("sedan"), relation.Numv(10500)}
+	if got := e.SimTuples(camry, camry, all); math.Abs(got-1) > 1e-9 {
+		t.Errorf("self SimTuples = %v", got)
+	}
+	ab := e.SimTuples(camry, accord, all)
+	ba := e.SimTuples(accord, camry, all)
+	if ab <= 0 || ab > 1 {
+		t.Errorf("SimTuples out of range: %v", ab)
+	}
+	// Not exactly symmetric in general (numeric denominator differs), but
+	// close for nearby values.
+	if math.Abs(ab-ba) > 0.05 {
+		t.Errorf("SimTuples wildly asymmetric: %v vs %v", ab, ba)
+	}
+	if got := e.SimTuples(camry, accord, relation.AttrSet(0)); got != 0 {
+		t.Errorf("empty attrs SimTuples = %v", got)
+	}
+}
+
+func TestMinSimPrunesMatrix(t *testing.T) {
+	rel := structuredRel()
+	res := tane.Miner{Terr: 0.4, MaxLHS: 2}.Mine(rel)
+	ord, err := afd.Order(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := supertuple.Builder{Buckets: 8}.Build(rel)
+	dense := New(idx, ord, Config{})
+	sparse := New(idx, ord, Config{MinSim: 0.9})
+	model := rel.Schema().MustIndex("Model")
+	if len(sparse.Graph(model, 0)) >= len(dense.Graph(model, 0)) {
+		t.Errorf("MinSim did not prune the matrix")
+	}
+}
+
+func TestDescribeNeighborhood(t *testing.T) {
+	e := buildEstimator(t, structuredRel())
+	model := e.Schema.MustIndex("Model")
+	out := e.DescribeNeighborhood(model, "Camry", 3)
+	if !strings.Contains(out, "Model=Camry:") || !strings.Contains(out, "Accord") {
+		t.Errorf("DescribeNeighborhood = %q", out)
+	}
+}
+
+func TestSimInPredicate(t *testing.T) {
+	e := buildEstimator(t, structuredRel())
+	s := e.Schema
+	q := query.New(s).WhereIn("Model", relation.Cat("Camry"), relation.Cat("F150"))
+	camry := relation.Tuple{relation.Cat("Toyota"), relation.Cat("Camry"), relation.Cat("sedan"), relation.Numv(10000)}
+	// Exact member: best alternative is itself → similarity 1.
+	if got := e.Sim(q, camry); math.Abs(got-1) > 1e-9 {
+		t.Errorf("in-list member Sim = %v", got)
+	}
+	// Non-member scores its best alternative's VSim.
+	accord := relation.Tuple{relation.Cat("Honda"), relation.Cat("Accord"), relation.Cat("sedan"), relation.Numv(10500)}
+	model := s.MustIndex("Model")
+	want := math.Max(e.VSim(model, "Camry", "Accord"), e.VSim(model, "F150", "Accord"))
+	if got := e.Sim(q, accord); math.Abs(got-want) > 1e-9 {
+		t.Errorf("in-list Sim = %v, want %v", got, want)
+	}
+	// Numeric in-list takes the closest alternative.
+	qn := query.New(s).WhereIn("Price", relation.Numv(10000), relation.Numv(20000))
+	if got := e.Sim(qn, camry); math.Abs(got-1) > 1e-9 {
+		t.Errorf("numeric in Sim = %v", got)
+	}
+}

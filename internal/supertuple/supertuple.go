@@ -1,0 +1,218 @@
+// Package supertuple builds the paper's AV-pair → supertuple representation
+// (§5.1–5.2), the evidence from which categorical value similarity is
+// estimated.
+//
+// An AV-pair is a distinct (categorical attribute, value) combination, e.g.
+// Make=Ford. Viewing the AV-pair as a single-attribute selection query, its
+// answerset over the probed sample is summarized as a *supertuple*: for
+// every other attribute of the relation, a bag of keywords with occurrence
+// counts (paper Table 1). Numeric attributes are bucketed into ranges
+// before bagging, matching the paper's "Mileage 10k-15k:3, 20k-25k:5"
+// rendering — raw continuous values would almost never repeat and so would
+// carry no co-occurrence signal.
+package supertuple
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"aimq/internal/bag"
+	"aimq/internal/relation"
+)
+
+// AVPair identifies a categorical attribute-value pair.
+type AVPair struct {
+	Attr  int
+	Value string
+}
+
+// Render formats the AV-pair under a schema, e.g. "Make=Ford".
+func (p AVPair) Render(s *relation.Schema) string {
+	return s.Attr(p.Attr).Name + "=" + p.Value
+}
+
+// SuperTuple summarizes the answerset of one AV-pair: one keyword bag per
+// relation attribute other than the pair's own.
+type SuperTuple struct {
+	Pair AVPair
+	// Bags maps attribute position → keyword bag. The pair's own attribute
+	// has no bag.
+	Bags map[int]bag.Bag
+	// Count is the number of tuples in the AV-pair's answerset (the
+	// pair's support in the sample).
+	Count int
+}
+
+// Builder constructs supertuples for every AV-pair of a relation sample.
+type Builder struct {
+	// Buckets is the number of equal-width buckets used to discretize each
+	// numeric attribute. Default 10.
+	Buckets int
+	// MinSupport drops AV-pairs whose answerset is smaller than this; rare
+	// values produce unreliable supertuples. Default 1 (keep everything).
+	MinSupport int
+}
+
+// Index holds the supertuples of one sample, grouped by attribute.
+type Index struct {
+	Schema *relation.Schema
+	// ByAttr maps a categorical attribute position to its value →
+	// supertuple table.
+	ByAttr map[int]map[string]*SuperTuple
+	// buckets records the numeric discretization used, so queries can be
+	// bucketed consistently.
+	buckets map[int]bucketing
+}
+
+type bucketing struct {
+	min, width float64
+	n          int
+}
+
+// Build scans the sample once and constructs supertuples for all AV-pairs
+// of every categorical attribute.
+func (b Builder) Build(rel *relation.Relation) *Index {
+	buckets := b.Buckets
+	if buckets <= 0 {
+		buckets = 10
+	}
+	minSupport := b.MinSupport
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	sc := rel.Schema()
+	idx := &Index{
+		Schema:  sc,
+		ByAttr:  make(map[int]map[string]*SuperTuple),
+		buckets: make(map[int]bucketing),
+	}
+	for _, a := range sc.NumericAttrs() {
+		min, max, ok := rel.NumericRange(a)
+		if !ok {
+			continue
+		}
+		width := (max - min) / float64(buckets)
+		if width <= 0 {
+			width = 1
+		}
+		idx.buckets[a] = bucketing{min: min, width: width, n: buckets}
+	}
+	cats := sc.Categorical()
+	for _, a := range cats {
+		idx.ByAttr[a] = make(map[string]*SuperTuple)
+	}
+
+	for _, t := range rel.Tuples() {
+		for _, a := range cats {
+			v := t[a]
+			if v.IsNull() {
+				continue
+			}
+			st := idx.ByAttr[a][v.Str]
+			if st == nil {
+				st = &SuperTuple{
+					Pair: AVPair{Attr: a, Value: v.Str},
+					Bags: make(map[int]bag.Bag, sc.Arity()-1),
+				}
+				idx.ByAttr[a][v.Str] = st
+			}
+			st.Count++
+			for o := 0; o < sc.Arity(); o++ {
+				if o == a || t[o].IsNull() {
+					continue
+				}
+				kw := idx.Keyword(o, t[o])
+				bg := st.Bags[o]
+				if bg == nil {
+					bg = bag.New()
+					st.Bags[o] = bg
+				}
+				bg.Add(kw)
+			}
+		}
+	}
+
+	if minSupport > 1 {
+		for _, table := range idx.ByAttr {
+			for v, st := range table {
+				if st.Count < minSupport {
+					delete(table, v)
+				}
+			}
+		}
+	}
+	return idx
+}
+
+// Keyword converts an attribute value into the keyword used inside bags:
+// the raw string for categorical attributes, the bucket label for numeric
+// ones.
+func (x *Index) Keyword(attr int, v relation.Value) string {
+	if x.Schema.Type(attr) == relation.Categorical {
+		return v.Str
+	}
+	bk, ok := x.buckets[attr]
+	if !ok {
+		return v.Render(relation.Numeric)
+	}
+	i := int(math.Floor((v.Num - bk.min) / bk.width))
+	if i < 0 {
+		i = 0
+	}
+	if i >= bk.n {
+		i = bk.n - 1
+	}
+	lo := bk.min + float64(i)*bk.width
+	return fmt.Sprintf("%g-%g", lo, lo+bk.width)
+}
+
+// Get returns the supertuple for the AV-pair (attr, value), or nil if the
+// value never occurred (or fell below MinSupport).
+func (x *Index) Get(attr int, value string) *SuperTuple {
+	table := x.ByAttr[attr]
+	if table == nil {
+		return nil
+	}
+	return table[value]
+}
+
+// Values returns the values with supertuples for the given attribute,
+// sorted for deterministic iteration.
+func (x *Index) Values(attr int) []string {
+	table := x.ByAttr[attr]
+	out := make([]string, 0, len(table))
+	for v := range table {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PairCount returns the total number of AV-pairs indexed. The paper notes
+// similarity-estimation time is driven by this count, not the sample size
+// (§6.2, Table 2 discussion).
+func (x *Index) PairCount() int {
+	n := 0
+	for _, table := range x.ByAttr {
+		n += len(table)
+	}
+	return n
+}
+
+// Render formats a supertuple like the paper's Table 1: one row per
+// attribute with the top keywords of its bag.
+func (st *SuperTuple) Render(s *relation.Schema, topN int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "supertuple for %s (%d tuples)\n", st.Pair.Render(s), st.Count)
+	attrs := make([]int, 0, len(st.Bags))
+	for a := range st.Bags {
+		attrs = append(attrs, a)
+	}
+	sort.Ints(attrs)
+	for _, a := range attrs {
+		fmt.Fprintf(&b, "  %-12s %s\n", s.Attr(a).Name, strings.Join(st.Bags[a].Top(topN), ", "))
+	}
+	return b.String()
+}

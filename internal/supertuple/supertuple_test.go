@@ -1,0 +1,169 @@
+package supertuple
+
+import (
+	"strings"
+	"testing"
+
+	"aimq/internal/relation"
+)
+
+func carSchema() *relation.Schema {
+	return relation.MustSchema(
+		relation.Attribute{Name: "Make", Type: relation.Categorical},
+		relation.Attribute{Name: "Model", Type: relation.Categorical},
+		relation.Attribute{Name: "Color", Type: relation.Categorical},
+		relation.Attribute{Name: "Price", Type: relation.Numeric},
+	)
+}
+
+func sampleRel() *relation.Relation {
+	r := relation.New(carSchema())
+	rows := []struct {
+		mk, md, c string
+		p         float64
+	}{
+		{"Ford", "Focus", "White", 15000},
+		{"Ford", "Focus", "White", 14000},
+		{"Ford", "F150", "Black", 25000},
+		{"Toyota", "Camry", "White", 12000},
+		{"Toyota", "Camry", "Black", 13000},
+		{"Toyota", "Corolla", "Red", 9000},
+	}
+	for _, row := range rows {
+		r.Append(relation.Tuple{relation.Cat(row.mk), relation.Cat(row.md), relation.Cat(row.c), relation.Numv(row.p)})
+	}
+	return r
+}
+
+func TestBuildCountsAndBags(t *testing.T) {
+	idx := Builder{Buckets: 4}.Build(sampleRel())
+	sc := idx.Schema
+	ford := idx.Get(sc.MustIndex("Make"), "Ford")
+	if ford == nil {
+		t.Fatalf("no supertuple for Make=Ford")
+	}
+	if ford.Count != 3 {
+		t.Errorf("Ford count = %d", ford.Count)
+	}
+	modelBag := ford.Bags[sc.MustIndex("Model")]
+	if modelBag.Count("Focus") != 2 || modelBag.Count("F150") != 1 {
+		t.Errorf("Ford model bag = %v", modelBag)
+	}
+	if _, ok := ford.Bags[sc.MustIndex("Make")]; ok {
+		t.Errorf("supertuple bagged its own attribute")
+	}
+	// Price is bucketed: bag keywords look like "lo-hi".
+	priceBag := ford.Bags[sc.MustIndex("Price")]
+	if priceBag.Size() != 3 {
+		t.Errorf("Ford price bag size = %d", priceBag.Size())
+	}
+	for kw := range priceBag {
+		if !strings.Contains(kw, "-") {
+			t.Errorf("price keyword %q not bucketed", kw)
+		}
+	}
+}
+
+func TestNumericBucketingConsistent(t *testing.T) {
+	idx := Builder{Buckets: 4}.Build(sampleRel())
+	price := idx.Schema.MustIndex("Price")
+	// Range is [9000,25000], width 4000: 9000→first, 25000→last (clamped).
+	lowest := idx.Keyword(price, relation.Numv(9000))
+	if lowest != "9000-13000" {
+		t.Errorf("lowest bucket = %q", lowest)
+	}
+	highest := idx.Keyword(price, relation.Numv(25000))
+	if highest != "21000-25000" {
+		t.Errorf("highest bucket = %q", highest)
+	}
+	// Out-of-range values clamp instead of inventing buckets.
+	if idx.Keyword(price, relation.Numv(1)) != lowest {
+		t.Errorf("below-range value not clamped")
+	}
+	if idx.Keyword(price, relation.Numv(1e9)) != highest {
+		t.Errorf("above-range value not clamped")
+	}
+	// Categorical keyword passes through.
+	if idx.Keyword(idx.Schema.MustIndex("Make"), relation.Cat("Ford")) != "Ford" {
+		t.Errorf("categorical keyword mangled")
+	}
+}
+
+func TestValuesAndPairCount(t *testing.T) {
+	idx := Builder{}.Build(sampleRel())
+	sc := idx.Schema
+	makes := idx.Values(sc.MustIndex("Make"))
+	if len(makes) != 2 || makes[0] != "Ford" || makes[1] != "Toyota" {
+		t.Errorf("Values(Make) = %v", makes)
+	}
+	// 2 makes + 4 models + 3 colors = 9 AV-pairs.
+	if idx.PairCount() != 9 {
+		t.Errorf("PairCount = %d", idx.PairCount())
+	}
+	if idx.Get(sc.MustIndex("Make"), "DeLorean") != nil {
+		t.Errorf("Get of absent value returned a supertuple")
+	}
+	if idx.Get(sc.MustIndex("Price"), "x") != nil {
+		t.Errorf("Get on numeric attribute returned a supertuple")
+	}
+}
+
+func TestMinSupport(t *testing.T) {
+	idx := Builder{MinSupport: 2}.Build(sampleRel())
+	sc := idx.Schema
+	if idx.Get(sc.MustIndex("Model"), "F150") != nil {
+		t.Errorf("MinSupport=2 kept a singleton AV-pair")
+	}
+	if idx.Get(sc.MustIndex("Model"), "Focus") == nil {
+		t.Errorf("MinSupport=2 dropped a supported AV-pair")
+	}
+}
+
+func TestNullsSkipped(t *testing.T) {
+	r := relation.New(carSchema())
+	r.Append(relation.Tuple{relation.NullValue, relation.Cat("Focus"), relation.Cat("White"), relation.NullValue})
+	r.Append(relation.Tuple{relation.Cat("Ford"), relation.NullValue, relation.Cat("White"), relation.Numv(1000)})
+	idx := Builder{}.Build(r)
+	sc := idx.Schema
+	if len(idx.Values(sc.MustIndex("Make"))) != 1 {
+		t.Errorf("null Make indexed")
+	}
+	ford := idx.Get(sc.MustIndex("Make"), "Ford")
+	if ford.Bags[sc.MustIndex("Model")] != nil && ford.Bags[sc.MustIndex("Model")].Size() != 0 {
+		t.Errorf("null Model bagged: %v", ford.Bags[sc.MustIndex("Model")])
+	}
+	focus := idx.Get(sc.MustIndex("Model"), "Focus")
+	if focus.Bags[sc.MustIndex("Make")] != nil && focus.Bags[sc.MustIndex("Make")].Size() != 0 {
+		t.Errorf("null Make bagged into Focus supertuple")
+	}
+}
+
+func TestConstantNumericAttribute(t *testing.T) {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "C", Type: relation.Categorical},
+		relation.Attribute{Name: "N", Type: relation.Numeric},
+	)
+	r := relation.New(s)
+	r.Append(relation.Tuple{relation.Cat("a"), relation.Numv(5)})
+	r.Append(relation.Tuple{relation.Cat("a"), relation.Numv(5)})
+	idx := Builder{}.Build(r) // zero-width range must not divide by zero
+	st := idx.Get(0, "a")
+	if st == nil || st.Bags[1].Size() != 2 {
+		t.Fatalf("constant numeric attribute broke bagging: %+v", st)
+	}
+}
+
+func TestAVPairAndRender(t *testing.T) {
+	idx := Builder{}.Build(sampleRel())
+	sc := idx.Schema
+	ford := idx.Get(sc.MustIndex("Make"), "Ford")
+	if got := ford.Pair.Render(sc); got != "Make=Ford" {
+		t.Errorf("AVPair render = %q", got)
+	}
+	out := ford.Render(sc, 3)
+	for _, want := range []string{"Make=Ford", "Model", "Focus:2", "Price"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+}

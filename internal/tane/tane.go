@@ -1,0 +1,321 @@
+// Package tane implements the TANE algorithm (Huhtala, Kärkkäinen, Porkka &
+// Toivonen, ICDE 1998) for discovering approximate functional dependencies
+// and approximate keys whose g3 approximation measure falls below an error
+// threshold — the mining step of AIMQ's Dependency Miner (paper §4).
+//
+// Definitions, following the paper:
+//
+//   - X → A is an approximate functional dependency (AFD) iff
+//     error(X → A) <= Terr, where error is the g3 measure: the minimum
+//     fraction of tuples that must be removed from the relation for the
+//     dependency to hold exactly.
+//   - X is an approximate key (AKey) iff error(X) <= Terr, where error(X)
+//     is the minimum fraction of tuples to remove for X to become a key.
+//
+// The miner performs a level-wise search of the attribute-set lattice using
+// stripped partitions (internal/partition), reporting *minimal* AFDs (no
+// proper subset of the antecedent already satisfies the threshold for the
+// same consequent) and *minimal* AKeys. Minimality keeps the dependence
+// weights of Algorithm 2 from being flooded by redundant supersets.
+package tane
+
+import (
+	"fmt"
+	"sort"
+
+	"aimq/internal/partition"
+	"aimq/internal/relation"
+)
+
+// AFD is an approximate functional dependency LHS → RHS with its g3 error.
+type AFD struct {
+	LHS   relation.AttrSet
+	RHS   int
+	Error float64
+}
+
+// Support is 1 − error: the fraction of tuples consistent with the
+// dependency. Algorithm 2 sums supports.
+func (a AFD) Support() float64 { return 1 - a.Error }
+
+// Render formats the AFD under a schema, e.g. "{Model} → Make (support 0.97)".
+func (a AFD) Render(s *relation.Schema) string {
+	return fmt.Sprintf("%s → %s (support %.3f)", a.LHS.Label(s), s.Attr(a.RHS).Name, a.Support())
+}
+
+// AKey is an approximate key with its g3 error.
+type AKey struct {
+	Attrs relation.AttrSet
+	Error float64
+}
+
+// Support is 1 − error.
+func (k AKey) Support() float64 { return 1 - k.Error }
+
+// Quality is the paper's Figure 4 metric: "the ratio of support over size
+// (in terms of attributes) of the key", designed to prefer shorter keys.
+func (k AKey) Quality() float64 { return k.Support() / float64(k.Attrs.Size()) }
+
+// Render formats the key under a schema.
+func (k AKey) Render(s *relation.Schema) string {
+	return fmt.Sprintf("%s (support %.3f, quality %.3f)", k.Attrs.Label(s), k.Support(), k.Quality())
+}
+
+// Miner configures a TANE run.
+type Miner struct {
+	// Terr is the g3 error threshold; dependencies and keys with error
+	// above it are not reported. The paper leaves the value unspecified;
+	// 0.15 is this implementation's default (see DefaultTerr).
+	Terr float64
+	// MaxLHS bounds the antecedent size of mined AFDs. 0 means
+	// min(arity−1, 3): the full lattice is exponential and the attribute
+	// ordering of Algorithm 2 only needs small antecedents.
+	MaxLHS int
+	// MaxKeySize bounds the size of mined approximate keys. 0 means
+	// min(arity, MaxLHS+1).
+	MaxKeySize int
+	// MinimalOnly restricts the output to minimal AFDs (no proper subset
+	// of the antecedent satisfies the threshold for the same consequent)
+	// and minimal AKeys. The paper's Algorithm 2 sums over "all possible
+	// AFDs", so the default reports every dependency and key under the
+	// threshold within the size bounds — summing over the full set makes
+	// the dependence weights far more stable under sampling (Figures 3–4).
+	MinimalOnly bool
+}
+
+// DefaultTerr is the error threshold used when Miner.Terr is 0.
+const DefaultTerr = 0.15
+
+// Result holds the mined dependencies for one relation sample.
+type Result struct {
+	Schema *relation.Schema
+	N      int // sample size the result was mined from
+	AFDs   []AFD
+	AKeys  []AKey
+}
+
+// Mine runs TANE over the relation.
+func (m Miner) Mine(rel *relation.Relation) *Result {
+	terr := m.Terr
+	if terr == 0 {
+		terr = DefaultTerr
+	}
+	arity := rel.Schema().Arity()
+	maxLHS := m.MaxLHS
+	if maxLHS <= 0 {
+		maxLHS = 3
+	}
+	if maxLHS > arity-1 {
+		maxLHS = arity - 1
+	}
+	maxKey := m.MaxKeySize
+	if maxKey <= 0 {
+		maxKey = maxLHS + 1
+	}
+	if maxKey > arity {
+		maxKey = arity
+	}
+	maxLevel := maxLHS + 1 // π_{X∪A} needed for |X| = maxLHS
+	if maxKey > maxLevel {
+		maxLevel = maxKey
+	}
+
+	res := &Result{Schema: rel.Schema(), N: rel.Size()}
+	if rel.Size() == 0 {
+		return res
+	}
+
+	scratch := partition.NewScratch(rel.Size())
+	singles := make([]*partition.Partition, arity)
+	for a := 0; a < arity; a++ {
+		singles[a] = partition.Single(rel, a)
+	}
+
+	// Partitions are cached per lattice level and older levels are evicted:
+	// π_X for |X| = k is computed from π_{X∖{min}} (level k−1) and the
+	// singleton π_{min}, so only the previous level is ever needed. Without
+	// eviction a 13-attribute mine at level 4 would pin hundreds of
+	// partitions of the full relation in memory.
+	parts := make(map[relation.AttrSet]*partition.Partition, arity)
+	prevLevel := make(map[relation.AttrSet]*partition.Partition, arity)
+	for a := 0; a < arity; a++ {
+		parts[relation.NewAttrSet(a)] = singles[a]
+	}
+
+	// getPart returns π_X, looking in the current-level cache first, then
+	// the previous level, computing recursively otherwise (the recursion
+	// bottoms out at singletons; with level-ordered traversal it descends
+	// at most one step).
+	var getPart func(x relation.AttrSet) *partition.Partition
+	getPart = func(x relation.AttrSet) *partition.Partition {
+		if x.Size() == 1 {
+			return singles[x.Members()[0]]
+		}
+		if p, ok := parts[x]; ok {
+			return p
+		}
+		if p, ok := prevLevel[x]; ok {
+			return p
+		}
+		first := x.Members()[0]
+		p := partition.Product(getPart(x.Remove(first)), singles[first], scratch)
+		parts[x] = p
+		return p
+	}
+	advanceLevel := func() {
+		prevLevel = parts
+		parts = make(map[relation.AttrSet]*partition.Partition, len(prevLevel)*arity)
+	}
+
+	// minimalLHS[rhs] holds antecedents of already-reported AFDs for rhs;
+	// a new X→rhs is minimal iff no recorded L ⊆ X. Only consulted when
+	// MinimalOnly is set.
+	minimalLHS := make(map[int][]relation.AttrSet)
+	isMinimalAFD := func(x relation.AttrSet, rhs int) bool {
+		if !m.MinimalOnly {
+			return true
+		}
+		for _, l := range minimalLHS[rhs] {
+			if x.Contains(l) {
+				return false
+			}
+		}
+		return true
+	}
+	var minimalKeys []relation.AttrSet
+	isMinimalKey := func(x relation.AttrSet) bool {
+		if !m.MinimalOnly {
+			return true
+		}
+		for _, k := range minimalKeys {
+			if x.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+
+	// exactKeys: in minimal mode, proper supersets of exact keys are
+	// pruned entirely — every dependency from them is exact and
+	// non-minimal, and they cannot be minimal keys.
+	var exactKeys []relation.AttrSet
+
+	level := subsetsOfSize(arity, 1)
+	for size := 1; size <= maxLevel && len(level) > 0; size++ {
+		for _, x := range level {
+			if m.MinimalOnly {
+				skip := false
+				for _, k := range exactKeys {
+					if x != k && x.Contains(k) {
+						skip = true
+						break
+					}
+				}
+				if skip {
+					continue
+				}
+			}
+			px := getPart(x)
+
+			// Keys.
+			if size <= maxKey {
+				if kerr := px.G3Key(); kerr <= terr && isMinimalKey(x) {
+					res.AKeys = append(res.AKeys, AKey{Attrs: x, Error: kerr})
+					minimalKeys = append(minimalKeys, x)
+					if kerr == 0 {
+						exactKeys = append(exactKeys, x)
+					}
+				}
+			}
+
+			// AFDs with antecedent X.
+			if size <= maxLHS {
+				for a := 0; a < arity; a++ {
+					if x.Has(a) || !isMinimalAFD(x, a) {
+						continue
+					}
+					pxa := getPart(x.Add(a))
+					if err := partition.G3AFD(px, pxa, scratch); err <= terr {
+						res.AFDs = append(res.AFDs, AFD{LHS: x, RHS: a, Error: err})
+						if m.MinimalOnly {
+							minimalLHS[a] = append(minimalLHS[a], x)
+						}
+					}
+				}
+			}
+		}
+		level = subsetsOfSize(arity, size+1)
+		advanceLevel()
+	}
+
+	sort.Slice(res.AFDs, func(i, j int) bool {
+		if res.AFDs[i].Error != res.AFDs[j].Error {
+			return res.AFDs[i].Error < res.AFDs[j].Error
+		}
+		if res.AFDs[i].RHS != res.AFDs[j].RHS {
+			return res.AFDs[i].RHS < res.AFDs[j].RHS
+		}
+		return res.AFDs[i].LHS < res.AFDs[j].LHS
+	})
+	sort.Slice(res.AKeys, func(i, j int) bool {
+		if res.AKeys[i].Quality() != res.AKeys[j].Quality() {
+			return res.AKeys[i].Quality() > res.AKeys[j].Quality()
+		}
+		return res.AKeys[i].Attrs < res.AKeys[j].Attrs
+	})
+	return res
+}
+
+// BestKey returns the approximate key with the highest quality
+// (support/size), breaking ties toward fewer attributes then lower AttrSet
+// — the key Algorithm 2 uses to partition the attribute set. The paper's
+// §4 text says "highest support", but support is monotone in key size (any
+// superset of a key is a better-supported key), so read literally over all
+// mined keys it would always pick the widest one; Figure 4's quality metric
+// — explicitly "designed to give preference to shorter keys" and presented
+// as what guarantees "we would have picked the right approximate key during
+// the query relaxation process" — is the operative selection criterion.
+// ok is false when no key was mined.
+func (r *Result) BestKey() (AKey, bool) {
+	if len(r.AKeys) == 0 {
+		return AKey{}, false
+	}
+	best := r.AKeys[0]
+	for _, k := range r.AKeys[1:] {
+		if k.Quality() > best.Quality() ||
+			(k.Quality() == best.Quality() && k.Attrs.Size() < best.Attrs.Size()) ||
+			(k.Quality() == best.Quality() && k.Attrs.Size() == best.Attrs.Size() && k.Attrs < best.Attrs) {
+			best = k
+		}
+	}
+	return best, true
+}
+
+// subsetsOfSize enumerates all attribute sets of the given size over n
+// attributes, in ascending bitmask order.
+func subsetsOfSize(n, size int) []relation.AttrSet {
+	if size < 1 || size > n {
+		return nil
+	}
+	var out []relation.AttrSet
+	idx := make([]int, size)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		out = append(out, relation.NewAttrSet(idx...))
+		// Advance combination.
+		i := size - 1
+		for i >= 0 && idx[i] == n-size+i {
+			i--
+		}
+		if i < 0 {
+			break
+		}
+		idx[i]++
+		for j := i + 1; j < size; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+	return out
+}

@@ -1,0 +1,263 @@
+package tane
+
+import (
+	"math/rand"
+	"testing"
+
+	"aimq/internal/relation"
+)
+
+// fdRel builds a relation with planted structure:
+//
+//	Model → Make exactly (each model belongs to one make)
+//	Model → Class with ~5% noise (an AFD, not an FD)
+//	ID unique (exact key)
+func fdRel(n int, noise float64, seed int64) *relation.Relation {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "ID", Type: relation.Numeric},
+		relation.Attribute{Name: "Make", Type: relation.Categorical},
+		relation.Attribute{Name: "Model", Type: relation.Categorical},
+		relation.Attribute{Name: "Class", Type: relation.Categorical},
+	)
+	rng := rand.New(rand.NewSource(seed))
+	models := []struct{ model, make_, class string }{
+		{"Camry", "Toyota", "sedan"},
+		{"Corolla", "Toyota", "compact"},
+		{"Accord", "Honda", "sedan"},
+		{"Civic", "Honda", "compact"},
+		{"F150", "Ford", "truck"},
+		{"Focus", "Ford", "compact"},
+	}
+	classes := []string{"sedan", "compact", "truck"}
+	r := relation.New(s)
+	for i := 0; i < n; i++ {
+		m := models[rng.Intn(len(models))]
+		class := m.class
+		if rng.Float64() < noise {
+			class = classes[rng.Intn(len(classes))]
+		}
+		r.Append(relation.Tuple{
+			relation.Numv(float64(i)),
+			relation.Cat(m.make_),
+			relation.Cat(m.model),
+			relation.Cat(class),
+		})
+	}
+	return r
+}
+
+func findAFD(res *Result, lhs relation.AttrSet, rhs int) (AFD, bool) {
+	for _, a := range res.AFDs {
+		if a.LHS == lhs && a.RHS == rhs {
+			return a, true
+		}
+	}
+	return AFD{}, false
+}
+
+func findKey(res *Result, attrs relation.AttrSet) (AKey, bool) {
+	for _, k := range res.AKeys {
+		if k.Attrs == attrs {
+			return k, true
+		}
+	}
+	return AKey{}, false
+}
+
+func TestMineFindsPlantedFDs(t *testing.T) {
+	rel := fdRel(2000, 0.05, 1)
+	res := Miner{Terr: 0.15, MaxLHS: 2}.Mine(rel)
+	sc := rel.Schema()
+	model := relation.NewAttrSet(sc.MustIndex("Model"))
+
+	// Model → Make holds exactly.
+	a, ok := findAFD(res, model, sc.MustIndex("Make"))
+	if !ok {
+		t.Fatalf("Model→Make not mined; got %d AFDs", len(res.AFDs))
+	}
+	if a.Error != 0 {
+		t.Errorf("Model→Make error = %v, want 0", a.Error)
+	}
+	// Model → Class is approximate with ~5% noise (slightly less after the
+	// majority vote within each model).
+	c, ok := findAFD(res, model, sc.MustIndex("Class"))
+	if !ok {
+		t.Fatalf("Model→Class not mined")
+	}
+	if c.Error <= 0 || c.Error > 0.10 {
+		t.Errorf("Model→Class error = %v, want ~0.03", c.Error)
+	}
+	if c.Support() != 1-c.Error {
+		t.Errorf("Support inconsistent")
+	}
+}
+
+func TestMineFindsExactKey(t *testing.T) {
+	rel := fdRel(500, 0.05, 2)
+	res := Miner{Terr: 0.15}.Mine(rel)
+	id := relation.NewAttrSet(rel.Schema().MustIndex("ID"))
+	k, ok := findKey(res, id)
+	if !ok {
+		t.Fatalf("ID not mined as key; keys: %d", len(res.AKeys))
+	}
+	if k.Error != 0 || k.Support() != 1 || k.Quality() != 1 {
+		t.Errorf("ID key = %+v", k)
+	}
+	best, ok := res.BestKey()
+	if !ok || best.Attrs != id {
+		t.Errorf("BestKey = %+v, want {ID}", best)
+	}
+}
+
+func TestMinimality(t *testing.T) {
+	rel := fdRel(1000, 0.05, 3)
+	res := Miner{Terr: 0.15, MaxLHS: 3, MinimalOnly: true}.Mine(rel)
+	sc := rel.Schema()
+	makeA := sc.MustIndex("Make")
+	model := relation.NewAttrSet(sc.MustIndex("Model"))
+	// {Model,Class} → Make must NOT be reported: {Model} → Make already is.
+	for _, a := range res.AFDs {
+		if a.RHS == makeA && a.LHS != model && a.LHS.Contains(model) {
+			t.Errorf("non-minimal AFD reported: %s", a.Render(sc))
+		}
+	}
+	// No key containing ID other than {ID} itself.
+	id := relation.NewAttrSet(sc.MustIndex("ID"))
+	for _, k := range res.AKeys {
+		if k.Attrs != id && k.Attrs.Contains(id) {
+			t.Errorf("non-minimal key reported: %s", k.Render(sc))
+		}
+	}
+}
+
+func TestNoTrivialAFDs(t *testing.T) {
+	rel := fdRel(300, 0.1, 4)
+	res := Miner{Terr: 0.3, MaxLHS: 3}.Mine(rel)
+	for _, a := range res.AFDs {
+		if a.LHS.Has(a.RHS) {
+			t.Errorf("trivial AFD reported: %s", a.Render(rel.Schema()))
+		}
+		if a.Error > 0.3 {
+			t.Errorf("AFD above threshold reported: %s", a.Render(rel.Schema()))
+		}
+	}
+	for _, k := range res.AKeys {
+		if k.Error > 0.3 {
+			t.Errorf("key above threshold reported: %s", k.Render(rel.Schema()))
+		}
+	}
+}
+
+func TestMaxLHSRespected(t *testing.T) {
+	rel := fdRel(300, 0.2, 5)
+	res := Miner{Terr: 0.5, MaxLHS: 1}.Mine(rel)
+	for _, a := range res.AFDs {
+		if a.LHS.Size() > 1 {
+			t.Errorf("MaxLHS=1 violated: %s", a.Render(rel.Schema()))
+		}
+	}
+	res2 := Miner{Terr: 0.5, MaxLHS: 2, MaxKeySize: 1}.Mine(rel)
+	for _, k := range res2.AKeys {
+		if k.Attrs.Size() > 1 {
+			t.Errorf("MaxKeySize=1 violated: %s", k.Render(rel.Schema()))
+		}
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	rel := fdRel(200, 0.05, 6)
+	res := Miner{}.Mine(rel) // all defaults
+	if len(res.AFDs) == 0 || len(res.AKeys) == 0 {
+		t.Errorf("default miner found %d AFDs, %d keys", len(res.AFDs), len(res.AKeys))
+	}
+	if res.N != 200 {
+		t.Errorf("Result.N = %d", res.N)
+	}
+}
+
+func TestEmptyRelation(t *testing.T) {
+	s := relation.MustSchema(
+		relation.Attribute{Name: "A", Type: relation.Categorical},
+		relation.Attribute{Name: "B", Type: relation.Categorical},
+	)
+	res := Miner{}.Mine(relation.New(s))
+	if len(res.AFDs) != 0 || len(res.AKeys) != 0 {
+		t.Errorf("empty relation mined dependencies")
+	}
+	if _, ok := res.BestKey(); ok {
+		t.Errorf("BestKey on empty result")
+	}
+}
+
+func TestAFDsSortedByError(t *testing.T) {
+	rel := fdRel(1000, 0.1, 7)
+	res := Miner{Terr: 0.4, MaxLHS: 2}.Mine(rel)
+	for i := 1; i < len(res.AFDs); i++ {
+		if res.AFDs[i-1].Error > res.AFDs[i].Error {
+			t.Errorf("AFDs not sorted by error at %d", i)
+		}
+	}
+	for i := 1; i < len(res.AKeys); i++ {
+		if res.AKeys[i-1].Quality() < res.AKeys[i].Quality() {
+			t.Errorf("AKeys not sorted by quality at %d", i)
+		}
+	}
+}
+
+func TestSubsetsOfSize(t *testing.T) {
+	if got := subsetsOfSize(4, 2); len(got) != 6 {
+		t.Errorf("C(4,2) enumerated %d sets", len(got))
+	}
+	if got := subsetsOfSize(5, 5); len(got) != 1 || got[0].Size() != 5 {
+		t.Errorf("C(5,5) = %v", got)
+	}
+	if got := subsetsOfSize(3, 4); got != nil {
+		t.Errorf("C(3,4) = %v, want nil", got)
+	}
+	if got := subsetsOfSize(3, 0); got != nil {
+		t.Errorf("C(3,0) = %v, want nil", got)
+	}
+	// All distinct, all the right size.
+	seen := map[relation.AttrSet]bool{}
+	for _, s := range subsetsOfSize(6, 3) {
+		if s.Size() != 3 || seen[s] {
+			t.Fatalf("bad subset %v", s.Members())
+		}
+		seen[s] = true
+	}
+	if len(seen) != 20 {
+		t.Errorf("C(6,3) = %d", len(seen))
+	}
+}
+
+func TestRenderings(t *testing.T) {
+	rel := fdRel(100, 0.05, 8)
+	sc := rel.Schema()
+	a := AFD{LHS: relation.NewAttrSet(2), RHS: 1, Error: 0.03}
+	if got := a.Render(sc); got != "{Model} → Make (support 0.970)" {
+		t.Errorf("AFD render = %q", got)
+	}
+	k := AKey{Attrs: relation.NewAttrSet(0), Error: 0}
+	if got := k.Render(sc); got != "{ID} (support 1.000, quality 1.000)" {
+		t.Errorf("AKey render = %q", got)
+	}
+}
+
+func TestStabilityAcrossSamples(t *testing.T) {
+	// The paper's robustness claim (Fig 3/4): relative structure survives
+	// sampling. Mine the same planted relation at two sizes and check the
+	// planted dependencies appear in both.
+	for _, n := range []int{400, 4000} {
+		rel := fdRel(n, 0.05, 9)
+		res := Miner{Terr: 0.15, MaxLHS: 2}.Mine(rel)
+		sc := rel.Schema()
+		model := relation.NewAttrSet(sc.MustIndex("Model"))
+		if _, ok := findAFD(res, model, sc.MustIndex("Make")); !ok {
+			t.Errorf("n=%d: Model→Make missing", n)
+		}
+		best, ok := res.BestKey()
+		if !ok || !best.Attrs.Has(sc.MustIndex("ID")) {
+			t.Errorf("n=%d: best key = %+v", n, best)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+// Package userstudy simulates the paper's §6.4 user study.
+//
+// The original study had 8 graduate students re-rank the top-10 answers of
+// each system (GuidedRelax, RandomRelax, ROCK) for 14 CarDB queries,
+// assigning rank 0 to tuples they judged irrelevant; answer quality was
+// scored with the redefined MRR. Human rankers are replaced here by
+// simulated users whose "notion of relevance" is the generator's latent
+// ground-truth tuple similarity (datagen.CarDB.TrueTupleSim), perturbed
+// per-user: each user draws multiplicative noise on every judgement and has
+// their own irrelevance cutoff. A system whose mined importance weights and
+// value similarities track the latent structure reproduces user order
+// closely and scores a high MRR — the same comparative question the paper's
+// study asked.
+package userstudy
+
+import (
+	"math/rand"
+	"sort"
+
+	"aimq/internal/core"
+	"aimq/internal/datagen"
+	"aimq/internal/metrics"
+	"aimq/internal/relation"
+)
+
+// User is one simulated judge.
+type User struct {
+	rng *rand.Rand
+	// noise is the multiplicative judgement jitter (σ of a uniform ±σ).
+	noise float64
+	// cutoff below which a tuple is judged completely irrelevant (rank 0).
+	cutoff float64
+}
+
+// Panel is a set of simulated users sharing the latent ground truth.
+type Panel struct {
+	DB    *datagen.CarDB
+	Users []*User
+}
+
+// NewPanel creates n users with individually seeded jitter. Noise and
+// cutoff vary per user: some judges are lenient, some strict.
+func NewPanel(db *datagen.CarDB, n int, seed int64) *Panel {
+	root := rand.New(rand.NewSource(seed))
+	p := &Panel{DB: db}
+	for i := 0; i < n; i++ {
+		p.Users = append(p.Users, &User{
+			rng: rand.New(rand.NewSource(root.Int63())),
+			// Careful judges: the answer lists they re-rank contain many
+			// close calls (the paper's top-10s over 100k listings), and a
+			// judge who inspects the tuples orders near-ties consistently
+			// — only a few percent of jitter separates users.
+			noise: 0.01 + 0.04*root.Float64(),
+			// The irrelevance bar is high: over a 100k-listing database a
+			// shopper expects close matches, and marks anything that is
+			// merely "same ballpark" as irrelevant (the paper: "tuples that
+			// seemed completely irrelevant were to be given a rank of
+			// zero" — and its judges were self-described used-car experts).
+			cutoff: 0.78 + 0.12*root.Float64(),
+		})
+	}
+	return p
+}
+
+// Judge returns the user's ranks for the system's answers to a query tuple:
+// out[i] is the rank (1-based) the user gives the system's i-th answer, or
+// 0 if the user finds it irrelevant.
+func (u *User) Judge(db *datagen.CarDB, queryTuple relation.Tuple, answers []core.Answer) []int {
+	type judged struct {
+		idx   int
+		score float64
+	}
+	js := make([]judged, len(answers))
+	for i, a := range answers {
+		s := db.TrueTupleSim(queryTuple, a.Tuple)
+		s *= 1 + u.noise*(2*u.rng.Float64()-1)
+		js[i] = judged{idx: i, score: s}
+	}
+	sort.SliceStable(js, func(i, j int) bool { return js[i].score > js[j].score })
+	out := make([]int, len(answers))
+	rank := 1
+	for _, j := range js {
+		if j.score < u.cutoff {
+			out[j.idx] = 0
+			continue
+		}
+		out[j.idx] = rank
+		rank++
+	}
+	return out
+}
+
+// Score runs the full panel over one query's answers and returns the mean
+// MRR across users.
+func (p *Panel) Score(queryTuple relation.Tuple, answers []core.Answer) float64 {
+	if len(answers) == 0 {
+		return 0
+	}
+	scores := make([]float64, 0, len(p.Users))
+	for _, u := range p.Users {
+		ranks := u.Judge(p.DB, queryTuple, answers)
+		scores = append(scores, metrics.MRR(ranks))
+	}
+	return metrics.Mean(scores)
+}
+
+// ScoreNDCG grades the system's ordering with nDCG against the panel's
+// latent relevance (graded 0–3 by latent-similarity band). Unlike the
+// paper's redefined MRR it is insensitive to near-tie rank shuffles, which
+// makes it the more stable instrument on dense synthetic data.
+func (p *Panel) ScoreNDCG(queryTuple relation.Tuple, answers []core.Answer) float64 {
+	if len(answers) == 0 {
+		return 0
+	}
+	gains := make([]float64, len(answers))
+	for i, a := range answers {
+		s := p.DB.TrueTupleSim(queryTuple, a.Tuple)
+		switch {
+		case s >= 0.9:
+			gains[i] = 3
+		case s >= 0.75:
+			gains[i] = 2
+		case s >= 0.55:
+			gains[i] = 1
+		}
+	}
+	return metrics.NDCG(gains)
+}

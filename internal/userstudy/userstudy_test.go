@@ -1,0 +1,136 @@
+package userstudy
+
+import (
+	"testing"
+
+	"aimq/internal/core"
+	"aimq/internal/datagen"
+	"aimq/internal/relation"
+)
+
+func car(mk, md, year string, price, miles float64) relation.Tuple {
+	return relation.Tuple{
+		relation.Cat(mk), relation.Cat(md), relation.Cat(year),
+		relation.Numv(price), relation.Numv(miles),
+		relation.Cat("Phoenix"), relation.Cat("White"),
+	}
+}
+
+func answers(ts ...relation.Tuple) []core.Answer {
+	out := make([]core.Answer, len(ts))
+	for i, t := range ts {
+		out[i] = core.Answer{Tuple: t, Sim: 1 - float64(i)*0.01}
+	}
+	return out
+}
+
+func TestPanelDeterministicPerSeed(t *testing.T) {
+	db := datagen.GenerateCarDB(100, 1)
+	q := car("Toyota", "Camry", "2000", 10000, 60000)
+	ans := answers(
+		car("Toyota", "Camry", "2000", 10200, 58000),
+		car("Honda", "Accord", "2001", 10400, 55000),
+		car("Ford", "F150", "1995", 6000, 150000),
+	)
+	a := NewPanel(db, 8, 42).Score(q, ans)
+	b := NewPanel(db, 8, 42).Score(q, ans)
+	if a != b {
+		t.Errorf("same seed scores differ: %v vs %v", a, b)
+	}
+}
+
+func TestJudgeRanksByLatentSimilarity(t *testing.T) {
+	db := datagen.GenerateCarDB(100, 2)
+	u := NewPanel(db, 1, 7).Users[0]
+	u.noise = 0 // deterministic judge for this test
+	q := car("Toyota", "Camry", "2000", 10000, 60000)
+	ans := answers(
+		car("Ford", "F150", "1990", 4000, 200000),    // junk
+		car("Toyota", "Camry", "2000", 10000, 60000), // exact
+		car("Honda", "Accord", "2000", 10300, 62000), // close sedan
+	)
+	ranks := u.Judge(db, q, ans)
+	if ranks[1] != 1 {
+		t.Errorf("exact match ranked %d, want 1", ranks[1])
+	}
+	if ranks[2] != 2 {
+		t.Errorf("close sedan ranked %d, want 2", ranks[2])
+	}
+	if ranks[0] != 0 && ranks[0] <= 2 {
+		t.Errorf("junk truck ranked %d", ranks[0])
+	}
+}
+
+func TestIrrelevantGetsZero(t *testing.T) {
+	db := datagen.GenerateCarDB(100, 3)
+	u := NewPanel(db, 1, 9).Users[0]
+	u.noise = 0
+	u.cutoff = 0.9 // very strict judge
+	q := car("Toyota", "Camry", "2000", 10000, 60000)
+	ans := answers(car("Ford", "F150", "1990", 4000, 200000))
+	ranks := u.Judge(db, q, ans)
+	if ranks[0] != 0 {
+		t.Errorf("strict judge ranked junk %d, want 0", ranks[0])
+	}
+}
+
+func TestScoreOrdersSystemsByQuality(t *testing.T) {
+	db := datagen.GenerateCarDB(100, 4)
+	panel := NewPanel(db, 8, 11)
+	q := car("Toyota", "Camry", "2000", 10000, 60000)
+	good := answers( // already in latent-similarity order
+		car("Toyota", "Camry", "2000", 10100, 61000),
+		car("Toyota", "Camry", "2001", 10900, 52000),
+		car("Honda", "Accord", "2000", 10300, 64000),
+		car("Nissan", "Altima", "1999", 9500, 70000),
+		car("Ford", "F150", "1992", 4500, 180000),
+	)
+	bad := answers( // same tuples, inverted order
+		car("Ford", "F150", "1992", 4500, 180000),
+		car("Nissan", "Altima", "1999", 9500, 70000),
+		car("Honda", "Accord", "2000", 10300, 64000),
+		car("Toyota", "Camry", "2001", 10900, 52000),
+		car("Toyota", "Camry", "2000", 10100, 61000),
+	)
+	gs, bs := panel.Score(q, good), panel.Score(q, bad)
+	if gs <= bs {
+		t.Errorf("well-ordered answers scored %v <= badly-ordered %v", gs, bs)
+	}
+	if gs <= 0 || gs > 1 || bs < 0 || bs > 1 {
+		t.Errorf("scores out of range: %v, %v", gs, bs)
+	}
+}
+
+func TestScoreEmptyAnswers(t *testing.T) {
+	db := datagen.GenerateCarDB(50, 5)
+	panel := NewPanel(db, 3, 13)
+	if got := panel.Score(car("Toyota", "Camry", "2000", 10000, 60000), nil); got != 0 {
+		t.Errorf("empty answers scored %v", got)
+	}
+}
+
+func TestScoreNDCG(t *testing.T) {
+	db := datagen.GenerateCarDB(100, 6)
+	panel := NewPanel(db, 4, 15)
+	q := car("Toyota", "Camry", "2000", 10000, 60000)
+	good := answers( // descending latent relevance
+		car("Toyota", "Camry", "2000", 10100, 61000),
+		car("Honda", "Accord", "2000", 10300, 64000),
+		car("Ford", "F150", "1992", 4500, 180000),
+	)
+	bad := answers( // inverted
+		car("Ford", "F150", "1992", 4500, 180000),
+		car("Honda", "Accord", "2000", 10300, 64000),
+		car("Toyota", "Camry", "2000", 10100, 61000),
+	)
+	g, b := panel.ScoreNDCG(q, good), panel.ScoreNDCG(q, bad)
+	if g <= b {
+		t.Errorf("well-ordered nDCG %v <= inverted %v", g, b)
+	}
+	if g <= 0 || g > 1 || b < 0 || b > 1 {
+		t.Errorf("nDCG out of range: %v, %v", g, b)
+	}
+	if got := panel.ScoreNDCG(q, nil); got != 0 {
+		t.Errorf("empty answers nDCG = %v", got)
+	}
+}

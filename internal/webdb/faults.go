@@ -1,0 +1,48 @@
+package webdb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"aimq/internal/query"
+	"aimq/internal/relation"
+)
+
+// ErrInjected marks failures produced by the fault injector; tests match it
+// with errors.Is.
+var ErrInjected = errors.New("injected source failure")
+
+// Flaky wraps a Source and fails a configurable fraction of queries.
+// Autonomous Web sources time out, rate-limit and reorder; the probing and
+// relaxation layers must degrade gracefully, and the failure-injection tests
+// use Flaky to prove it. Not safe for concurrent use (tests drive it from
+// one goroutine; the deterministic FailEvery counter would race otherwise).
+type Flaky struct {
+	Src Source
+	// FailEvery makes every n-th query fail (deterministic). 0 disables.
+	FailEvery int
+	// FailProb makes each query fail with this probability using Rng.
+	FailProb float64
+	Rng      *rand.Rand
+
+	calls int
+}
+
+// Schema implements Source.
+func (f *Flaky) Schema() *relation.Schema { return f.Src.Schema() }
+
+// Query implements Source, injecting failures per configuration.
+func (f *Flaky) Query(q *query.Query, limit int) ([]relation.Tuple, error) {
+	f.calls++
+	if f.FailEvery > 0 && f.calls%f.FailEvery == 0 {
+		return nil, fmt.Errorf("%w: query %d", ErrInjected, f.calls)
+	}
+	if f.FailProb > 0 && f.Rng != nil && f.Rng.Float64() < f.FailProb {
+		return nil, fmt.Errorf("%w: query %d", ErrInjected, f.calls)
+	}
+	return f.Src.Query(q, limit)
+}
+
+// Calls returns the number of queries seen (including failed ones).
+func (f *Flaky) Calls() int { return f.calls }

@@ -1,0 +1,158 @@
+// Package workload implements the *query-driven* attribute-importance
+// estimation the paper positions as the complement of AIMQ's data-driven
+// approach (§7): "query driven — where the importance of an attribute is
+// decided by the frequency with which it appears in a user query. … such
+// approaches are constrained by their need for user queries — an artifact
+// that is not often available for new systems. However, query driven
+// approaches are able to exploit user interest when the query workloads
+// become available."
+//
+// A Log accumulates the queries users actually issue; once enough have been
+// seen, it yields an attribute ordering of its own (importance ∝ binding
+// frequency) or blends into a mined ordering, letting a deployed system
+// start data-driven and drift toward its observed workload.
+package workload
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"aimq/internal/afd"
+	"aimq/internal/query"
+	"aimq/internal/relation"
+)
+
+// Log counts attribute bindings across recorded queries. Safe for
+// concurrent use.
+type Log struct {
+	schema *relation.Schema
+
+	mu      sync.Mutex
+	counts  []int
+	queries int
+}
+
+// NewLog creates an empty workload log for the schema.
+func NewLog(sc *relation.Schema) *Log {
+	return &Log{schema: sc, counts: make([]int, sc.Arity())}
+}
+
+// Record adds one query's bindings to the log.
+func (l *Log) Record(q *query.Query) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.queries++
+	for _, a := range q.BoundAttrs().Members() {
+		l.counts[a]++
+	}
+}
+
+// Queries returns the number of recorded queries.
+func (l *Log) Queries() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.queries
+}
+
+// Frequencies returns, per attribute, the fraction of recorded queries that
+// bound it.
+func (l *Log) Frequencies() []float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]float64, len(l.counts))
+	if l.queries == 0 {
+		return out
+	}
+	for i, c := range l.counts {
+		out[i] = float64(c) / float64(l.queries)
+	}
+	return out
+}
+
+// Ordering derives a purely query-driven attribute ordering: importance
+// proportional to binding frequency, relaxation order ascending by it
+// (rarely-bound attributes are the ones users are willing to leave open, so
+// they relax first). Requires at least one recorded query.
+func (l *Log) Ordering() (*afd.Ordering, error) {
+	if l.Queries() == 0 {
+		return nil, fmt.Errorf("workload: no queries recorded")
+	}
+	freqs := l.Frequencies()
+	return orderingFromWeights(l.schema, freqs)
+}
+
+// Blend combines a mined (data-driven) ordering with the workload's
+// query-driven importance: weight = (1−alpha)·mined + alpha·workload, both
+// sides normalized first. alpha 0 returns the mined importance untouched;
+// alpha 1 is purely query-driven. The relaxation order is re-derived from
+// the blended weights.
+func (l *Log) Blend(mined *afd.Ordering, alpha float64) (*afd.Ordering, error) {
+	if alpha < 0 || alpha > 1 {
+		return nil, fmt.Errorf("workload: alpha %v outside [0,1]", alpha)
+	}
+	if mined.Schema != l.schema && mined.Schema.String() != l.schema.String() {
+		return nil, fmt.Errorf("workload: schema mismatch: %s vs %s", mined.Schema, l.schema)
+	}
+	if l.Queries() == 0 {
+		return nil, fmt.Errorf("workload: no queries recorded")
+	}
+	arity := l.schema.Arity()
+	minedW := normalize(mined.Wimp)
+	loadW := normalize(l.Frequencies())
+	blended := make([]float64, arity)
+	for a := 0; a < arity; a++ {
+		blended[a] = (1-alpha)*minedW[a] + alpha*loadW[a]
+	}
+	ord, err := orderingFromWeights(l.schema, blended)
+	if err != nil {
+		return nil, err
+	}
+	// Keep the mined key: the deciding/dependent split is structural
+	// knowledge the workload has no opinion about.
+	ord.BestKey = mined.BestKey
+	return ord, nil
+}
+
+// orderingFromWeights builds an Ordering whose Wimp is the weight vector
+// and whose relaxation order ascends by it.
+func orderingFromWeights(sc *relation.Schema, weights []float64) (*afd.Ordering, error) {
+	if len(weights) != sc.Arity() {
+		return nil, fmt.Errorf("workload: %d weights for arity %d", len(weights), sc.Arity())
+	}
+	ord := &afd.Ordering{Schema: sc, Wimp: normalize(weights)}
+	idx := make([]int, sc.Arity())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		if ord.Wimp[idx[i]] != ord.Wimp[idx[j]] {
+			return ord.Wimp[idx[i]] < ord.Wimp[idx[j]]
+		}
+		return idx[i] < idx[j]
+	})
+	ord.Relax = idx
+	for _, a := range idx {
+		ord.Dependent = append(ord.Dependent, afd.AttrWeight{Attr: a, Weight: ord.Wimp[a]})
+	}
+	return ord, nil
+}
+
+// normalize scales a non-negative vector to sum 1 (uniform if all zero).
+func normalize(v []float64) []float64 {
+	out := make([]float64, len(v))
+	total := 0.0
+	for _, x := range v {
+		total += x
+	}
+	if total <= 0 {
+		for i := range out {
+			out[i] = 1 / float64(len(v))
+		}
+		return out
+	}
+	for i, x := range v {
+		out[i] = x / total
+	}
+	return out
+}
