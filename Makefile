@@ -1,0 +1,28 @@
+# Tier-1 checks plus the race-checked serving path.
+#
+#   make check       — everything CI runs
+#   make race        — race-check the concurrent packages (service, core, webdb)
+#   make bench-serve — serving-path benchmarks (cache hit vs miss)
+
+GO ?= go
+
+.PHONY: check vet build test race bench-serve
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The answer cache and single-flight code are exercised concurrently; keep
+# them race-clean. core and webdb carry the context plumbing they rely on.
+race:
+	$(GO) test -race ./internal/service/... ./internal/core/... ./internal/webdb/...
+
+bench-serve:
+	$(GO) test -run XXX -bench 'BenchmarkService_' -benchmem ./internal/service/

@@ -1,0 +1,203 @@
+// Command aimq-loadgen drives concurrent imprecise-query load against a
+// running aimq-serve instance and reports throughput, latency percentiles
+// and the service-side cache hit ratio.
+//
+//	aimq-loadgen -url http://127.0.0.1:8090 \
+//	    -q "Model like Camry, Price like 10000; Make like Ford" \
+//	    -c 16 -d 10s
+//
+// Queries are separated by ";" and issued round-robin per worker, so a
+// multi-query workload exercises both the cache-hit and relaxation paths.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	base := flag.String("url", "http://127.0.0.1:8090", "aimq-serve base URL")
+	queries := flag.String("q", "", "queries to issue, separated by \";\"")
+	conc := flag.Int("c", 8, "concurrent workers")
+	total := flag.Int("n", 0, "total requests (0 = run for -d)")
+	dur := flag.Duration("d", 10*time.Second, "load duration when -n is 0")
+	k := flag.Int("k", 10, "answers per query")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request client timeout")
+	seed := flag.Int64("seed", 1, "worker query-order shuffle seed")
+	flag.Parse()
+
+	if err := run(*base, *queries, *conc, *total, *dur, *k, *timeout, *seed, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "aimq-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type counters struct {
+	ok, errs, cached, timeouts atomic.Int64
+}
+
+func run(base, queries string, conc, total int, dur time.Duration, k int, timeout time.Duration, seed int64, w io.Writer) error {
+	var qs []string
+	for _, q := range strings.Split(queries, ";") {
+		if q = strings.TrimSpace(q); q != "" {
+			qs = append(qs, q)
+		}
+	}
+	if len(qs) == 0 {
+		return fmt.Errorf("need at least one query via -q")
+	}
+	base = strings.TrimRight(base, "/")
+	client := &http.Client{Timeout: timeout}
+
+	before, err := scrapeCacheCounters(client, base)
+	if err != nil {
+		return fmt.Errorf("service not reachable at %s: %w", base, err)
+	}
+
+	var (
+		cnt      counters
+		issued   atomic.Int64
+		mu       sync.Mutex
+		lats     []time.Duration
+		wg       sync.WaitGroup
+		deadline = time.Now().Add(dur)
+	)
+	for wk := 0; wk < conc; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(wk)))
+			local := make([]time.Duration, 0, 1024)
+			for i := 0; ; i++ {
+				if total > 0 {
+					if issued.Add(1) > int64(total) {
+						break
+					}
+				} else if time.Now().After(deadline) {
+					break
+				}
+				q := qs[rng.Intn(len(qs))]
+				target := base + "/answer?" + url.Values{
+					"q": {q}, "k": {strconv.Itoa(k)},
+				}.Encode()
+				start := time.Now()
+				resp, err := client.Get(target)
+				elapsed := time.Since(start)
+				if err != nil {
+					cnt.errs.Add(1)
+					continue
+				}
+				var body struct {
+					Cached bool `json:"cached"`
+				}
+				_ = json.NewDecoder(resp.Body).Decode(&body)
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					cnt.ok.Add(1)
+					if body.Cached {
+						cnt.cached.Add(1)
+					}
+					local = append(local, elapsed)
+				case resp.StatusCode == http.StatusGatewayTimeout:
+					cnt.timeouts.Add(1)
+				default:
+					cnt.errs.Add(1)
+				}
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(wk)
+	}
+	loadStart := time.Now()
+	wg.Wait()
+	elapsed := time.Since(loadStart)
+
+	after, scrapeErr := scrapeCacheCounters(client, base)
+
+	ok := cnt.ok.Load()
+	fmt.Fprintf(w, "workload: %d workers, %d quer%s, %s\n",
+		conc, len(qs), map[bool]string{true: "y", false: "ies"}[len(qs) == 1], elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "requests: %d ok, %d timeouts, %d errors\n", ok, cnt.timeouts.Load(), cnt.errs.Load())
+	if elapsed > 0 {
+		fmt.Fprintf(w, "throughput: %.1f req/s\n", float64(ok)/elapsed.Seconds())
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(lats)-1))
+			return lats[i]
+		}
+		fmt.Fprintf(w, "latency: p50 %s  p90 %s  p99 %s  max %s\n",
+			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+	}
+	fmt.Fprintf(w, "client-observed cache hits: %d/%d (%.1f%%)\n",
+		cnt.cached.Load(), ok, 100*float64(cnt.cached.Load())/float64(max64(ok, 1)))
+	if scrapeErr == nil {
+		hits, misses := after.hits-before.hits, after.misses-before.misses
+		lookups := hits + misses
+		fmt.Fprintf(w, "service /metrics: cache hits %d, misses %d (hit ratio %.1f%%)\n",
+			hits, misses, 100*float64(hits)/float64(max64(lookups, 1)))
+	} else {
+		fmt.Fprintf(w, "service /metrics scrape failed: %v\n", scrapeErr)
+	}
+	if ok == 0 {
+		return fmt.Errorf("no successful requests")
+	}
+	return nil
+}
+
+type cacheCounters struct{ hits, misses int64 }
+
+// scrapeCacheCounters reads the service's Prometheus text endpoint.
+func scrapeCacheCounters(client *http.Client, base string) (cacheCounters, error) {
+	var out cacheCounters
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[0] {
+		case "aimq_service_cache_hits_total":
+			out.hits = int64(v)
+		case "aimq_service_cache_misses_total":
+			out.misses = int64(v)
+		}
+	}
+	return out, sc.Err()
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

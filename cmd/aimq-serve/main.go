@@ -1,0 +1,136 @@
+// Command aimq-serve is the AIMQ answering daemon: it loads (or learns and
+// persists) the mined model once, then serves imprecise queries over HTTP
+// with an LRU answer cache, single-flight deduplication, per-request
+// deadlines, Prometheus metrics and graceful shutdown.
+//
+// Over a local CSV:
+//
+//	aimq-serve -data cardb.csv -model cardb.model.json -addr :8090
+//
+// Over a remote autonomous source (an aimqd instance), probing it to learn:
+//
+//	aimq-serve -source http://127.0.0.1:8080 -model cardb.model.json
+//
+// Then:
+//
+//	curl 'http://127.0.0.1:8090/answer?q=Model+like+Camry,+Price+like+10000&k=5'
+//	curl 'http://127.0.0.1:8090/metrics'
+//	curl 'http://127.0.0.1:8090/healthz'
+//
+// SIGINT/SIGTERM drain in-flight requests before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aimq/internal/core"
+	"aimq/internal/relation"
+	"aimq/internal/service"
+	"aimq/internal/webdb"
+)
+
+func main() {
+	data := flag.String("data", "", "CSV file to serve answers over")
+	source := flag.String("source", "", "base URL of a remote aimqd source (alternative to -data)")
+	modelPath := flag.String("model", "", "model snapshot path: loaded when present, else learned and saved here")
+	addr := flag.String("addr", ":8090", "listen address")
+	k := flag.Int("k", 10, "default answers per query")
+	maxK := flag.Int("max-k", 100, "cap on client-requested k")
+	tsim := flag.Float64("tsim", 0.5, "default similarity threshold")
+	cacheSize := flag.Int("cache", 1024, "LRU answer cache entries")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request answer deadline")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+	maxQPB := flag.Int("max-queries-per-base", 0, "cap relaxation queries per base tuple (0 = unlimited)")
+	sampleSize := flag.Int("sample", 0, "cap the learning sample (0 = all)")
+	terr := flag.Float64("terr", 0.15, "TANE error threshold for learning")
+	seed := flag.Int64("seed", 1, "probing/sampling seed")
+	probeWorkers := flag.Int("probe-workers", 1, "concurrent spanning probes while learning")
+	flag.Parse()
+
+	if err := run(config{
+		data: *data, source: *source, model: *modelPath, addr: *addr,
+		k: *k, maxK: *maxK, tsim: *tsim, cacheSize: *cacheSize,
+		timeout: *timeout, drain: *drain, maxQPB: *maxQPB,
+		sampleSize: *sampleSize, terr: *terr, seed: *seed, probeWorkers: *probeWorkers,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "aimq-serve:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	data, source, model, addr  string
+	k, maxK, cacheSize, maxQPB int
+	tsim, terr                 float64
+	timeout, drain             time.Duration
+	sampleSize, probeWorkers   int
+	seed                       int64
+}
+
+func run(c config) error {
+	var src webdb.Source
+	switch {
+	case c.data != "":
+		rel, err := relation.LoadCSV(c.data)
+		if err != nil {
+			return err
+		}
+		log.Printf("serving %d tuples of %s from %s", rel.Size(), rel.Schema(), c.data)
+		src = webdb.NewLocal(rel)
+	case c.source != "":
+		client, err := webdb.NewClient(c.source, nil)
+		if err != nil {
+			return err
+		}
+		log.Printf("answering over remote source %s (%s)", c.source, client.Schema())
+		src = client
+	default:
+		return fmt.Errorf("need -data or -source")
+	}
+
+	start := time.Now()
+	ord, est, built, err := service.LoadOrBuildModel(c.model, src, service.LearnConfig{
+		Seed:       c.seed,
+		SampleSize: c.sampleSize,
+		Terr:       c.terr,
+		Workers:    c.probeWorkers,
+	})
+	if err != nil {
+		return err
+	}
+	if built {
+		log.Printf("learned model in %s", time.Since(start).Round(time.Millisecond))
+		if c.model != "" {
+			log.Printf("model saved to %s", c.model)
+		}
+	} else {
+		log.Printf("model loaded from %s in %s", c.model, time.Since(start).Round(time.Millisecond))
+	}
+
+	svc := service.New(src, est, &core.Guided{Ord: ord}, service.Config{
+		Engine: core.Config{
+			K:                 c.k,
+			Tsim:              c.tsim,
+			MaxQueriesPerBase: c.maxQPB,
+		},
+		CacheSize:      c.cacheSize,
+		RequestTimeout: c.timeout,
+		MaxK:           c.maxK,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("answering on %s (cache %d entries, timeout %s)", c.addr, c.cacheSize, c.timeout)
+	err = svc.Run(ctx, c.addr, c.drain)
+	if err == nil {
+		log.Printf("drained and stopped")
+	}
+	return err
+}

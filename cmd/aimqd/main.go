@@ -14,14 +14,20 @@
 // Query the served database with the aimq CLI:
 //
 //	aimq -url http://127.0.0.1:8080 -q "Make like Ford"
+//
+// SIGINT/SIGTERM drain in-flight requests before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"aimq/internal/relation"
@@ -31,15 +37,17 @@ import (
 func main() {
 	data := flag.String("data", "", "CSV file to serve")
 	addr := flag.String("addr", ":8080", "listen address")
+	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 	flag.Parse()
 
-	if err := run(*data, *addr); err != nil {
+	if err := run(*data, *addr, *idleTimeout, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "aimqd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data, addr string) error {
+func run(data, addr string, idleTimeout, drain time.Duration) error {
 	if data == "" {
 		return fmt.Errorf("need -data")
 	}
@@ -49,13 +57,37 @@ func run(data, addr string) error {
 	}
 	src := &webdb.ProbeCounter{Src: webdb.NewLocal(rel)}
 	srv := &http.Server{
-		Addr:         addr,
-		Handler:      logRequests(webdb.NewServer(src)),
-		ReadTimeout:  30 * time.Second,
-		WriteTimeout: 60 * time.Second,
+		Addr:              addr,
+		Handler:           logRequests(webdb.NewServer(src)),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       idleTimeout,
 	}
-	log.Printf("serving %d tuples of %s on %s", rel.Size(), rel.Schema(), addr)
-	return srv.ListenAndServe()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("serving %d tuples of %s on %s", rel.Size(), rel.Schema(), addr)
+		errc <- srv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down: draining in-flight requests (up to %s)", drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("stopped after %d source queries", src.Queries())
+	return nil
 }
 
 func logRequests(next http.Handler) http.Handler {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -135,12 +136,28 @@ func (e *Engine) Name() string { return "AIMQ-" + e.Relaxer.Name() }
 
 // Answer implements Algorithm 1.
 func (e *Engine) Answer(q *query.Query) (*Result, error) {
+	return e.AnswerContext(context.Background(), q)
+}
+
+// AnswerContext implements Algorithm 1 under a context: the relaxation loop
+// checks ctx between source queries, and context-aware sources (webdb.Client)
+// abort in-flight requests. On cancellation it does NOT discard work already
+// done — it ranks whatever qualified so far and returns that partial Result
+// alongside ctx.Err(), so a deadline degrades answer completeness instead of
+// answering nothing. Callers must treat a non-nil error with a non-nil Result
+// as "best effort under the deadline".
+func (e *Engine) AnswerContext(ctx context.Context, q *query.Query) (*Result, error) {
 	cfg := e.Cfg.withDefaults()
 	res := &Result{Query: q}
 
 	// Step 1: map Q to a precise base query with a non-null answerset.
-	base, precise, err := e.baseSet(q, cfg, &res.Work)
+	base, precise, err := e.baseSet(ctx, q, cfg, &res.Work)
 	if err != nil {
+		if ctx.Err() != nil {
+			// Cancelled before any base tuple was retrieved: there is
+			// nothing to rank, but the Result still carries the work stats.
+			return res, ctx.Err()
+		}
 		return nil, err
 	}
 	res.Base = base
@@ -198,7 +215,7 @@ expansion:
 		bound := tq.BoundAttrs()
 		issued := 0
 		for _, drop := range e.Relaxer.Schedule(bound) {
-			if done() {
+			if ctx.Err() != nil || done() {
 				break expansion
 			}
 			if cfg.MaxQueriesPerBase > 0 && issued >= cfg.MaxQueriesPerBase {
@@ -206,9 +223,13 @@ expansion:
 			}
 			issued++
 			rq := tq.DropAttrs(drop)
-			tuples, err := e.Src.Query(rq, cfg.PerQueryLimit)
+			tuples, err := webdb.QueryContext(ctx, e.Src, rq, cfg.PerQueryLimit)
 			res.Work.QueriesIssued++
 			if err != nil {
+				if ctx.Err() != nil {
+					// Cancelled mid-flight: keep what we have.
+					break expansion
+				}
 				res.Work.SourceFailures++
 				if cfg.Trace {
 					res.Trace = append(res.Trace, TraceStep{Query: rq.String(), Failed: true})
@@ -257,7 +278,9 @@ expansion:
 		answers = answers[:cfg.K]
 	}
 	res.Answers = answers
-	return res, nil
+	// A cancelled context surfaces here, after ranking: the partial answer
+	// set is still returned.
+	return res, ctx.Err()
 }
 
 // baseSet maps Q to the precise query Qpr and returns its answers. If Qpr
@@ -265,12 +288,18 @@ expansion:
 // least important attributes first — until some generalization returns
 // tuples (paper footnote 2). As a last resort the unconstrained query is
 // issued.
-func (e *Engine) baseSet(q *query.Query, cfg Config, work *WorkStats) ([]relation.Tuple, *query.Query, error) {
+func (e *Engine) baseSet(ctx context.Context, q *query.Query, cfg Config, work *WorkStats) ([]relation.Tuple, *query.Query, error) {
 	qpr := q.ToPrecise()
 	tryQuery := func(cand *query.Query) ([]relation.Tuple, error) {
-		tuples, err := e.Src.Query(cand, cfg.PerQueryLimit)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		tuples, err := webdb.QueryContext(ctx, e.Src, cand, cfg.PerQueryLimit)
 		work.QueriesIssued++
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			work.SourceFailures++
 			if work.SourceFailures > cfg.MaxSourceFailures {
 				return nil, fmt.Errorf("aimq: base query failed: %w", err)

@@ -1,0 +1,59 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchRequest drives one /answer request through the handler stack.
+func benchRequest(b *testing.B, svc *Service, target string) int {
+	r := httptest.NewRequest("GET", target, nil)
+	w := httptest.NewRecorder()
+	svc.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+	return w.Code
+}
+
+// BenchmarkService_AnswerCacheHit measures the warm path: normalized-key
+// lookup + JSON serialization, no relaxation.
+func BenchmarkService_AnswerCacheHit(b *testing.B) {
+	svc := newService(b, testDB(3000, 40), nil, Config{})
+	warm := httptest.NewRequest("GET", "/answer?q=Model+like+Camry,+Price+like+10000&k=10", nil)
+	w := httptest.NewRecorder()
+	svc.ServeHTTP(w, warm)
+	if w.Code != http.StatusOK {
+		b.Fatalf("warmup failed: %d %s", w.Code, w.Body.String())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchRequest(b, svc, "/answer?q=Model+like+Camry,+Price+like+10000&k=10")
+	}
+	b.StopTimer()
+	hits, _, _ := svc.Metrics()
+	if hits < int64(b.N) {
+		b.Fatalf("benchmark did not stay on the cache-hit path: %d hits over %d requests", hits, b.N)
+	}
+}
+
+// BenchmarkService_AnswerCacheMiss measures the cold path: every iteration
+// uses a distinct query value, forcing a full relaxation run.
+func BenchmarkService_AnswerCacheMiss(b *testing.B) {
+	// A large cache so iterations never re-hit an earlier key.
+	svc := newService(b, testDB(3000, 40), nil, Config{CacheSize: 1 << 20})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Vary the imprecise price so each key is unique.
+		benchRequest(b, svc, fmt.Sprintf("/answer?q=Model+like+Camry,+Price+like+%d&k=10", 9000+i))
+	}
+	b.StopTimer()
+	_, misses, _ := svc.Metrics()
+	if misses < int64(b.N) {
+		b.Fatalf("benchmark leaked onto the cache-hit path: %d misses over %d requests", misses, b.N)
+	}
+}

@@ -1,0 +1,67 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a fixed-capacity LRU map from cache key to a finished answer
+// payload. Entries are immutable once inserted: handlers serialize straight
+// from the stored payload, so a hit costs one map lookup and one list move.
+// Safe for concurrent use.
+type lruCache struct {
+	mu   sync.Mutex
+	cap  int
+	ll   *list.List // front = most recently used
+	byKey map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val *answerPayload
+}
+
+func newLRUCache(capacity int) *lruCache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &lruCache{cap: capacity, ll: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// Get returns the cached payload for key, promoting it to most recently
+// used.
+func (c *lruCache) Get(key string) (*answerPayload, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// Add inserts (or refreshes) key, evicting the least recently used entry
+// when over capacity.
+func (c *lruCache) Add(key string, val *answerPayload) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.ll.MoveToFront(el)
+		el.Value.(*lruEntry).val = val
+		return
+	}
+	c.byKey[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

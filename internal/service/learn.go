@@ -1,0 +1,112 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"aimq/internal/afd"
+	"aimq/internal/model"
+	"aimq/internal/probe"
+	"aimq/internal/similarity"
+	"aimq/internal/supertuple"
+	"aimq/internal/tane"
+	"aimq/internal/webdb"
+)
+
+// LearnConfig tunes the offline phase run at service startup when no saved
+// model is available. Zero values select the same defaults as the public
+// aimq.DB session.
+type LearnConfig struct {
+	Seed       int64   // probing/sampling seed (default 1)
+	Pivot      string  // probing pivot attribute ("" = auto-discover)
+	SampleSize int     // cap on the mined sample (0 = keep all)
+	Terr       float64 // TANE g3 threshold (default 0.15)
+	MaxLHS     int     // AFD antecedent bound (default min(arity-1, 3))
+	Buckets    int     // numeric discretization buckets (default 10)
+	Workers    int     // concurrent spanning probes (default 1)
+}
+
+func (lc LearnConfig) withDefaults() LearnConfig {
+	if lc.Seed == 0 {
+		lc.Seed = 1
+	}
+	if lc.Terr == 0 {
+		lc.Terr = 0.15
+	}
+	if lc.Buckets == 0 {
+		lc.Buckets = 10
+	}
+	return lc
+}
+
+// BuildModel runs AIMQ's offline phase against src: spanning-query probing,
+// TANE AFD/AKey mining, the Algorithm 2 attribute ordering, and supertuple
+// value-similarity estimation.
+func BuildModel(src webdb.Source, lc LearnConfig) (*afd.Ordering, *similarity.Estimator, error) {
+	lc = lc.withDefaults()
+	rng := rand.New(rand.NewSource(lc.Seed))
+	collector := probe.New(src, rng)
+	collector.Parallelism = lc.Workers
+	pivot := lc.Pivot
+	if pivot == "" {
+		infos, err := probe.PivotCoverage(src, 2000)
+		if err != nil {
+			return nil, nil, fmt.Errorf("service: pivot discovery failed: %w", err)
+		}
+		for _, info := range infos {
+			if info.DistinctInSeed >= 2 {
+				pivot = info.Attr
+				break
+			}
+		}
+		if pivot == "" {
+			return nil, nil, errors.New("service: no usable probing pivot (source empty?)")
+		}
+	}
+	sample, err := collector.Collect(pivot)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: probing failed: %w", err)
+	}
+	if lc.SampleSize > 0 && sample.Size() > lc.SampleSize {
+		sample = sample.Sample(lc.SampleSize, rng)
+	}
+	mined := tane.Miner{Terr: lc.Terr, MaxLHS: lc.MaxLHS}.Mine(sample)
+	ord, err := afd.Order(mined)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: %w (raise Terr or enlarge the sample)", err)
+	}
+	idx := supertuple.Builder{Buckets: lc.Buckets}.Build(sample)
+	return ord, similarity.New(idx, ord, similarity.Config{}), nil
+}
+
+// LoadOrBuildModel restores the model snapshot at path when one exists;
+// otherwise it runs BuildModel and, when path is non-empty, persists the
+// result there so the next start skips the offline phase. built reports
+// which branch was taken.
+func LoadOrBuildModel(path string, src webdb.Source, lc LearnConfig) (ord *afd.Ordering, est *similarity.Estimator, built bool, err error) {
+	if path != "" {
+		if _, statErr := os.Stat(path); statErr == nil {
+			snap, err := model.Load(path)
+			if err != nil {
+				return nil, nil, false, err
+			}
+			ord, est, err := snap.Restore(src.Schema())
+			if err != nil {
+				return nil, nil, false, fmt.Errorf("service: %w", err)
+			}
+			return ord, est, false, nil
+		}
+	}
+	ord, est, err = BuildModel(src, lc)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if path != "" {
+		if err := model.Save(path, model.Capture(ord, est)); err != nil {
+			return nil, nil, true, err
+		}
+	}
+	return ord, est, true, nil
+}

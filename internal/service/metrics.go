@@ -1,0 +1,102 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// serviceMetrics tracks the service's operational counters and the answer
+// latency distribution, exposed at /metrics in the Prometheus text
+// exposition format. Implemented on stdlib atomics so the repo stays
+// dependency-free; any Prometheus scraper parses the output.
+type serviceMetrics struct {
+	requestsOK     atomic.Int64 // answered 2xx
+	requestsErr    atomic.Int64 // answered 4xx/5xx
+	requestsCancel atomic.Int64 // cut by a context deadline / disconnect
+	cacheHits      atomic.Int64
+	cacheMisses    atomic.Int64
+	flightShared   atomic.Int64 // requests that piggybacked on another's run
+	relaxQueries   atomic.Int64 // source queries issued by the engine
+	tuplesRead     atomic.Int64 // tuples extracted from the source
+	inflight       atomic.Int64
+
+	latency latencyHistogram
+}
+
+// latencyBounds are the histogram bucket upper bounds in seconds. Answer
+// latency spans cache hits (~µs) to deep relaxations (seconds), so the
+// buckets run from 100µs to 10s.
+var latencyBounds = [...]float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// latencyHistogram is a fixed-bucket histogram. A mutex (not atomics) keeps
+// sum/count/buckets mutually consistent; observation is far off the hot
+// path relative to a relaxation run.
+type latencyHistogram struct {
+	mu     sync.Mutex
+	counts [len(latencyBounds) + 1]int64 // last bucket = +Inf
+	sum    float64
+	total  int64
+}
+
+func (h *latencyHistogram) Observe(seconds float64) {
+	i := sort.SearchFloat64s(latencyBounds[:], seconds)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += seconds
+	h.total++
+	h.mu.Unlock()
+}
+
+// snapshot returns cumulative bucket counts, the sum and the total count.
+func (h *latencyHistogram) snapshot() ([]int64, float64, int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := make([]int64, len(h.counts))
+	var running int64
+	for i, c := range h.counts {
+		running += c
+		cum[i] = running
+	}
+	return cum, h.sum, h.total
+}
+
+// render writes the metrics in Prometheus text format.
+func (m *serviceMetrics) render(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	fmt.Fprintf(w, "# HELP aimq_service_requests_total Answer requests by outcome.\n")
+	fmt.Fprintf(w, "# TYPE aimq_service_requests_total counter\n")
+	fmt.Fprintf(w, "aimq_service_requests_total{status=\"ok\"} %d\n", m.requestsOK.Load())
+	fmt.Fprintf(w, "aimq_service_requests_total{status=\"error\"} %d\n", m.requestsErr.Load())
+	fmt.Fprintf(w, "aimq_service_requests_total{status=\"cancelled\"} %d\n", m.requestsCancel.Load())
+
+	counter("aimq_service_cache_hits_total", "Answer cache hits.", m.cacheHits.Load())
+	counter("aimq_service_cache_misses_total", "Answer cache misses.", m.cacheMisses.Load())
+	counter("aimq_service_singleflight_shared_total",
+		"Requests that shared another in-flight identical query.", m.flightShared.Load())
+	counter("aimq_service_relaxation_queries_total",
+		"Boolean queries issued against the autonomous source.", m.relaxQueries.Load())
+	counter("aimq_service_tuples_extracted_total",
+		"Tuples returned by the autonomous source.", m.tuplesRead.Load())
+
+	fmt.Fprintf(w, "# HELP aimq_service_inflight_requests Answer requests currently being served.\n")
+	fmt.Fprintf(w, "# TYPE aimq_service_inflight_requests gauge\n")
+	fmt.Fprintf(w, "aimq_service_inflight_requests %d\n", m.inflight.Load())
+
+	cum, sum, total := m.latency.snapshot()
+	fmt.Fprintf(w, "# HELP aimq_service_answer_latency_seconds Answer latency (cache hits included).\n")
+	fmt.Fprintf(w, "# TYPE aimq_service_answer_latency_seconds histogram\n")
+	for i, bound := range latencyBounds[:] {
+		fmt.Fprintf(w, "aimq_service_answer_latency_seconds_bucket{le=\"%g\"} %d\n", bound, cum[i])
+	}
+	fmt.Fprintf(w, "aimq_service_answer_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum[len(cum)-1])
+	fmt.Fprintf(w, "aimq_service_answer_latency_seconds_sum %g\n", sum)
+	fmt.Fprintf(w, "aimq_service_answer_latency_seconds_count %d\n", total)
+}

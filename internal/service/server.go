@@ -1,0 +1,82 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server binds a Service to a listener with production timeouts and a
+// graceful drain. Lifecycle: Listen → Serve (blocks) → Shutdown.
+type Server struct {
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// Listen binds addr (":8090", "127.0.0.1:0", ...) without serving yet, so
+// callers learn the bound address before the first request can arrive.
+func (s *Service) Listen(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	// WriteTimeout must outlast the longest allowed answer computation or
+	// the connection dies mid-response; pad the request budget.
+	return &Server{
+		httpSrv: &http.Server{
+			Handler:           s,
+			ReadHeaderTimeout: 5 * time.Second,
+			ReadTimeout:       15 * time.Second,
+			WriteTimeout:      s.cfg.RequestTimeout + 15*time.Second,
+			IdleTimeout:       120 * time.Second,
+		},
+		ln: ln,
+	}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Serve accepts connections until Shutdown (returns nil) or a listener
+// error (returned).
+func (s *Server) Serve() error {
+	err := s.httpSrv.Serve(s.ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown stops accepting new connections and drains in-flight requests
+// until ctx expires, then forces remaining connections closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if err := s.httpSrv.Shutdown(ctx); err != nil {
+		return s.httpSrv.Close()
+	}
+	return nil
+}
+
+// Run serves on addr until ctx is cancelled (typically by SIGINT/SIGTERM via
+// signal.NotifyContext), then drains in-flight requests for up to drain.
+// It returns once the drain completes.
+func (s *Service) Run(ctx context.Context, addr string, drain time.Duration) error {
+	srv, err := s.Listen(addr)
+	if err != nil {
+		return err
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return err
+	}
+	return <-errc
+}

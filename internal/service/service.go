@@ -1,0 +1,400 @@
+// Package service is the AIMQ answering daemon: a long-lived, concurrent
+// HTTP JSON service that holds the learned model (attribute ordering +
+// value-similarity matrices) in memory and answers imprecise queries with
+// ranked Sim(Q,t) top-k results.
+//
+// This is the deployment shape the paper assumes — the expensive offline
+// phase (probing, TANE mining, supertuple similarity estimation) runs once,
+// then a mediator answers many cheap online queries against it. The serving
+// layer adds what a production mediator needs on top of internal/core:
+//
+//   - an LRU answer cache keyed by the normalized query + k + Tsim, so
+//     repeated imprecise queries skip relaxation entirely;
+//   - single-flight deduplication, so a stampede of concurrent identical
+//     queries triggers exactly one relaxation run against the source;
+//   - per-request deadlines threaded through the relaxation loops
+//     (core.Engine.AnswerContext), so slow sources degrade answers rather
+//     than pile up goroutines;
+//   - /metrics in Prometheus text format, /healthz, and graceful shutdown.
+//
+// Endpoints:
+//
+//	GET  /answer?q=Model+like+Camry&k=5&tsim=0.6&timeout=500ms
+//	POST /answer   {"query":"Model like Camry","k":5,"tsim":0.6}
+//	GET  /healthz
+//	GET  /metrics
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"aimq/internal/core"
+	"aimq/internal/query"
+	"aimq/internal/similarity"
+	"aimq/internal/webdb"
+)
+
+// Config tunes the answering service. Zero values select serving defaults.
+type Config struct {
+	// Engine holds the per-request engine defaults (K, Tsim, relaxation
+	// budgets). Clients may override K and Tsim per request within bounds.
+	Engine core.Config
+	// CacheSize is the LRU answer cache capacity in entries. Default 1024.
+	CacheSize int
+	// RequestTimeout bounds each answer computation; client-supplied
+	// timeouts are clamped to it. Default 30s.
+	RequestTimeout time.Duration
+	// MaxK caps client-requested k. Default 100.
+	MaxK int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxK == 0 {
+		c.MaxK = 100
+	}
+	return c
+}
+
+// Service answers imprecise queries over one learned model. Safe for
+// concurrent use; construct with New.
+type Service struct {
+	src     webdb.Source
+	est     *similarity.Estimator
+	relaxer core.Relaxer
+	cfg     Config
+
+	cache  *lruCache
+	flight *flightGroup
+	met    serviceMetrics
+	mux    *http.ServeMux
+	start  time.Time
+}
+
+// New assembles the service over a source and a learned model. The relaxer
+// must be safe for concurrent Schedule calls (core.Guided is; core.Random,
+// with its shared Rng, is not).
+func New(src webdb.Source, est *similarity.Estimator, relaxer core.Relaxer, cfg Config) *Service {
+	s := &Service{
+		src:     src,
+		est:     est,
+		relaxer: relaxer,
+		cfg:     cfg.withDefaults(),
+		flight:  newFlightGroup(),
+		start:   time.Now(),
+	}
+	s.cache = newLRUCache(s.cfg.CacheSize)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /answer", s.handleAnswer)
+	s.mux.HandleFunc("POST /answer", s.handleAnswer)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// answerPayload is the JSON body of a successful answer. Payloads are
+// shared between the cache and concurrent responses, so they are immutable
+// after construction.
+type answerPayload struct {
+	Query     string      `json:"query"`
+	BaseQuery string      `json:"base_query"`
+	K         int         `json:"k"`
+	Tsim      float64     `json:"tsim"`
+	Columns   []string    `json:"columns"`
+	Answers   []answerRow `json:"answers"`
+	Work      workJSON    `json:"work"`
+}
+
+type answerRow struct {
+	Values []string `json:"values"`
+	Sim    float64  `json:"sim"`
+}
+
+type workJSON struct {
+	QueriesIssued   int `json:"queries_issued"`
+	TuplesExtracted int `json:"tuples_extracted"`
+	TuplesQualified int `json:"tuples_qualified"`
+}
+
+// answerResponse wraps a payload with per-request serving facts.
+type answerResponse struct {
+	*answerPayload
+	Cached    bool    `json:"cached"`
+	Shared    bool    `json:"shared,omitempty"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// errorResponse is the body of every non-2xx answer. Partial carries the
+// ranked answers collected before a deadline cut the relaxation, when any.
+type errorResponse struct {
+	Error   string         `json:"error"`
+	Partial *answerPayload `json:"partial,omitempty"`
+}
+
+// answerRequest is the POST /answer body; GET uses the matching query
+// parameters (q, k, tsim, timeout).
+type answerRequest struct {
+	Query   string  `json:"query"`
+	K       int     `json:"k"`
+	Tsim    float64 `json:"tsim"`
+	Timeout string  `json:"timeout"`
+}
+
+func (s *Service) handleAnswer(w http.ResponseWriter, r *http.Request) {
+	startReq := time.Now()
+	s.met.inflight.Add(1)
+	defer s.met.inflight.Add(-1)
+
+	req, err := parseAnswerRequest(r)
+	if err != nil {
+		s.met.requestsErr.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	q, err := query.Parse(s.src.Schema(), req.Query)
+	if err != nil {
+		s.met.requestsErr.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	if len(q.Preds) == 0 {
+		s.met.requestsErr.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty query"})
+		return
+	}
+	k, tsim, err := s.bounds(req)
+	if err != nil {
+		s.met.requestsErr.Add(1)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	timeout := s.cfg.RequestTimeout
+	if req.Timeout != "" {
+		d, err := time.ParseDuration(req.Timeout)
+		if err != nil || d <= 0 {
+			s.met.requestsErr.Add(1)
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf("bad timeout %q", req.Timeout)})
+			return
+		}
+		if d < timeout {
+			timeout = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	key := cacheKey(q, k, tsim)
+	if payload, ok := s.cache.Get(key); ok {
+		s.met.cacheHits.Add(1)
+		s.met.requestsOK.Add(1)
+		s.observe(startReq)
+		writeJSON(w, http.StatusOK, answerResponse{
+			answerPayload: payload, Cached: true, ElapsedMs: msSince(startReq),
+		})
+		return
+	}
+	s.met.cacheMisses.Add(1)
+
+	payload, err, shared := s.flight.Do(ctx, key, func() (*answerPayload, error) {
+		p, err := s.compute(ctx, q, k, tsim)
+		if err == nil {
+			s.cache.Add(key, p)
+		}
+		return p, err
+	})
+	if shared {
+		s.met.flightShared.Add(1)
+	}
+	s.observe(startReq)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			s.met.requestsCancel.Add(1)
+			// 504: the deadline expired before relaxation finished. The
+			// body still carries the ranked partial answer set, if any.
+			writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error(), Partial: payload})
+			return
+		}
+		s.met.requestsErr.Add(1)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		return
+	}
+	s.met.requestsOK.Add(1)
+	writeJSON(w, http.StatusOK, answerResponse{
+		answerPayload: payload, Cached: false, Shared: shared, ElapsedMs: msSince(startReq),
+	})
+}
+
+// bounds resolves and validates the per-request k and Tsim.
+func (s *Service) bounds(req *answerRequest) (int, float64, error) {
+	engDefaults := s.cfg.Engine
+	k := req.K
+	switch {
+	case k < 0:
+		return 0, 0, fmt.Errorf("k must be positive, got %d", k)
+	case k == 0:
+		if k = engDefaults.K; k == 0 {
+			k = 10
+		}
+	case k > s.cfg.MaxK:
+		k = s.cfg.MaxK
+	}
+	tsim := req.Tsim
+	switch {
+	case tsim < 0 || tsim >= 1:
+		return 0, 0, fmt.Errorf("tsim must be in [0,1), got %g", tsim)
+	case tsim == 0:
+		if tsim = engDefaults.Tsim; tsim == 0 {
+			tsim = 0.5
+		}
+	}
+	return k, tsim, nil
+}
+
+// compute runs one relaxation pass. On a context error it returns the
+// partial payload (when the engine salvaged any answers) together with the
+// error; partial payloads are never cached.
+func (s *Service) compute(ctx context.Context, q *query.Query, k int, tsim float64) (*answerPayload, error) {
+	cfg := s.cfg.Engine
+	cfg.K = k
+	cfg.Tsim = tsim
+	eng := core.New(s.src, s.est, s.relaxer, cfg)
+	res, err := eng.AnswerContext(ctx, q)
+	if res != nil {
+		s.met.relaxQueries.Add(int64(res.Work.QueriesIssued))
+		s.met.tuplesRead.Add(int64(res.Work.TuplesExtracted))
+	}
+	if err != nil {
+		if res != nil && len(res.Answers) > 0 {
+			return s.payload(q, res, k, tsim), err
+		}
+		return nil, err
+	}
+	return s.payload(q, res, k, tsim), nil
+}
+
+func (s *Service) payload(q *query.Query, res *core.Result, k int, tsim float64) *answerPayload {
+	sc := s.src.Schema()
+	p := &answerPayload{
+		Query:   q.String(),
+		K:       k,
+		Tsim:    tsim,
+		Columns: sc.Names(),
+		Answers: make([]answerRow, 0, len(res.Answers)),
+		Work: workJSON{
+			QueriesIssued:   res.Work.QueriesIssued,
+			TuplesExtracted: res.Work.TuplesExtracted,
+			TuplesQualified: res.Work.TuplesQualified,
+		},
+	}
+	if res.Precise != nil {
+		p.BaseQuery = res.Precise.String()
+	}
+	for _, a := range res.Answers {
+		row := answerRow{Sim: a.Sim, Values: make([]string, len(a.Tuple))}
+		for i, v := range a.Tuple {
+			row.Values[i] = v.Render(sc.Type(i))
+		}
+		p.Answers = append(p.Answers, row)
+	}
+	return p
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.start).Seconds(),
+		"cache_entries":  s.cache.Len(),
+	})
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.render(w)
+}
+
+func (s *Service) observe(start time.Time) {
+	s.met.latency.Observe(time.Since(start).Seconds())
+}
+
+// Metrics exposes the counters for tests and the load generator's summary.
+func (s *Service) Metrics() (cacheHits, cacheMisses, relaxQueries int64) {
+	return s.met.cacheHits.Load(), s.met.cacheMisses.Load(), s.met.relaxQueries.Load()
+}
+
+func parseAnswerRequest(r *http.Request) (*answerRequest, error) {
+	if r.Method == http.MethodPost {
+		var req answerRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			return nil, fmt.Errorf("bad request body: %v", err)
+		}
+		if strings.TrimSpace(req.Query) == "" {
+			return nil, errors.New("missing \"query\"")
+		}
+		return &req, nil
+	}
+	vals := r.URL.Query()
+	req := &answerRequest{Query: vals.Get("q"), Timeout: vals.Get("timeout")}
+	if req.Query == "" {
+		req.Query = vals.Get("query")
+	}
+	if req.Query == "" {
+		return nil, errors.New("missing q parameter")
+	}
+	if raw := vals.Get("k"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil {
+			return nil, fmt.Errorf("bad k %q", raw)
+		}
+		req.K = n
+	}
+	if raw := vals.Get("tsim"); raw != "" {
+		f, err := strconv.ParseFloat(raw, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad tsim %q", raw)
+		}
+		req.Tsim = f
+	}
+	return req, nil
+}
+
+// cacheKey normalizes a parsed query for caching: predicates are rendered
+// and sorted so "A like x, B like y" and "B like y, A like x" share an
+// entry, then joined with the effective k and Tsim (both change the
+// answer set, so both key the cache).
+func cacheKey(q *query.Query, k int, tsim float64) string {
+	preds := make([]string, len(q.Preds))
+	for i, p := range q.Preds {
+		preds[i] = p.Render(q.Schema)
+	}
+	sort.Strings(preds)
+	return fmt.Sprintf("%s|k=%d|tsim=%g", strings.Join(preds, " & "), k, tsim)
+}
+
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1000
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,56 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// flightGroup deduplicates concurrent work: while one goroutine computes the
+// answer for a key, later arrivals with the same key wait for that result
+// instead of launching their own relaxation run. A stampede of identical
+// imprecise queries — the common case behind an autocomplete box or a shared
+// link — then costs one pass over the source.
+//
+// Waiters honor their own context: a waiter whose deadline fires abandons
+// the flight without cancelling the leader, so one impatient client cannot
+// poison the answer every other client is waiting on.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{} // closed when val/err are final
+	val  *answerPayload
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// Do runs fn once per key at a time. The bool result reports whether this
+// caller shared another caller's run (true) or led its own (false).
+func (g *flightGroup) Do(ctx context.Context, key string, fn func() (*answerPayload, error)) (*answerPayload, error, bool) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.val, c.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.val, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.val, c.err, false
+}

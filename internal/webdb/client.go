@@ -1,6 +1,7 @@
 package webdb
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -48,7 +49,7 @@ func NewClient(base string, hc *http.Client) (*Client, error) {
 func (c *Client) Schema() *relation.Schema { return c.schema }
 
 func (c *Client) fetchSchema() (*relation.Schema, error) {
-	body, err := c.get(c.base + "/schema")
+	body, err := c.get(context.Background(), c.base+"/schema")
 	if err != nil {
 		return nil, fmt.Errorf("webdb client: fetch schema: %w", err)
 	}
@@ -77,8 +78,15 @@ func (c *Client) fetchSchema() (*relation.Schema, error) {
 // interface cannot express them (tighten with ToPrecise first). A
 // non-positive limit fetches everything, walking the server's pages.
 func (c *Client) Query(q *query.Query, limit int) ([]relation.Tuple, error) {
+	return c.QueryContext(context.Background(), q, limit)
+}
+
+// QueryContext implements ContextSource: the context propagates into every
+// HTTP request, so a cancelled caller aborts the wire transfer rather than
+// waiting out a slow autonomous source.
+func (c *Client) QueryContext(ctx context.Context, q *query.Query, limit int) ([]relation.Tuple, error) {
 	if limit > 0 {
-		tuples, _, err := c.queryPage(q, limit, 0)
+		tuples, _, err := c.queryPage(ctx, q, limit, 0)
 		return tuples, err
 	}
 	pageSize := c.PageSize
@@ -87,7 +95,7 @@ func (c *Client) Query(q *query.Query, limit int) ([]relation.Tuple, error) {
 	}
 	var all []relation.Tuple
 	for offset := 0; ; offset += pageSize {
-		tuples, complete, err := c.queryPage(q, pageSize, offset)
+		tuples, complete, err := c.queryPage(ctx, q, pageSize, offset)
 		if err != nil {
 			return nil, err
 		}
@@ -99,7 +107,7 @@ func (c *Client) Query(q *query.Query, limit int) ([]relation.Tuple, error) {
 }
 
 // queryPage fetches one page and reports whether the result was complete.
-func (c *Client) queryPage(q *query.Query, limit, offset int) ([]relation.Tuple, bool, error) {
+func (c *Client) queryPage(ctx context.Context, q *query.Query, limit, offset int) ([]relation.Tuple, bool, error) {
 	params := url.Values{}
 	for _, p := range q.Preds {
 		name := c.schema.Attr(p.Attr).Name
@@ -132,7 +140,7 @@ func (c *Client) queryPage(q *query.Query, limit, offset int) ([]relation.Tuple,
 	if offset > 0 {
 		params.Set("offset", strconv.Itoa(offset))
 	}
-	body, err := c.get(c.base + "/query?" + params.Encode())
+	body, err := c.get(ctx, c.base+"/query?"+params.Encode())
 	if err != nil {
 		return nil, false, fmt.Errorf("webdb client: query: %w", err)
 	}
@@ -158,10 +166,17 @@ func (c *Client) queryPage(q *query.Query, limit, offset int) ([]relation.Tuple,
 	return tuples, rj.Complete, nil
 }
 
-func (c *Client) get(u string) ([]byte, error) {
+func (c *Client) get(ctx context.Context, u string) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; attempt <= c.Retries; attempt++ {
-		resp, err := c.http.Get(u)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.http.Do(req)
 		if err != nil {
 			lastErr = err
 			continue

@@ -19,6 +19,7 @@
 package webdb
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -34,6 +35,29 @@ type Source interface {
 	Schema() *relation.Schema
 	// Query returns tuples satisfying q, up to limit (limit <= 0: no cap).
 	Query(q *query.Query, limit int) ([]relation.Tuple, error)
+}
+
+// ContextSource is a Source whose queries honor a context — remote sources
+// abort in-flight HTTP requests on cancellation. Wrappers that embed another
+// Source should implement it by delegation so cancellation survives
+// middleware like ProbeCounter.
+type ContextSource interface {
+	Source
+	QueryContext(ctx context.Context, q *query.Query, limit int) ([]relation.Tuple, error)
+}
+
+// QueryContext issues q against src under ctx when src supports it, falling
+// back to a plain Query after an upfront cancellation check. Callers that
+// loop over many source queries (the relaxation engine) use this so a
+// deadline stops both the loop and, for remote sources, the wire request.
+func QueryContext(ctx context.Context, src Source, q *query.Query, limit int) ([]relation.Tuple, error) {
+	if cs, ok := src.(ContextSource); ok {
+		return cs.QueryContext(ctx, q, limit)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return src.Query(q, limit)
 }
 
 // ProbeCounter wraps a Source and counts issued queries and returned tuples.
@@ -52,6 +76,15 @@ func (p *ProbeCounter) Schema() *relation.Schema { return p.Src.Schema() }
 // Query implements Source, counting the probe.
 func (p *ProbeCounter) Query(q *query.Query, limit int) ([]relation.Tuple, error) {
 	ts, err := p.Src.Query(q, limit)
+	p.queries.Add(1)
+	p.tuples.Add(int64(len(ts)))
+	return ts, err
+}
+
+// QueryContext implements ContextSource by delegating to the wrapped source,
+// so counting middleware does not strip cancellation support.
+func (p *ProbeCounter) QueryContext(ctx context.Context, q *query.Query, limit int) ([]relation.Tuple, error) {
+	ts, err := QueryContext(ctx, p.Src, q, limit)
 	p.queries.Add(1)
 	p.tuples.Add(int64(len(ts)))
 	return ts, err
