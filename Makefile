@@ -20,9 +20,10 @@ test:
 	$(GO) test ./...
 
 # The answer cache and single-flight code are exercised concurrently; keep
-# them race-clean. core and webdb carry the context plumbing they rely on.
+# them race-clean. core and webdb carry the context plumbing they rely on,
+# and obs is written to concurrently by every traced request.
 race:
-	$(GO) test -race ./internal/service/... ./internal/core/... ./internal/webdb/...
+	$(GO) test -race ./internal/service/... ./internal/core/... ./internal/webdb/... ./internal/obs/...
 
 bench-serve:
 	$(GO) test -run XXX -bench 'BenchmarkService_' -benchmem ./internal/service/

@@ -62,7 +62,7 @@ func run(base, queries string, conc, total int, dur time.Duration, k int, timeou
 	base = strings.TrimRight(base, "/")
 	client := &http.Client{Timeout: timeout}
 
-	before, err := scrapeCacheCounters(client, base)
+	before, err := scrapeMetrics(client, base)
 	if err != nil {
 		return fmt.Errorf("service not reachable at %s: %w", base, err)
 	}
@@ -127,12 +127,23 @@ func run(base, queries string, conc, total int, dur time.Duration, k int, timeou
 	wg.Wait()
 	elapsed := time.Since(loadStart)
 
-	after, scrapeErr := scrapeCacheCounters(client, base)
+	after, scrapeErr := scrapeMetrics(client, base)
 
 	ok := cnt.ok.Load()
 	fmt.Fprintf(w, "workload: %d workers, %d quer%s, %s\n",
 		conc, len(qs), map[bool]string{true: "y", false: "ies"}[len(qs) == 1], elapsed.Round(time.Millisecond))
 	fmt.Fprintf(w, "requests: %d ok, %d timeouts, %d errors\n", ok, cnt.timeouts.Load(), cnt.errs.Load())
+
+	// Nothing succeeded: report why and stop before any latency math — there
+	// are no samples to take percentiles of and no hit ratio to compute.
+	if ok == 0 {
+		if scrapeErr != nil {
+			fmt.Fprintf(w, "service /metrics scrape failed: %v\n", scrapeErr)
+		}
+		return fmt.Errorf("no successful requests (%d timeouts, %d errors)",
+			cnt.timeouts.Load(), cnt.errs.Load())
+	}
+
 	if elapsed > 0 {
 		fmt.Fprintf(w, "throughput: %.1f req/s\n", float64(ok)/elapsed.Seconds())
 	}
@@ -147,26 +158,57 @@ func run(base, queries string, conc, total int, dur time.Duration, k int, timeou
 			pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
 	}
 	fmt.Fprintf(w, "client-observed cache hits: %d/%d (%.1f%%)\n",
-		cnt.cached.Load(), ok, 100*float64(cnt.cached.Load())/float64(max64(ok, 1)))
+		cnt.cached.Load(), ok, 100*float64(cnt.cached.Load())/float64(ok))
 	if scrapeErr == nil {
 		hits, misses := after.hits-before.hits, after.misses-before.misses
 		lookups := hits + misses
 		fmt.Fprintf(w, "service /metrics: cache hits %d, misses %d (hit ratio %.1f%%)\n",
 			hits, misses, 100*float64(hits)/float64(max64(lookups, 1)))
+		printStageReport(w, before, after)
 	} else {
 		fmt.Fprintf(w, "service /metrics scrape failed: %v\n", scrapeErr)
-	}
-	if ok == 0 {
-		return fmt.Errorf("no successful requests")
 	}
 	return nil
 }
 
-type cacheCounters struct{ hits, misses int64 }
+// printStageReport prints the per-stage time the service spent answering
+// during the run, derived from the aimq_service_stage_seconds histograms
+// (deltas between the scrape before and after the load).
+func printStageReport(w io.Writer, before, after serviceCounters) {
+	var stages []string
+	for name := range after.stageSum {
+		if after.stageCount[name]-before.stageCount[name] > 0 {
+			stages = append(stages, name)
+		}
+	}
+	if len(stages) == 0 {
+		return
+	}
+	sort.Strings(stages)
+	fmt.Fprintf(w, "service stage timings (computed answers only):\n")
+	for _, name := range stages {
+		n := after.stageCount[name] - before.stageCount[name]
+		sum := after.stageSum[name] - before.stageSum[name]
+		fmt.Fprintf(w, "  %-10s %6d runs, avg %s, total %s\n", name, n,
+			time.Duration(sum/float64(n)*float64(time.Second)).Round(time.Microsecond),
+			time.Duration(sum*float64(time.Second)).Round(time.Millisecond))
+	}
+}
 
-// scrapeCacheCounters reads the service's Prometheus text endpoint.
-func scrapeCacheCounters(client *http.Client, base string) (cacheCounters, error) {
-	var out cacheCounters
+// serviceCounters is one scrape of the counters the report needs: the cache
+// counters plus the per-stage histogram sums and counts.
+type serviceCounters struct {
+	hits, misses int64
+	stageSum     map[string]float64
+	stageCount   map[string]int64
+}
+
+// scrapeMetrics reads the service's Prometheus text endpoint.
+func scrapeMetrics(client *http.Client, base string) (serviceCounters, error) {
+	out := serviceCounters{
+		stageSum:   map[string]float64{},
+		stageCount: map[string]int64{},
+	}
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
 		return out, err
@@ -185,14 +227,38 @@ func scrapeCacheCounters(client *http.Client, base string) (cacheCounters, error
 		if err != nil {
 			continue
 		}
-		switch fields[0] {
-		case "aimq_service_cache_hits_total":
+		name := fields[0]
+		switch {
+		case name == "aimq_service_cache_hits_total":
 			out.hits = int64(v)
-		case "aimq_service_cache_misses_total":
+		case name == "aimq_service_cache_misses_total":
 			out.misses = int64(v)
+		case strings.HasPrefix(name, "aimq_service_stage_seconds_sum{"):
+			if stage := stageLabel(name); stage != "" {
+				out.stageSum[stage] = v
+			}
+		case strings.HasPrefix(name, "aimq_service_stage_seconds_count{"):
+			if stage := stageLabel(name); stage != "" {
+				out.stageCount[stage] = int64(v)
+			}
 		}
 	}
 	return out, sc.Err()
+}
+
+// stageLabel extracts the stage="..." label value from a series name.
+func stageLabel(series string) string {
+	const marker = `stage="`
+	i := strings.Index(series, marker)
+	if i < 0 {
+		return ""
+	}
+	rest := series[i+len(marker):]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return ""
+	}
+	return rest[:j]
 }
 
 func max64(a, b int64) int64 {

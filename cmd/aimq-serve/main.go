@@ -1,7 +1,8 @@
 // Command aimq-serve is the AIMQ answering daemon: it loads (or learns and
 // persists) the mined model once, then serves imprecise queries over HTTP
 // with an LRU answer cache, single-flight deduplication, per-request
-// deadlines, Prometheus metrics and graceful shutdown.
+// deadlines, Prometheus metrics, end-to-end query tracing and graceful
+// shutdown.
 //
 // Over a local CSV:
 //
@@ -14,17 +15,30 @@
 // Then:
 //
 //	curl 'http://127.0.0.1:8090/answer?q=Model+like+Camry,+Price+like+10000&k=5'
+//	curl 'http://127.0.0.1:8090/answer?q=Model+like+Camry&explain=true'
+//	curl 'http://127.0.0.1:8090/debug/traces'
 //	curl 'http://127.0.0.1:8090/metrics'
 //	curl 'http://127.0.0.1:8090/healthz'
+//
+// With -debug-addr a second, private listener serves the full diagnostics
+// surface (pprof, expvar, traces, the learning profile):
+//
+//	aimq-serve -data cardb.csv -debug-addr 127.0.0.1:8091
+//	curl 'http://127.0.0.1:8091/debug/'
+//
+// Logs are structured (log/slog); every request carries a generated ID that
+// is echoed back as X-Request-ID and stamped on its trace.
 //
 // SIGINT/SIGTERM drain in-flight requests before exiting.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,6 +55,7 @@ func main() {
 	source := flag.String("source", "", "base URL of a remote aimqd source (alternative to -data)")
 	modelPath := flag.String("model", "", "model snapshot path: loaded when present, else learned and saved here")
 	addr := flag.String("addr", ":8090", "listen address")
+	debugAddr := flag.String("debug-addr", "", "private listen address for pprof/expvar/traces ('' = disabled)")
 	k := flag.Int("k", 10, "default answers per query")
 	maxK := flag.Int("max-k", 100, "cap on client-requested k")
 	tsim := flag.Float64("tsim", 0.5, "default similarity threshold")
@@ -52,14 +67,26 @@ func main() {
 	terr := flag.Float64("terr", 0.15, "TANE error threshold for learning")
 	seed := flag.Int64("seed", 1, "probing/sampling seed")
 	probeWorkers := flag.Int("probe-workers", 1, "concurrent spanning probes while learning")
+	traceRing := flag.Int("trace-ring", 64, "traces kept by /debug/traces (recent and slowest each; negative disables)")
+	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "log answers slower than this at WARN (negative disables)")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	logger := slog.New(handler)
+	slog.SetDefault(logger)
 
 	if err := run(config{
 		data: *data, source: *source, model: *modelPath, addr: *addr,
-		k: *k, maxK: *maxK, tsim: *tsim, cacheSize: *cacheSize,
+		debugAddr: *debugAddr,
+		k:         *k, maxK: *maxK, tsim: *tsim, cacheSize: *cacheSize,
 		timeout: *timeout, drain: *drain, maxQPB: *maxQPB,
 		sampleSize: *sampleSize, terr: *terr, seed: *seed, probeWorkers: *probeWorkers,
-	}); err != nil {
+		traceRing: *traceRing, slowQuery: *slowQuery,
+	}, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "aimq-serve:", err)
 		os.Exit(1)
 	}
@@ -67,14 +94,17 @@ func main() {
 
 type config struct {
 	data, source, model, addr  string
+	debugAddr                  string
 	k, maxK, cacheSize, maxQPB int
 	tsim, terr                 float64
 	timeout, drain             time.Duration
 	sampleSize, probeWorkers   int
 	seed                       int64
+	traceRing                  int
+	slowQuery                  time.Duration
 }
 
-func run(c config) error {
+func run(c config, logger *slog.Logger) error {
 	var src webdb.Source
 	switch {
 	case c.data != "":
@@ -82,21 +112,23 @@ func run(c config) error {
 		if err != nil {
 			return err
 		}
-		log.Printf("serving %d tuples of %s from %s", rel.Size(), rel.Schema(), c.data)
+		logger.Info("serving local relation",
+			"tuples", rel.Size(), "schema", rel.Schema().String(), "file", c.data)
 		src = webdb.NewLocal(rel)
 	case c.source != "":
 		client, err := webdb.NewClient(c.source, nil)
 		if err != nil {
 			return err
 		}
-		log.Printf("answering over remote source %s (%s)", c.source, client.Schema())
+		logger.Info("answering over remote source",
+			"url", c.source, "schema", client.Schema().String())
 		src = client
 	default:
 		return fmt.Errorf("need -data or -source")
 	}
 
 	start := time.Now()
-	ord, est, built, err := service.LoadOrBuildModel(c.model, src, service.LearnConfig{
+	ord, est, learnStats, built, err := service.LoadOrBuildModel(c.model, src, service.LearnConfig{
 		Seed:       c.seed,
 		SampleSize: c.sampleSize,
 		Terr:       c.terr,
@@ -106,12 +138,14 @@ func run(c config) error {
 		return err
 	}
 	if built {
-		log.Printf("learned model in %s", time.Since(start).Round(time.Millisecond))
+		logger.Info("learned model", "elapsed", time.Since(start).Round(time.Millisecond),
+			"probed_tuples", learnStats.ProbedTuples, "sample", learnStats.SampleSize,
+			"afds", learnStats.AFDs, "akeys", learnStats.AKeys)
 		if c.model != "" {
-			log.Printf("model saved to %s", c.model)
+			logger.Info("model saved", "path", c.model)
 		}
 	} else {
-		log.Printf("model loaded from %s in %s", c.model, time.Since(start).Round(time.Millisecond))
+		logger.Info("model loaded", "path", c.model, "elapsed", time.Since(start).Round(time.Millisecond))
 	}
 
 	svc := service.New(src, est, &core.Guided{Ord: ord}, service.Config{
@@ -123,14 +157,36 @@ func run(c config) error {
 		CacheSize:      c.cacheSize,
 		RequestTimeout: c.timeout,
 		MaxK:           c.maxK,
+		TraceRing:      c.traceRing,
+		SlowQuery:      c.slowQuery,
+		Logger:         logger,
 	})
+	svc.SetLearnStats(learnStats)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	log.Printf("answering on %s (cache %d entries, timeout %s)", c.addr, c.cacheSize, c.timeout)
+
+	if c.debugAddr != "" {
+		dbg := &http.Server{Addr: c.debugAddr, Handler: svc.DebugHandler()}
+		go func() {
+			logger.Info("debug surface listening", "addr", c.debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "error", err)
+			}
+		}()
+		go func() {
+			<-ctx.Done()
+			shutCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = dbg.Shutdown(shutCtx)
+		}()
+	}
+
+	logger.Info("answering", "addr", c.addr, "cache_entries", c.cacheSize,
+		"timeout", c.timeout, "trace_ring", c.traceRing, "slow_query", c.slowQuery)
 	err = svc.Run(ctx, c.addr, c.drain)
 	if err == nil {
-		log.Printf("drained and stopped")
+		logger.Info("drained and stopped")
 	}
 	return err
 }

@@ -23,13 +23,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"aimq/internal/obs"
 	"aimq/internal/relation"
 	"aimq/internal/webdb"
 )
@@ -39,7 +40,14 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
+
+	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
+	if *logJSON {
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	}
+	slog.SetDefault(slog.New(handler))
 
 	if err := run(*data, *addr, *idleTimeout, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "aimqd:", err)
@@ -69,7 +77,7 @@ func run(data, addr string, idleTimeout, drain time.Duration) error {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("serving %d tuples of %s on %s", rel.Size(), rel.Schema(), addr)
+		slog.Info("serving relation", "tuples", rel.Size(), "schema", rel.Schema().String(), "addr", addr)
 		errc <- srv.ListenAndServe()
 	}()
 	select {
@@ -77,7 +85,7 @@ func run(data, addr string, idleTimeout, drain time.Duration) error {
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down: draining in-flight requests (up to %s)", drain)
+	slog.Info("shutting down: draining in-flight requests", "budget", drain)
 	drainCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(drainCtx); err != nil {
@@ -86,14 +94,23 @@ func run(data, addr string, idleTimeout, drain time.Duration) error {
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	log.Printf("stopped after %d source queries", src.Queries())
+	slog.Info("stopped", "source_queries", src.Queries())
 	return nil
 }
 
+// logRequests emits one structured line per request, tagged with a request
+// ID that is echoed back as X-Request-ID (the caller's own ID is kept when
+// it forwards one, so a mediator's trace and the source's log correlate).
 func logRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
 		start := time.Now()
 		next.ServeHTTP(w, r)
-		log.Printf("%s %s (%s)", r.Method, r.URL, time.Since(start).Round(time.Microsecond))
+		slog.Info("request", "request_id", id, "method", r.Method,
+			"url", r.URL.String(), "elapsed", time.Since(start).Round(time.Microsecond))
 	})
 }

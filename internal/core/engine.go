@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 
+	"aimq/internal/obs"
 	"aimq/internal/query"
 	"aimq/internal/relation"
 	"aimq/internal/similarity"
@@ -146,13 +147,24 @@ func (e *Engine) Answer(q *query.Query) (*Result, error) {
 // alongside ctx.Err(), so a deadline degrades answer completeness instead of
 // answering nothing. Callers must treat a non-nil error with a non-nil Result
 // as "best effort under the deadline".
+//
+// When the context carries an obs.Recorder (obs.WithRecorder), the run is
+// traced: stage spans (base_set, relax, rank), every base-query probe, every
+// relaxation step with the dropped attributes and their importance weights,
+// and a per-attribute score decomposition of each returned answer. Without
+// a recorder the instrumentation is free — zero additional allocations
+// (BenchmarkAnswerNoRecorder).
 func (e *Engine) AnswerContext(ctx context.Context, q *query.Query) (*Result, error) {
 	cfg := e.Cfg.withDefaults()
 	res := &Result{Query: q}
+	rec := obs.FromContext(ctx)
 
 	// Step 1: map Q to a precise base query with a non-null answerset.
-	base, precise, err := e.baseSet(ctx, q, cfg, &res.Work)
+	spBase := rec.StartSpan("base_set")
+	base, precise, err := e.baseSet(ctx, q, cfg, &res.Work, rec)
+	spBase.End()
 	if err != nil {
+		rec.SetError(err)
 		if ctx.Err() != nil {
 			// Cancelled before any base tuple was retrieved: there is
 			// nothing to rank, but the Result still carries the work stats.
@@ -162,6 +174,9 @@ func (e *Engine) AnswerContext(ctx context.Context, q *query.Query) (*Result, er
 	}
 	res.Base = base
 	res.Precise = precise
+	if rec.Active() {
+		rec.SetBase(precise.String(), len(base))
+	}
 
 	sc := e.Src.Schema()
 	all := relation.AttrSet(0)
@@ -180,16 +195,30 @@ func (e *Engine) AnswerContext(ctx context.Context, q *query.Query) (*Result, er
 		return k
 	}
 	seq := 0
-	add := func(t relation.Tuple, baseSim float64) {
+	add := func(t relation.Tuple, baseSim float64) (string, bool) {
 		k := keyOf(t)
 		if a, ok := aes[k]; ok {
 			if baseSim > a.BaseSim {
 				a.BaseSim = baseSim
 			}
-			return
+			return k, false
 		}
 		aes[k] = &Answer{Tuple: t, Sim: e.Est.Sim(q, t), BaseSim: baseSim, Seq: seq}
 		seq++
+		return k, true
+	}
+
+	// Tracing state: which relaxation steps retrieved each tuple, and which
+	// tuples came from the base set. Only materialized when a recorder is
+	// installed, so the untraced path allocates nothing extra.
+	var (
+		foundBy  map[string][]int
+		fromBase map[string]bool
+		stepKeys []string // keys retrieved by the step being recorded
+	)
+	if rec.Active() {
+		foundBy = make(map[string][]int)
+		fromBase = make(map[string]bool)
 	}
 
 	// Base-set tuples are answers by construction.
@@ -198,7 +227,10 @@ func (e *Engine) AnswerContext(ctx context.Context, q *query.Query) (*Result, er
 		limit = len(base)
 	}
 	for _, t := range base {
-		add(t, 1)
+		k, _ := add(t, 1)
+		if fromBase != nil {
+			fromBase[k] = true
+		}
 	}
 
 	// Steps 2–8: relax each base tuple's fully-bound query.
@@ -209,8 +241,9 @@ func (e *Engine) AnswerContext(ctx context.Context, q *query.Query) (*Result, er
 		}
 		return cfg.MaxTuplesExtracted > 0 && res.Work.TuplesExtracted >= cfg.MaxTuplesExtracted
 	}
+	spRelax := rec.StartSpan("relax")
 expansion:
-	for _, t := range base[:limit] {
+	for bi, t := range base[:limit] {
 		tq := query.FromTuple(sc, t)
 		bound := tq.BoundAttrs()
 		issued := 0
@@ -223,6 +256,7 @@ expansion:
 			}
 			issued++
 			rq := tq.DropAttrs(drop)
+			stepStart := rec.Since()
 			tuples, err := webdb.QueryContext(ctx, e.Src, rq, cfg.PerQueryLimit)
 			res.Work.QueriesIssued++
 			if err != nil {
@@ -234,21 +268,37 @@ expansion:
 				if cfg.Trace {
 					res.Trace = append(res.Trace, TraceStep{Query: rq.String(), Failed: true})
 				}
+				if rec.Active() {
+					rec.AddStep(obs.RelaxStep{
+						Base:      bi,
+						Dropped:   e.droppedAttrs(drop),
+						Query:     rq.String(),
+						Failed:    true,
+						ElapsedMs: float64(rec.Since()-stepStart) / 1e6,
+					})
+				}
 				if res.Work.SourceFailures > cfg.MaxSourceFailures {
-					return nil, fmt.Errorf("aimq: relaxation query failed: %w", err)
+					err = fmt.Errorf("aimq: relaxation query failed: %w", err)
+					rec.SetError(err)
+					return nil, err
 				}
 				continue
 			}
 			res.Work.TuplesExtracted += len(tuples)
-			stepQualified := 0
+			stepQualified, stepDups := 0, 0
+			stepKeys = stepKeys[:0]
 			for _, tp := range tuples {
 				sim := e.Est.SimTuples(t, tp, all)
 				if sim > cfg.Tsim {
-					before := len(aes)
-					add(tp, sim)
-					if len(aes) > before {
+					k, isNew := add(tp, sim)
+					if isNew {
 						qualified++
 						stepQualified++
+					} else {
+						stepDups++
+					}
+					if foundBy != nil {
+						stepKeys = append(stepKeys, k)
 					}
 				}
 			}
@@ -259,11 +309,27 @@ expansion:
 					Qualified: stepQualified,
 				})
 			}
+			if rec.Active() {
+				idx := rec.AddStep(obs.RelaxStep{
+					Base:      bi,
+					Dropped:   e.droppedAttrs(drop),
+					Query:     rq.String(),
+					Extracted: len(tuples),
+					Qualified: stepQualified,
+					DupHits:   stepDups,
+					ElapsedMs: float64(rec.Since()-stepStart) / 1e6,
+				})
+				for _, k := range stepKeys {
+					foundBy[k] = append(foundBy[k], idx)
+				}
+			}
 		}
 	}
+	spRelax.End()
 	res.Work.TuplesQualified = qualified
 
 	// Step 9: rank by similarity to Q and return top-k.
+	spRank := rec.StartSpan("rank")
 	answers := make([]Answer, 0, len(aes))
 	for _, a := range aes {
 		answers = append(answers, *a)
@@ -278,9 +344,43 @@ expansion:
 		answers = answers[:cfg.K]
 	}
 	res.Answers = answers
+	if rec.Active() {
+		// Decompose each returned answer's Sim(Q,t) into per-attribute
+		// weight × similarity terms and attach the steps that retrieved it.
+		for i, a := range answers {
+			k := keyOf(a.Tuple)
+			_, contribs := e.Est.SimExplain(q, a.Tuple)
+			rec.AddAnswer(obs.AnswerExplain{
+				Rank:     i + 1,
+				Sim:      a.Sim,
+				BaseSim:  a.BaseSim,
+				Contribs: contribs,
+				FromBase: fromBase[k],
+				Steps:    foundBy[k],
+			})
+		}
+	}
+	spRank.End()
+	rec.SetError(ctx.Err())
 	// A cancelled context surfaces here, after ranking: the partial answer
 	// set is still returned.
 	return res, ctx.Err()
+}
+
+// droppedAttrs renders a relaxed attribute set with the mined importance
+// weight of each attribute, for trace records. Only called under an active
+// recorder.
+func (e *Engine) droppedAttrs(drop relation.AttrSet) []obs.DroppedAttr {
+	sc := e.Src.Schema()
+	out := make([]obs.DroppedAttr, 0, drop.Size())
+	for _, a := range drop.Members() {
+		w := 0.0
+		if ord := e.Est.Ordering; ord != nil && a < len(ord.Wimp) {
+			w = ord.Wimp[a]
+		}
+		out = append(out, obs.DroppedAttr{Attr: sc.Attr(a).Name, Wimp: w})
+	}
+	return out
 }
 
 // baseSet maps Q to the precise query Qpr and returns its answers. If Qpr
@@ -288,7 +388,7 @@ expansion:
 // least important attributes first — until some generalization returns
 // tuples (paper footnote 2). As a last resort the unconstrained query is
 // issued.
-func (e *Engine) baseSet(ctx context.Context, q *query.Query, cfg Config, work *WorkStats) ([]relation.Tuple, *query.Query, error) {
+func (e *Engine) baseSet(ctx context.Context, q *query.Query, cfg Config, work *WorkStats, rec *obs.Recorder) ([]relation.Tuple, *query.Query, error) {
 	qpr := q.ToPrecise()
 	tryQuery := func(cand *query.Query) ([]relation.Tuple, error) {
 		if err := ctx.Err(); err != nil {
@@ -300,11 +400,17 @@ func (e *Engine) baseSet(ctx context.Context, q *query.Query, cfg Config, work *
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
+			if rec.Active() {
+				rec.BaseProbe(cand.String(), 0, true)
+			}
 			work.SourceFailures++
 			if work.SourceFailures > cfg.MaxSourceFailures {
 				return nil, fmt.Errorf("aimq: base query failed: %w", err)
 			}
 			return nil, nil
+		}
+		if rec.Active() {
+			rec.BaseProbe(cand.String(), len(tuples), false)
 		}
 		work.TuplesExtracted += len(tuples)
 		return tuples, nil

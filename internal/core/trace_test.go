@@ -1,0 +1,199 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"aimq/internal/afd"
+	"aimq/internal/obs"
+	"aimq/internal/query"
+	"aimq/internal/relation"
+	"aimq/internal/similarity"
+	"aimq/internal/supertuple"
+	"aimq/internal/tane"
+	"aimq/internal/webdb"
+)
+
+// traceFixture builds a small deterministic engine for trace assertions.
+func traceFixture(t testing.TB) (*Engine, *query.Query) {
+	sc := relation.MustSchema(
+		relation.Attribute{Name: "Make", Type: relation.Categorical},
+		relation.Attribute{Name: "Model", Type: relation.Categorical},
+		relation.Attribute{Name: "Price", Type: relation.Numeric},
+	)
+	rel := relation.New(sc)
+	rng := rand.New(rand.NewSource(7))
+	models := []struct {
+		mk, model string
+		price     float64
+	}{
+		{"Toyota", "Camry", 10000},
+		{"Toyota", "Corolla", 8000},
+		{"Honda", "Accord", 10500},
+		{"Honda", "Civic", 8200},
+	}
+	for i := 0; i < 400; i++ {
+		m := models[rng.Intn(len(models))]
+		rel.Append(relation.Tuple{
+			relation.Cat(m.mk), relation.Cat(m.model),
+			relation.Numv(m.price + float64(rng.Intn(900))),
+		})
+	}
+	mined := tane.Miner{Terr: 0.3, MaxLHS: 2}.Mine(rel)
+	ord, err := afd.Order(mined)
+	if err != nil {
+		t.Fatalf("Order: %v", err)
+	}
+	idx := supertuple.Builder{Buckets: 8}.Build(rel)
+	est := similarity.New(idx, ord, similarity.Config{})
+	eng := New(webdb.NewLocal(rel), est, &Guided{Ord: ord}, Config{K: 5, Tsim: 0.4})
+	q, err := query.Parse(sc, "Model like Camry, Price like 10000")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return eng, q
+}
+
+func TestAnswerContextRecordsTrace(t *testing.T) {
+	eng, q := traceFixture(t)
+	rec := obs.NewRecorder("t-1", q.String())
+	ctx := obs.WithRecorder(context.Background(), rec)
+	res, err := eng.AnswerContext(ctx, q)
+	if err != nil {
+		t.Fatalf("AnswerContext: %v", err)
+	}
+	tr := rec.Finish()
+
+	// Stage spans cover the Algorithm 1 phases.
+	names := map[string]bool{}
+	for _, sp := range tr.Spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"base_set", "relax", "rank"} {
+		if !names[want] {
+			t.Errorf("missing span %q in %v", want, tr.Spans)
+		}
+	}
+
+	// The base query was recorded with its probe history.
+	if tr.BaseQuery == "" || tr.BaseCount != len(res.Base) {
+		t.Errorf("base: %q count %d, want count %d", tr.BaseQuery, tr.BaseCount, len(res.Base))
+	}
+	if len(tr.BaseProbe) == 0 {
+		t.Errorf("no base probes recorded")
+	}
+
+	// One step per issued relaxation query (base probes are separate).
+	baseProbes := len(tr.BaseProbe)
+	if got, want := len(tr.Steps), res.Work.QueriesIssued-baseProbes; got != want {
+		t.Errorf("steps = %d, want %d (%d issued − %d base probes)", got, want, res.Work.QueriesIssued, baseProbes)
+	}
+	extracted, qualified := 0, 0
+	for i, s := range tr.Steps {
+		if s.Step != i {
+			t.Errorf("step %d has index %d", i, s.Step)
+		}
+		if len(s.Dropped) == 0 || s.Query == "" {
+			t.Errorf("step %d lacks relaxed attributes or query: %+v", i, s)
+		}
+		extracted += s.Extracted
+		qualified += s.Qualified
+	}
+	// Step tuple accounting reconciles with the engine's work stats: the
+	// base probes account for the remaining extractions.
+	baseExtracted := 0
+	for _, p := range tr.BaseProbe {
+		baseExtracted += p.Tuples
+	}
+	if extracted+baseExtracted != res.Work.TuplesExtracted {
+		t.Errorf("steps extracted %d + base %d != work %d", extracted, baseExtracted, res.Work.TuplesExtracted)
+	}
+
+	// Every answer is decomposed, contributions sum to its Sim exactly,
+	// and its provenance (base set or relaxation steps) is recorded.
+	if len(tr.Answers) != len(res.Answers) {
+		t.Fatalf("answer explains = %d, want %d", len(tr.Answers), len(res.Answers))
+	}
+	for i, ae := range tr.Answers {
+		if ae.Rank != i+1 {
+			t.Errorf("answer %d rank %d", i, ae.Rank)
+		}
+		if ae.Sim != res.Answers[i].Sim {
+			t.Errorf("answer %d sim %v != result %v", i, ae.Sim, res.Answers[i].Sim)
+		}
+		sum := 0.0
+		for _, c := range ae.Contribs {
+			if c.Term != c.Weight*c.Sim {
+				t.Errorf("answer %d: term %v != weight %v × sim %v", i, c.Term, c.Weight, c.Sim)
+			}
+			sum += c.Term
+		}
+		if sum != ae.Sim {
+			t.Errorf("answer %d: contributions sum to %v, Sim is %v", i, sum, ae.Sim)
+		}
+		if !ae.FromBase && len(ae.Steps) == 0 {
+			t.Errorf("answer %d has no provenance: not from base and no steps", i)
+		}
+		for _, s := range ae.Steps {
+			if s < 0 || s >= len(tr.Steps) {
+				t.Errorf("answer %d references step %d outside [0,%d)", i, s, len(tr.Steps))
+			}
+		}
+	}
+}
+
+func TestAnswerContextTraceMatchesUntracedRun(t *testing.T) {
+	eng, q := traceFixture(t)
+	plain, err := eng.AnswerContext(context.Background(), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder("t-2", q.String())
+	traced, err := eng.AnswerContext(obs.WithRecorder(context.Background(), rec), q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Answers) != len(traced.Answers) {
+		t.Fatalf("tracing changed the answer count: %d vs %d", len(plain.Answers), len(traced.Answers))
+	}
+	for i := range plain.Answers {
+		if plain.Answers[i].Sim != traced.Answers[i].Sim {
+			t.Errorf("answer %d sim differs under tracing: %v vs %v", i, plain.Answers[i].Sim, traced.Answers[i].Sim)
+		}
+	}
+	if plain.Work != traced.Work {
+		t.Errorf("tracing changed the work stats: %+v vs %+v", plain.Work, traced.Work)
+	}
+}
+
+// BenchmarkAnswerNoRecorder measures the full Algorithm 1 hot path with the
+// instrumentation compiled in but no recorder installed — compare allocs/op
+// against BenchmarkAnswerWithRecorder and against the pre-observability
+// baseline: the no-recorder path must not allocate more than before.
+func BenchmarkAnswerNoRecorder(b *testing.B) {
+	eng, q := traceFixture(b)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.AnswerContext(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnswerWithRecorder is the traced comparison point.
+func BenchmarkAnswerWithRecorder(b *testing.B) {
+	eng, q := traceFixture(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := obs.NewRecorder("b", "q")
+		ctx := obs.WithRecorder(context.Background(), rec)
+		if _, err := eng.AnswerContext(ctx, q); err != nil {
+			b.Fatal(err)
+		}
+		rec.Finish()
+	}
+}

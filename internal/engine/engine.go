@@ -20,6 +20,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"aimq/internal/query"
 	"aimq/internal/relation"
@@ -31,6 +32,7 @@ type Stats struct {
 	Queries        atomic.Int64 // queries executed
 	TuplesReturned atomic.Int64 // tuples returned across all queries
 	TuplesScanned  atomic.Int64 // tuples examined (post index lookup)
+	BusyNanos      atomic.Int64 // wall time spent inside Execute
 }
 
 // Snapshot is a plain-value copy of Stats.
@@ -38,7 +40,11 @@ type Snapshot struct {
 	Queries        int64
 	TuplesReturned int64
 	TuplesScanned  int64
+	BusyNanos      int64
 }
+
+// Busy is the cumulative wall time spent executing queries.
+func (s Snapshot) Busy() time.Duration { return time.Duration(s.BusyNanos) }
 
 // Snapshot returns the current counter values.
 func (s *Stats) Snapshot() Snapshot {
@@ -46,6 +52,7 @@ func (s *Stats) Snapshot() Snapshot {
 		Queries:        s.Queries.Load(),
 		TuplesReturned: s.TuplesReturned.Load(),
 		TuplesScanned:  s.TuplesScanned.Load(),
+		BusyNanos:      s.BusyNanos.Load(),
 	}
 }
 
@@ -54,6 +61,7 @@ func (s *Stats) Reset() {
 	s.Queries.Store(0)
 	s.TuplesReturned.Store(0)
 	s.TuplesScanned.Store(0)
+	s.BusyNanos.Store(0)
 }
 
 // Engine answers boolean conjunctive queries over a fixed relation.
@@ -124,6 +132,8 @@ func (e *Engine) buildIndexes() {
 func (e *Engine) Execute(q *query.Query, limit int) []int {
 	e.buildOnce.Do(e.buildIndexes)
 	e.stats.Queries.Add(1)
+	start := time.Now()
+	defer func() { e.stats.BusyNanos.Add(time.Since(start).Nanoseconds()) }()
 
 	candidates, residual := e.accessPath(q)
 	var out []int

@@ -1,0 +1,312 @@
+// Package obs is the zero-dependency observability layer for the AIMQ
+// answering pipeline: a per-request trace recorder threaded through
+// context.Context, a ring buffer of finished traces, and the structured
+// records the /answer?explain=true API and the /debug/traces surface
+// serialize.
+//
+// The recorder captures the stages of the paper's Algorithm 1 — imprecise →
+// precise tightening (every base-query probe tried), base-set retrieval,
+// each GuidedRelax step (which attributes were relaxed, their mined
+// importance weights, the boolean query issued, how many tuples came back,
+// how many qualified, how many were duplicates), and ranking — plus, for
+// each returned answer, the per-attribute VSim/weight decomposition of its
+// final Sim(Q,t).
+//
+// Everything is nil-safe: code under instrumentation calls methods on the
+// *Recorder obtained from FromContext without checking for nil, and when no
+// recorder was installed every call is a no-op on a nil receiver that
+// allocates nothing — the hot path pays zero when tracing is off (proven by
+// BenchmarkNilRecorder and the core engine's no-recorder benchmark).
+// Callers that must build arguments (attribute-name slices, query strings)
+// guard with Active() first.
+//
+// A Recorder is safe for concurrent use; traces snapshot under a mutex.
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// ctxKey keys the recorder in a context.
+type ctxKey struct{}
+
+// WithRecorder returns a context carrying rec. A nil rec returns ctx
+// unchanged, so callers can thread an optional recorder unconditionally.
+func WithRecorder(ctx context.Context, rec *Recorder) context.Context {
+	if rec == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, rec)
+}
+
+// FromContext returns the recorder installed in ctx, or nil when tracing is
+// off. The nil result is usable: every Recorder method no-ops on nil.
+func FromContext(ctx context.Context) *Recorder {
+	rec, _ := ctx.Value(ctxKey{}).(*Recorder)
+	return rec
+}
+
+// Span is one timed pipeline stage within a trace.
+type Span struct {
+	Name    string  `json:"name"`
+	StartMs float64 `json:"start_ms"` // offset from trace start
+	DurMs   float64 `json:"dur_ms"`
+}
+
+// BaseProbe records one candidate base query tried while tightening the
+// imprecise query to a precise one with a non-null answer set (Algorithm 1
+// step 1 and the footnote-2 generalization chain).
+type BaseProbe struct {
+	Query  string `json:"query"`
+	Tuples int    `json:"tuples"`
+	Failed bool   `json:"failed,omitempty"`
+}
+
+// DroppedAttr names one attribute relaxed by a step, with its mined
+// importance weight W_imp (GuidedRelax drops low-weight attributes first).
+type DroppedAttr struct {
+	Attr string  `json:"attr"`
+	Wimp float64 `json:"wimp"`
+}
+
+// RelaxStep records one relaxation query of Algorithm 1 steps 2–8.
+type RelaxStep struct {
+	Step      int           `json:"step"` // index within the trace, 0-based
+	Base      int           `json:"base"` // which base tuple was being expanded
+	Dropped   []DroppedAttr `json:"dropped"`
+	Query     string        `json:"query"`
+	Extracted int           `json:"extracted"` // tuples the source returned
+	Qualified int           `json:"qualified"` // new tuples above the Tsim gate
+	DupHits   int           `json:"dup_hits"`  // above-gate tuples already in the answer set
+	Failed    bool          `json:"failed,omitempty"`
+	ElapsedMs float64       `json:"elapsed_ms"`
+}
+
+// Contribution is one attribute's term in the weighted similarity sum
+// Sim(Q,t) = Σ W_imp(A_i) × sim_i: Term = Weight × Sim, and the Terms of an
+// answer's contributions sum to its reported Sim.
+type Contribution struct {
+	Attr   string  `json:"attr"`
+	Weight float64 `json:"weight"`
+	Sim    float64 `json:"sim"`  // VSim for categorical, numeric similarity otherwise
+	Term   float64 `json:"term"` // weight × sim
+}
+
+// AnswerExplain decomposes one ranked answer: where its score came from and
+// which relaxation steps retrieved it.
+type AnswerExplain struct {
+	Rank     int            `json:"rank"` // 1-based position in the returned top-k
+	Sim      float64        `json:"sim"`
+	BaseSim  float64        `json:"base_sim"`
+	Contribs []Contribution `json:"contributions"`
+	// FromBase marks tuples retrieved by the precise base query itself.
+	FromBase bool `json:"from_base"`
+	// Steps are the indices (into Trace.Steps) of every relaxation step
+	// that retrieved this tuple, in issue order — including re-finds that
+	// were deduplicated.
+	Steps []int `json:"found_by_steps"`
+}
+
+// LearnStats profiles the offline learning path: probing, TANE mining, the
+// Algorithm 2 ordering, supertuple construction and similarity estimation.
+type LearnStats struct {
+	Pivot           string  `json:"pivot"`
+	SeedTuples      int     `json:"seed_tuples"`
+	SpanningQueries int     `json:"spanning_queries"`
+	ProbeFailures   int     `json:"probe_failures"`
+	ProbedTuples    int     `json:"probed_tuples"`
+	SampleSize      int     `json:"sample_size"` // tuples actually mined
+	AFDs            int     `json:"afds"`
+	AKeys           int     `json:"akeys"`
+	LatticeLevels   int     `json:"lattice_levels"` // TANE levels visited
+	SetsExamined    int     `json:"sets_examined"`  // attribute sets evaluated
+	Stages          []Span  `json:"stages"`         // probe, sample, mine, order, supertuple, simest
+	TotalMs         float64 `json:"total_ms"`
+}
+
+// Trace is the finished record of one answered query (or one learning run).
+type Trace struct {
+	ID        string          `json:"id"`
+	Query     string          `json:"query,omitempty"`
+	Start     time.Time       `json:"start"`
+	ElapsedMs float64         `json:"elapsed_ms"`
+	Spans     []Span          `json:"spans,omitempty"`
+	BaseProbe []BaseProbe     `json:"base_probes,omitempty"`
+	BaseQuery string          `json:"base_query,omitempty"`
+	BaseCount int             `json:"base_count,omitempty"`
+	Steps     []RelaxStep     `json:"relax_steps,omitempty"`
+	Answers   []AnswerExplain `json:"answers,omitempty"`
+	Err       string          `json:"error,omitempty"`
+}
+
+// Recorder accumulates one trace. The zero value is not used directly:
+// construct with NewRecorder, or rely on the nil no-op behavior.
+type Recorder struct {
+	mu    sync.Mutex
+	tr    Trace
+	start time.Time // monotonic anchor for span offsets
+}
+
+// NewRecorder starts a trace for one request.
+func NewRecorder(id, query string) *Recorder {
+	now := time.Now()
+	return &Recorder{tr: Trace{ID: id, Query: query, Start: now}, start: now}
+}
+
+// Active reports whether events are being recorded. It is the guard for
+// instrumentation sites that would otherwise allocate building event
+// arguments.
+func (r *Recorder) Active() bool { return r != nil }
+
+// Since returns the duration since the trace started; zero on nil.
+func (r *Recorder) Since() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.start)
+}
+
+// ActiveSpan is an in-progress stage; End closes it. A nil ActiveSpan (from
+// a nil Recorder) is a no-op.
+type ActiveSpan struct {
+	rec   *Recorder
+	idx   int
+	begin time.Time
+}
+
+// StartSpan opens a named stage. Spans may nest or interleave; each End
+// stamps its own duration.
+func (r *Recorder) StartSpan(name string) *ActiveSpan {
+	if r == nil {
+		return nil
+	}
+	begin := time.Now()
+	r.mu.Lock()
+	idx := len(r.tr.Spans)
+	r.tr.Spans = append(r.tr.Spans, Span{Name: name, StartMs: ms(begin.Sub(r.start))})
+	r.mu.Unlock()
+	return &ActiveSpan{rec: r, idx: idx, begin: begin}
+}
+
+// End closes the span.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	dur := time.Since(s.begin)
+	s.rec.mu.Lock()
+	s.rec.tr.Spans[s.idx].DurMs = ms(dur)
+	s.rec.mu.Unlock()
+}
+
+// BaseProbe records one base-query attempt.
+func (r *Recorder) BaseProbe(query string, tuples int, failed bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tr.BaseProbe = append(r.tr.BaseProbe, BaseProbe{Query: query, Tuples: tuples, Failed: failed})
+	r.mu.Unlock()
+}
+
+// SetBase records the precise base query finally used and its answer count.
+func (r *Recorder) SetBase(query string, count int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tr.BaseQuery = query
+	r.tr.BaseCount = count
+	r.mu.Unlock()
+}
+
+// AddStep appends one relaxation step and returns its index (Step is filled
+// in by the recorder). Returns -1 on nil.
+func (r *Recorder) AddStep(step RelaxStep) int {
+	if r == nil {
+		return -1
+	}
+	r.mu.Lock()
+	step.Step = len(r.tr.Steps)
+	r.tr.Steps = append(r.tr.Steps, step)
+	idx := step.Step
+	r.mu.Unlock()
+	return idx
+}
+
+// AddAnswer appends one answer decomposition.
+func (r *Recorder) AddAnswer(a AnswerExplain) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tr.Answers = append(r.tr.Answers, a)
+	r.mu.Unlock()
+}
+
+// SetError records a terminal error (e.g. a context deadline that cut the
+// relaxation short).
+func (r *Recorder) SetError(err error) {
+	if r == nil || err == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tr.Err = err.Error()
+	r.mu.Unlock()
+}
+
+// Finish stamps the total elapsed time and returns a copy of the trace.
+// Safe to call more than once; later calls re-stamp the total.
+func (r *Recorder) Finish() Trace {
+	if r == nil {
+		return Trace{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tr.ElapsedMs = ms(time.Since(r.start))
+	return snapshotLocked(&r.tr)
+}
+
+// Snapshot returns a copy of the trace as recorded so far.
+func (r *Recorder) Snapshot() Trace {
+	if r == nil {
+		return Trace{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return snapshotLocked(&r.tr)
+}
+
+// SpanDurations returns the name → duration map of closed spans, for
+// feeding per-stage metrics.
+func (r *Recorder) SpanDurations() map[string]time.Duration {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]time.Duration, len(r.tr.Spans))
+	for _, sp := range r.tr.Spans {
+		out[sp.Name] += time.Duration(sp.DurMs * float64(time.Millisecond))
+	}
+	return out
+}
+
+// snapshotLocked deep-copies the slices so callers can hold the trace after
+// the recorder keeps mutating (it doesn't, today, but the copy is cheap and
+// removes the aliasing hazard).
+func snapshotLocked(t *Trace) Trace {
+	cp := *t
+	cp.Spans = append([]Span(nil), t.Spans...)
+	cp.BaseProbe = append([]BaseProbe(nil), t.BaseProbe...)
+	cp.Steps = append([]RelaxStep(nil), t.Steps...)
+	cp.Answers = append([]AnswerExplain(nil), t.Answers...)
+	return cp
+}
+
+// ms converts a duration to float milliseconds.
+func ms(d time.Duration) float64 {
+	return float64(d.Nanoseconds()) / 1e6
+}

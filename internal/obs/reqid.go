@@ -1,0 +1,29 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// reqSeq disambiguates IDs minted in the same process; the random prefix
+// disambiguates across processes/restarts.
+var (
+	reqSeq    atomic.Uint64
+	reqPrefix = func() string {
+		var b [4]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return "00000000"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+)
+
+// NewRequestID mints a compact unique request ID, e.g. "a1b2c3d4-000017".
+// Handlers echo it back as X-Request-ID and stamp it on every log line and
+// trace, so one slow answer can be chased across the service, the ring
+// buffer, and the client.
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06x", reqPrefix, reqSeq.Add(1))
+}

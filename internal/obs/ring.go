@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+)
+
+// Ring retains finished traces for the /debug/traces surface: the most
+// recent N in arrival order, plus the N slowest ever seen (so a burst of
+// fast queries cannot evict the trace of the pathological one you are
+// hunting). Safe for concurrent use; a nil Ring drops everything.
+type Ring struct {
+	mu      sync.Mutex
+	cap     int
+	recent  []Trace // circular, next points at the oldest slot
+	next    int
+	full    bool
+	slowest []Trace // sorted by ElapsedMs descending, at most cap entries
+}
+
+// NewRing creates a ring keeping up to n recent and n slowest traces.
+// n <= 0 returns nil — a disabled ring that Add ignores.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		return nil
+	}
+	return &Ring{cap: n, recent: make([]Trace, 0, n)}
+}
+
+// Add inserts a finished trace.
+func (r *Ring) Add(t Trace) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.recent) < r.cap {
+		r.recent = append(r.recent, t)
+	} else {
+		r.recent[r.next] = t
+		r.next = (r.next + 1) % r.cap
+		r.full = true
+	}
+	// Insert into the slowest list if it qualifies.
+	if len(r.slowest) < r.cap || t.ElapsedMs > r.slowest[len(r.slowest)-1].ElapsedMs {
+		r.slowest = append(r.slowest, t)
+		sort.SliceStable(r.slowest, func(i, j int) bool {
+			return r.slowest[i].ElapsedMs > r.slowest[j].ElapsedMs
+		})
+		if len(r.slowest) > r.cap {
+			r.slowest = r.slowest[:r.cap]
+		}
+	}
+}
+
+// Snapshot returns the retained traces: recent is newest-first, slowest is
+// slowest-first. Both are copies.
+func (r *Ring) Snapshot() (recent, slowest []Trace) {
+	if r == nil {
+		return nil, nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := len(r.recent)
+	recent = make([]Trace, 0, n)
+	// Newest-first: walk backwards from the slot before next.
+	start := r.next - 1
+	if !r.full {
+		start = n - 1
+	}
+	for i := 0; i < n; i++ {
+		idx := (start - i + n) % n
+		recent = append(recent, r.recent[idx])
+	}
+	slowest = append([]Trace(nil), r.slowest...)
+	return recent, slowest
+}
+
+// Len reports how many recent traces are retained.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.recent)
+}

@@ -47,6 +47,21 @@ type Collector struct {
 	// everything sampled from it — is identical regardless of the setting.
 	// Default 1 (sequential).
 	Parallelism int
+
+	// Stats describes the most recent Collect run: how much probing work
+	// the offline phase cost. It is plain state on the collector — read it
+	// after Collect returns, not concurrently with it.
+	Stats Stats
+}
+
+// Stats profiles one Collect run.
+type Stats struct {
+	Pivot           string // pivot attribute probed
+	SeedTuples      int    // tuples the unconstrained seed probe returned
+	SpanningQueries int    // spanning queries issued
+	Failures        int    // spanning queries that failed
+	TuplesReturned  int    // tuples returned across spanning queries, pre-dedup
+	ProbedTuples    int    // distinct tuples kept in the probed relation
 }
 
 // New creates a collector over src with the given RNG (used for sampling).
@@ -78,6 +93,12 @@ func (c *Collector) Collect(pivot string) (*relation.Relation, error) {
 	}
 
 	results, failures, firstErr := c.runSpanning(spanning)
+	c.Stats = Stats{
+		Pivot:           pivot,
+		SeedTuples:      len(seed),
+		SpanningQueries: len(spanning),
+		Failures:        failures,
+	}
 	if failures > c.MaxFailures {
 		return nil, fmt.Errorf("probe: spanning queries failed %d times (tolerance %d): %w",
 			failures, c.MaxFailures, firstErr)
@@ -86,6 +107,7 @@ func (c *Collector) Collect(pivot string) (*relation.Relation, error) {
 	out := relation.New(sc)
 	seen := make(map[string]bool)
 	for _, tuples := range results {
+		c.Stats.TuplesReturned += len(tuples)
 		for _, t := range tuples {
 			k := tupleKey(sc, t)
 			if !seen[k] {
@@ -94,6 +116,7 @@ func (c *Collector) Collect(pivot string) (*relation.Relation, error) {
 			}
 		}
 	}
+	c.Stats.ProbedTuples = out.Size()
 	if out.Size() == 0 {
 		return nil, fmt.Errorf("probe: spanning queries over %s returned no tuples", pivot)
 	}

@@ -237,3 +237,33 @@ func (f *failingSource) Query(q *query.Query, limit int) ([]relation.Tuple, erro
 	}
 	return nil, errors.New("boom")
 }
+
+func TestCollectRecordsStats(t *testing.T) {
+	rel := bigRel(1200, 11)
+	src := &webdb.ProbeCounter{Src: webdb.NewLocal(rel)}
+	c := New(src, rand.New(rand.NewSource(12)))
+	c.SeedProbeLimit = 1200
+	got, err := c.Collect("Make")
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	st := c.Stats
+	if st.Pivot != "Make" {
+		t.Errorf("Pivot = %q", st.Pivot)
+	}
+	if st.SeedTuples != 1200 {
+		t.Errorf("SeedTuples = %d, want 1200", st.SeedTuples)
+	}
+	if st.SpanningQueries != 6 { // one per distinct make
+		t.Errorf("SpanningQueries = %d, want 6", st.SpanningQueries)
+	}
+	if st.Failures != 0 {
+		t.Errorf("Failures = %d", st.Failures)
+	}
+	if st.ProbedTuples != got.Size() || st.ProbedTuples != rel.Size() {
+		t.Errorf("ProbedTuples = %d, relation %d", st.ProbedTuples, got.Size())
+	}
+	if st.TuplesReturned < st.ProbedTuples {
+		t.Errorf("TuplesReturned %d < ProbedTuples %d", st.TuplesReturned, st.ProbedTuples)
+	}
+}

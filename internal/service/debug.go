@@ -1,0 +1,94 @@
+package service
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+
+	"aimq/internal/engine"
+)
+
+// engineBacked is satisfied by sources that expose their boolean engine
+// (webdb.Local does); /debug/source reports its execution counters.
+type engineBacked interface {
+	Engine() *engine.Engine
+}
+
+// DebugHandler returns the diagnostics surface, meant to be served on a
+// separate (private) listener — the -debug-addr flag of the binaries:
+//
+//	/debug/          index of everything below
+//	/debug/traces    the trace ring (recent + slowest answer traces)
+//	/debug/learn     offline-phase profile of the served model
+//	/debug/source    boolean-engine execution counters
+//	/debug/vars      expvar (memstats, cmdline)
+//	/debug/pprof/    the standard pprof profiles
+//
+// Everything here is read-only, but profiles and traces reveal query
+// contents — keep the listener off public interfaces.
+func (s *Service) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/learn", s.handleLearn)
+	mux.HandleFunc("GET /debug/source", s.handleSource)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /debug/{$}", s.handleDebugIndex)
+	mux.HandleFunc("GET /{$}", func(w http.ResponseWriter, r *http.Request) {
+		http.Redirect(w, r, "/debug/", http.StatusFound)
+	})
+	return mux
+}
+
+func (s *Service) handleDebugIndex(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "aimq debug surface (uptime %s)\n\n", time.Since(s.start).Round(time.Second))
+	fmt.Fprintln(w, "/debug/traces   recent and slowest answer traces")
+	fmt.Fprintln(w, "/debug/learn    offline learning-phase profile")
+	fmt.Fprintln(w, "/debug/source   boolean-engine execution counters")
+	fmt.Fprintln(w, "/debug/vars     expvar")
+	fmt.Fprintln(w, "/debug/pprof/   pprof profiles")
+}
+
+// handleLearn reports how the served model was built. 404 when the model was
+// loaded from a snapshot: the learning happened in some earlier process.
+func (s *Service) handleLearn(w http.ResponseWriter, _ *http.Request) {
+	ls := s.LearnStats()
+	if ls == nil {
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: "no learning profile: model loaded from snapshot or stats not attached"})
+		return
+	}
+	writeJSON(w, http.StatusOK, ls)
+}
+
+// handleSource reports the underlying boolean engine's counters, plus the
+// process's memory footprint — enough to answer "is the source the
+// bottleneck" without attaching pprof.
+func (s *Service) handleSource(w http.ResponseWriter, _ *http.Request) {
+	eb, ok := s.src.(engineBacked)
+	if !ok {
+		writeJSON(w, http.StatusNotFound,
+			errorResponse{Error: fmt.Sprintf("source %T does not expose engine statistics", s.src)})
+		return
+	}
+	snap := eb.Engine().Stats().Snapshot()
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"queries":         snap.Queries,
+		"tuples_returned": snap.TuplesReturned,
+		"tuples_scanned":  snap.TuplesScanned,
+		"busy_seconds":    snap.Busy().Seconds(),
+		"relation_size":   eb.Engine().Relation().Size(),
+		"heap_bytes":      mem.HeapAlloc,
+		"goroutines":      runtime.NumGoroutine(),
+	})
+}

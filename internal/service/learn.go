@@ -5,9 +5,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
 	"aimq/internal/afd"
 	"aimq/internal/model"
+	"aimq/internal/obs"
 	"aimq/internal/probe"
 	"aimq/internal/similarity"
 	"aimq/internal/supertuple"
@@ -43,17 +45,28 @@ func (lc LearnConfig) withDefaults() LearnConfig {
 
 // BuildModel runs AIMQ's offline phase against src: spanning-query probing,
 // TANE AFD/AKey mining, the Algorithm 2 attribute ordering, and supertuple
-// value-similarity estimation.
-func BuildModel(src webdb.Source, lc LearnConfig) (*afd.Ordering, *similarity.Estimator, error) {
+// value-similarity estimation. The returned LearnStats profiles the run —
+// stage timings plus probing and mining volumes — for /debug/learn.
+func BuildModel(src webdb.Source, lc LearnConfig) (*afd.Ordering, *similarity.Estimator, *obs.LearnStats, error) {
 	lc = lc.withDefaults()
+	start := time.Now()
+	stats := &obs.LearnStats{}
+	stage := func(name string, begin time.Time) {
+		stats.Stages = append(stats.Stages, obs.Span{
+			Name:    name,
+			StartMs: float64(begin.Sub(start).Nanoseconds()) / 1e6,
+			DurMs:   float64(time.Since(begin).Nanoseconds()) / 1e6,
+		})
+	}
 	rng := rand.New(rand.NewSource(lc.Seed))
 	collector := probe.New(src, rng)
 	collector.Parallelism = lc.Workers
 	pivot := lc.Pivot
+	begin := time.Now()
 	if pivot == "" {
 		infos, err := probe.PivotCoverage(src, 2000)
 		if err != nil {
-			return nil, nil, fmt.Errorf("service: pivot discovery failed: %w", err)
+			return nil, nil, nil, fmt.Errorf("service: pivot discovery failed: %w", err)
 		}
 		for _, info := range infos {
 			if info.DistinctInSeed >= 2 {
@@ -62,51 +75,77 @@ func BuildModel(src webdb.Source, lc LearnConfig) (*afd.Ordering, *similarity.Es
 			}
 		}
 		if pivot == "" {
-			return nil, nil, errors.New("service: no usable probing pivot (source empty?)")
+			return nil, nil, nil, errors.New("service: no usable probing pivot (source empty?)")
 		}
 	}
 	sample, err := collector.Collect(pivot)
 	if err != nil {
-		return nil, nil, fmt.Errorf("service: probing failed: %w", err)
+		return nil, nil, nil, fmt.Errorf("service: probing failed: %w", err)
 	}
+	stage("probe", begin)
+	stats.Pivot = collector.Stats.Pivot
+	stats.SeedTuples = collector.Stats.SeedTuples
+	stats.SpanningQueries = collector.Stats.SpanningQueries
+	stats.ProbeFailures = collector.Stats.Failures
+	stats.ProbedTuples = collector.Stats.ProbedTuples
+
+	begin = time.Now()
 	if lc.SampleSize > 0 && sample.Size() > lc.SampleSize {
 		sample = sample.Sample(lc.SampleSize, rng)
 	}
+	stage("sample", begin)
+	stats.SampleSize = sample.Size()
+
+	begin = time.Now()
 	mined := tane.Miner{Terr: lc.Terr, MaxLHS: lc.MaxLHS}.Mine(sample)
+	stage("mine", begin)
+	stats.AFDs = len(mined.AFDs)
+	stats.AKeys = len(mined.AKeys)
+	stats.LatticeLevels = mined.LevelsVisited
+	stats.SetsExamined = mined.SetsExamined
+
+	begin = time.Now()
 	ord, err := afd.Order(mined)
 	if err != nil {
-		return nil, nil, fmt.Errorf("service: %w (raise Terr or enlarge the sample)", err)
+		return nil, nil, nil, fmt.Errorf("service: %w (raise Terr or enlarge the sample)", err)
 	}
+	stage("order", begin)
+
+	begin = time.Now()
 	idx := supertuple.Builder{Buckets: lc.Buckets}.Build(sample)
-	return ord, similarity.New(idx, ord, similarity.Config{}), nil
+	est := similarity.New(idx, ord, similarity.Config{})
+	stage("supertuple", begin)
+	stats.TotalMs = float64(time.Since(start).Nanoseconds()) / 1e6
+	return ord, est, stats, nil
 }
 
 // LoadOrBuildModel restores the model snapshot at path when one exists;
 // otherwise it runs BuildModel and, when path is non-empty, persists the
 // result there so the next start skips the offline phase. built reports
-// which branch was taken.
-func LoadOrBuildModel(path string, src webdb.Source, lc LearnConfig) (ord *afd.Ordering, est *similarity.Estimator, built bool, err error) {
+// which branch was taken; stats is non-nil only when the model was built in
+// this process (a restored snapshot has no learning profile to report).
+func LoadOrBuildModel(path string, src webdb.Source, lc LearnConfig) (ord *afd.Ordering, est *similarity.Estimator, stats *obs.LearnStats, built bool, err error) {
 	if path != "" {
 		if _, statErr := os.Stat(path); statErr == nil {
 			snap, err := model.Load(path)
 			if err != nil {
-				return nil, nil, false, err
+				return nil, nil, nil, false, err
 			}
 			ord, est, err := snap.Restore(src.Schema())
 			if err != nil {
-				return nil, nil, false, fmt.Errorf("service: %w", err)
+				return nil, nil, nil, false, fmt.Errorf("service: %w", err)
 			}
-			return ord, est, false, nil
+			return ord, est, nil, false, nil
 		}
 	}
-	ord, est, err = BuildModel(src, lc)
+	ord, est, stats, err = BuildModel(src, lc)
 	if err != nil {
-		return nil, nil, false, err
+		return nil, nil, nil, false, err
 	}
 	if path != "" {
 		if err := model.Save(path, model.Capture(ord, est)); err != nil {
-			return nil, nil, true, err
+			return nil, nil, stats, true, err
 		}
 	}
-	return ord, est, true, nil
+	return ord, est, stats, true, nil
 }

@@ -21,9 +21,52 @@ type serviceMetrics struct {
 	flightShared   atomic.Int64 // requests that piggybacked on another's run
 	relaxQueries   atomic.Int64 // source queries issued by the engine
 	tuplesRead     atomic.Int64 // tuples extracted from the source
+	slowQueries    atomic.Int64 // answers slower than the slow-query threshold
 	inflight       atomic.Int64
 
 	latency latencyHistogram
+	stages  stageHistograms
+}
+
+// stageHistograms holds one latency histogram per pipeline stage
+// (base_set, relax, rank, ...), fed by the per-request trace spans. Exposed
+// as aimq_service_stage_seconds{stage="..."} so a scrape answers "where do
+// the milliseconds of an answer go" without attaching a profiler.
+type stageHistograms struct {
+	mu sync.Mutex
+	m  map[string]*latencyHistogram
+}
+
+func (s *stageHistograms) Observe(stage string, seconds float64) {
+	s.mu.Lock()
+	h := s.m[stage]
+	if h == nil {
+		if s.m == nil {
+			s.m = make(map[string]*latencyHistogram)
+		}
+		h = &latencyHistogram{}
+		s.m[stage] = h
+	}
+	s.mu.Unlock()
+	h.Observe(seconds)
+}
+
+// names returns the stage names sorted, for deterministic rendering.
+func (s *stageHistograms) names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.m))
+	for name := range s.m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (s *stageHistograms) get(name string) *latencyHistogram {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.m[name]
 }
 
 // latencyBounds are the histogram bucket upper bounds in seconds. Answer
@@ -66,8 +109,10 @@ func (h *latencyHistogram) snapshot() ([]int64, float64, int64) {
 	return cum, h.sum, h.total
 }
 
-// render writes the metrics in Prometheus text format.
-func (m *serviceMetrics) render(w io.Writer) {
+// render writes the metrics in Prometheus text format. cacheEntries is the
+// current answer-cache population (the metrics struct does not own the
+// cache, so the gauge value is passed in at scrape time).
+func (m *serviceMetrics) render(w io.Writer, cacheEntries int) {
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -85,10 +130,16 @@ func (m *serviceMetrics) render(w io.Writer) {
 		"Boolean queries issued against the autonomous source.", m.relaxQueries.Load())
 	counter("aimq_service_tuples_extracted_total",
 		"Tuples returned by the autonomous source.", m.tuplesRead.Load())
+	counter("aimq_service_slow_queries_total",
+		"Answers slower than the configured slow-query threshold.", m.slowQueries.Load())
 
 	fmt.Fprintf(w, "# HELP aimq_service_inflight_requests Answer requests currently being served.\n")
 	fmt.Fprintf(w, "# TYPE aimq_service_inflight_requests gauge\n")
 	fmt.Fprintf(w, "aimq_service_inflight_requests %d\n", m.inflight.Load())
+
+	fmt.Fprintf(w, "# HELP aimq_service_cache_entries Entries currently in the answer cache.\n")
+	fmt.Fprintf(w, "# TYPE aimq_service_cache_entries gauge\n")
+	fmt.Fprintf(w, "aimq_service_cache_entries %d\n", cacheEntries)
 
 	cum, sum, total := m.latency.snapshot()
 	fmt.Fprintf(w, "# HELP aimq_service_answer_latency_seconds Answer latency (cache hits included).\n")
@@ -99,4 +150,21 @@ func (m *serviceMetrics) render(w io.Writer) {
 	fmt.Fprintf(w, "aimq_service_answer_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum[len(cum)-1])
 	fmt.Fprintf(w, "aimq_service_answer_latency_seconds_sum %g\n", sum)
 	fmt.Fprintf(w, "aimq_service_answer_latency_seconds_count %d\n", total)
+
+	stageNames := m.stages.names()
+	if len(stageNames) > 0 {
+		fmt.Fprintf(w, "# HELP aimq_service_stage_seconds Time spent per answering-pipeline stage.\n")
+		fmt.Fprintf(w, "# TYPE aimq_service_stage_seconds histogram\n")
+		for _, name := range stageNames {
+			h := m.stages.get(name)
+			cum, sum, total := h.snapshot()
+			label := fmt.Sprintf("stage=%q", name)
+			for i, bound := range latencyBounds[:] {
+				fmt.Fprintf(w, "aimq_service_stage_seconds_bucket{%s,le=\"%g\"} %d\n", label, bound, cum[i])
+			}
+			fmt.Fprintf(w, "aimq_service_stage_seconds_bucket{%s,le=\"+Inf\"} %d\n", label, cum[len(cum)-1])
+			fmt.Fprintf(w, "aimq_service_stage_seconds_sum{%s} %g\n", label, sum)
+			fmt.Fprintf(w, "aimq_service_stage_seconds_count{%s} %d\n", label, total)
+		}
+	}
 }

@@ -15,14 +15,22 @@
 //   - per-request deadlines threaded through the relaxation loops
 //     (core.Engine.AnswerContext), so slow sources degrade answers rather
 //     than pile up goroutines;
-//   - /metrics in Prometheus text format, /healthz, and graceful shutdown.
+//   - /metrics in Prometheus text format, /healthz, and graceful shutdown;
+//   - end-to-end observability: every computed answer is traced through the
+//     internal/obs recorder (base-set probes, per-step relaxation provenance,
+//     per-attribute score contributions), retained in a /debug/traces ring,
+//     fed into per-stage latency histograms, and — with explain=true —
+//     returned to the client alongside the answers;
+//   - structured request logs (log/slog) with generated request IDs, echoed
+//     back as X-Request-ID.
 //
 // Endpoints:
 //
-//	GET  /answer?q=Model+like+Camry&k=5&tsim=0.6&timeout=500ms
-//	POST /answer   {"query":"Model like Camry","k":5,"tsim":0.6}
+//	GET  /answer?q=Model+like+Camry&k=5&tsim=0.6&timeout=500ms&explain=true
+//	POST /answer   {"query":"Model like Camry","k":5,"tsim":0.6,"explain":true}
 //	GET  /healthz
 //	GET  /metrics
+//	GET  /debug/traces        (also under DebugHandler with pprof + expvar)
 package service
 
 import (
@@ -30,13 +38,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"aimq/internal/core"
+	"aimq/internal/obs"
 	"aimq/internal/query"
 	"aimq/internal/similarity"
 	"aimq/internal/webdb"
@@ -54,6 +65,17 @@ type Config struct {
 	RequestTimeout time.Duration
 	// MaxK caps client-requested k. Default 100.
 	MaxK int
+	// TraceRing is how many traces /debug/traces retains in each of its two
+	// lists (most recent and slowest). Default 64; negative disables tracing
+	// of non-explain requests entirely (explain=true still traces, since the
+	// trace is the response).
+	TraceRing int
+	// SlowQuery is the computation-time threshold above which an answer is
+	// logged at WARN and counted in aimq_service_slow_queries_total.
+	// Default 500ms; negative disables the slow-query log.
+	SlowQuery time.Duration
+	// Logger receives the structured request log. Default slog.Default().
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +87,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxK == 0 {
 		c.MaxK = 100
+	}
+	if c.TraceRing == 0 {
+		c.TraceRing = 64
+	}
+	if c.SlowQuery == 0 {
+		c.SlowQuery = 500 * time.Millisecond
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
 	}
 	return c
 }
@@ -82,6 +113,11 @@ type Service struct {
 	met    serviceMetrics
 	mux    *http.ServeMux
 	start  time.Time
+	ring   *obs.Ring
+	log    *slog.Logger
+
+	learnMu sync.Mutex
+	learn   *obs.LearnStats
 }
 
 // New assembles the service over a source and a learned model. The relaxer
@@ -97,17 +133,57 @@ func New(src webdb.Source, est *similarity.Estimator, relaxer core.Relaxer, cfg 
 		start:   time.Now(),
 	}
 	s.cache = newLRUCache(s.cfg.CacheSize)
+	ringCap := s.cfg.TraceRing
+	if ringCap < 0 {
+		ringCap = 0
+	}
+	s.ring = obs.NewRing(ringCap)
+	s.log = s.cfg.Logger
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /answer", s.handleAnswer)
 	s.mux.HandleFunc("POST /answer", s.handleAnswer)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// SetLearnStats attaches the offline-phase profile (from BuildModel) so
+// /debug/learn can report how the served model was built.
+func (s *Service) SetLearnStats(ls *obs.LearnStats) {
+	s.learnMu.Lock()
+	s.learn = ls
+	s.learnMu.Unlock()
+}
+
+// LearnStats returns the offline-phase profile, or nil when the model was
+// loaded from a snapshot (nothing was learned in this process).
+func (s *Service) LearnStats() *obs.LearnStats {
+	s.learnMu.Lock()
+	defer s.learnMu.Unlock()
+	return s.learn
+}
+
+// reqIDKey carries the request ID through the request context.
+type reqIDKey struct{}
+
+// requestID extracts the request ID minted by ServeHTTP; empty when the
+// handler runs outside the service's middleware (direct tests).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}
+
+// ServeHTTP implements http.Handler. Every request gets an ID — the caller's
+// X-Request-ID when forwarded by a proxy, a generated one otherwise — echoed
+// back in the response headers and attached to log lines and traces.
 func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	id := r.Header.Get("X-Request-ID")
+	if id == "" {
+		id = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-ID", id)
+	s.mux.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id)))
 }
 
 // answerPayload is the JSON body of a successful answer. Payloads are
@@ -121,6 +197,11 @@ type answerPayload struct {
 	Columns   []string    `json:"columns"`
 	Answers   []answerRow `json:"answers"`
 	Work      workJSON    `json:"work"`
+	// Explain carries the full trace — spans, base probes, relaxation steps,
+	// per-answer score decompositions — when the client asked for it.
+	// Explained payloads are never cached, so the trace is always the run
+	// that produced this exact response.
+	Explain *obs.Trace `json:"explain,omitempty"`
 }
 
 type answerRow struct {
@@ -150,12 +231,13 @@ type errorResponse struct {
 }
 
 // answerRequest is the POST /answer body; GET uses the matching query
-// parameters (q, k, tsim, timeout).
+// parameters (q, k, tsim, timeout, explain).
 type answerRequest struct {
 	Query   string  `json:"query"`
 	K       int     `json:"k"`
 	Tsim    float64 `json:"tsim"`
 	Timeout string  `json:"timeout"`
+	Explain bool    `json:"explain"`
 }
 
 func (s *Service) handleAnswer(w http.ResponseWriter, r *http.Request) {
@@ -201,22 +283,34 @@ func (s *Service) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), timeout)
 	defer cancel()
+	reqID := requestID(ctx)
 
 	key := cacheKey(q, k, tsim)
-	if payload, ok := s.cache.Get(key); ok {
-		s.met.cacheHits.Add(1)
-		s.met.requestsOK.Add(1)
-		s.observe(startReq)
-		writeJSON(w, http.StatusOK, answerResponse{
-			answerPayload: payload, Cached: true, ElapsedMs: msSince(startReq),
-		})
-		return
+	if !req.Explain {
+		if payload, ok := s.cache.Get(key); ok {
+			s.met.cacheHits.Add(1)
+			s.met.requestsOK.Add(1)
+			s.observe(startReq)
+			s.logAnswer(reqID, req.Query, http.StatusOK, true, false, startReq, len(payload.Answers))
+			writeJSON(w, http.StatusOK, answerResponse{
+				answerPayload: payload, Cached: true, ElapsedMs: msSince(startReq),
+			})
+			return
+		}
+		s.met.cacheMisses.Add(1)
 	}
-	s.met.cacheMisses.Add(1)
 
-	payload, err, shared := s.flight.Do(ctx, key, func() (*answerPayload, error) {
-		p, err := s.compute(ctx, q, k, tsim)
-		if err == nil {
+	// Explained answers bypass the cache in both directions (the trace must
+	// describe this run, and a cached payload must never carry one), but
+	// still share a flight with concurrent identical explain requests —
+	// under a distinct key, since the payload shape differs.
+	flightKey := key
+	if req.Explain {
+		flightKey += "|explain"
+	}
+	payload, err, shared := s.flight.Do(ctx, flightKey, func() (*answerPayload, error) {
+		p, err := s.compute(ctx, q, k, tsim, reqID, req.Explain)
+		if err == nil && !req.Explain {
 			s.cache.Add(key, p)
 		}
 		return p, err
@@ -228,19 +322,34 @@ func (s *Service) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
 			s.met.requestsCancel.Add(1)
+			s.logAnswer(reqID, req.Query, http.StatusGatewayTimeout, false, shared, startReq, 0)
 			// 504: the deadline expired before relaxation finished. The
 			// body still carries the ranked partial answer set, if any.
 			writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error(), Partial: payload})
 			return
 		}
 		s.met.requestsErr.Add(1)
+		s.logAnswer(reqID, req.Query, http.StatusInternalServerError, false, shared, startReq, 0)
 		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
 		return
 	}
 	s.met.requestsOK.Add(1)
+	s.logAnswer(reqID, req.Query, http.StatusOK, false, shared, startReq, len(payload.Answers))
 	writeJSON(w, http.StatusOK, answerResponse{
 		answerPayload: payload, Cached: false, Shared: shared, ElapsedMs: msSince(startReq),
 	})
+}
+
+// logAnswer emits one structured line per answered request.
+func (s *Service) logAnswer(reqID, q string, status int, cached, shared bool, start time.Time, answers int) {
+	lvl := slog.LevelInfo
+	if status >= 400 {
+		lvl = slog.LevelWarn
+	}
+	s.log.Log(context.Background(), lvl, "answer",
+		"request_id", reqID, "query", q, "status", status,
+		"cached", cached, "shared", shared,
+		"elapsed_ms", msSince(start), "answers", answers)
 }
 
 // bounds resolves and validates the per-request k and Tsim.
@@ -272,23 +381,61 @@ func (s *Service) bounds(req *answerRequest) (int, float64, error) {
 // compute runs one relaxation pass. On a context error it returns the
 // partial payload (when the engine salvaged any answers) together with the
 // error; partial payloads are never cached.
-func (s *Service) compute(ctx context.Context, q *query.Query, k int, tsim float64) (*answerPayload, error) {
+//
+// The run is traced whenever the trace ring is enabled or the client asked
+// for an explanation; the finished trace feeds the ring, the per-stage
+// histograms and the slow-query log, and — for explain requests — rides on
+// the payload itself.
+func (s *Service) compute(ctx context.Context, q *query.Query, k int, tsim float64, traceID string, explain bool) (*answerPayload, error) {
 	cfg := s.cfg.Engine
 	cfg.K = k
 	cfg.Tsim = tsim
+	var rec *obs.Recorder
+	if explain || s.ring != nil {
+		if traceID == "" {
+			traceID = obs.NewRequestID()
+		}
+		rec = obs.NewRecorder(traceID, q.String())
+		ctx = obs.WithRecorder(ctx, rec)
+	}
 	eng := core.New(s.src, s.est, s.relaxer, cfg)
 	res, err := eng.AnswerContext(ctx, q)
 	if res != nil {
 		s.met.relaxQueries.Add(int64(res.Work.QueriesIssued))
 		s.met.tuplesRead.Add(int64(res.Work.TuplesExtracted))
 	}
+	var tr *obs.Trace
+	if rec != nil {
+		t := rec.Finish()
+		tr = &t
+		s.ring.Add(t)
+		for name, d := range rec.SpanDurations() {
+			s.met.stages.Observe(name, d.Seconds())
+		}
+		s.met.stages.Observe("total", t.ElapsedMs/1000)
+		if s.cfg.SlowQuery > 0 && t.ElapsedMs >= float64(s.cfg.SlowQuery)/1e6 {
+			s.met.slowQueries.Add(1)
+			s.log.Warn("slow query",
+				"request_id", t.ID, "query", t.Query, "elapsed_ms", t.ElapsedMs,
+				"relax_steps", len(t.Steps), "base_count", t.BaseCount,
+				"answers", len(t.Answers), "error", t.Err)
+		}
+	}
 	if err != nil {
 		if res != nil && len(res.Answers) > 0 {
-			return s.payload(q, res, k, tsim), err
+			p := s.payload(q, res, k, tsim)
+			if explain {
+				p.Explain = tr
+			}
+			return p, err
 		}
 		return nil, err
 	}
-	return s.payload(q, res, k, tsim), nil
+	p := s.payload(q, res, k, tsim)
+	if explain {
+		p.Explain = tr
+	}
+	return p, nil
 }
 
 func (s *Service) payload(q *query.Query, res *core.Result, k int, tsim float64) *answerPayload {
@@ -328,7 +475,22 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.render(w)
+	s.met.render(w, s.cache.Len())
+}
+
+// handleTraces serves the trace ring: the most recent traces (newest first)
+// and the slowest ever retained (slowest first).
+func (s *Service) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	if s.ring == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "tracing disabled (Config.TraceRing < 0)"})
+		return
+	}
+	recent, slowest := s.ring.Snapshot()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"retained": len(recent),
+		"recent":   recent,
+		"slowest":  slowest,
+	})
 }
 
 func (s *Service) observe(start time.Time) {
@@ -372,6 +534,13 @@ func parseAnswerRequest(r *http.Request) (*answerRequest, error) {
 			return nil, fmt.Errorf("bad tsim %q", raw)
 		}
 		req.Tsim = f
+	}
+	if raw := vals.Get("explain"); raw != "" {
+		b, err := strconv.ParseBool(raw)
+		if err != nil {
+			return nil, fmt.Errorf("bad explain %q", raw)
+		}
+		req.Explain = b
 	}
 	return req, nil
 }

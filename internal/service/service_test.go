@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/http"
@@ -77,6 +79,10 @@ func newService(t testing.TB, rel *relation.Relation, src webdb.Source, cfg Conf
 	ord, est := learnFrom(t, rel)
 	if src == nil {
 		src = webdb.NewLocal(rel)
+	}
+	if cfg.Logger == nil {
+		// Keep test output readable; tests asserting log behavior pass their own.
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	return New(src, est, &core.Guided{Ord: ord}, cfg)
 }

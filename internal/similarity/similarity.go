@@ -22,6 +22,7 @@ import (
 
 	"aimq/internal/afd"
 	"aimq/internal/bag"
+	"aimq/internal/obs"
 	"aimq/internal/query"
 	"aimq/internal/relation"
 	"aimq/internal/supertuple"
@@ -302,40 +303,72 @@ func (e *Estimator) Sim(q *query.Query, t relation.Tuple) float64 {
 	weights := e.Ordering.ImportanceWeights(bound)
 	total := 0.0
 	for _, p := range q.Preds {
-		w := weights[p.Attr]
 		tv := t[p.Attr]
 		if tv.IsNull() {
 			continue
 		}
-		typ := e.Schema.Type(p.Attr)
-		if p.Op == query.OpIn {
-			// Disjunction: the tuple is as similar as its best alternative.
-			best := 0.0
-			for _, alt := range p.Values {
-				var s float64
-				if typ == relation.Categorical {
-					s = e.VSim(p.Attr, alt.Str, tv.Str)
-				} else {
-					s = NumericSim(alt.Num, tv.Num)
-				}
-				if s > best {
-					best = s
-				}
-			}
-			total += w * best
-			continue
-		}
-		qv := p.Value
-		if p.Op == query.OpRange {
-			qv = relation.Numv((p.Value.Num + p.Hi.Num) / 2)
-		}
-		if typ == relation.Categorical {
-			total += w * e.VSim(p.Attr, qv.Str, tv.Str)
-		} else {
-			total += w * NumericSim(qv.Num, tv.Num)
-		}
+		total += weights[p.Attr] * e.predSim(p, tv)
 	}
 	return total
+}
+
+// predSim is one predicate's unweighted similarity term against a tuple
+// value — the sim_i of Sim(Q,t) = Σ W_imp(A_i) × sim_i. Shared by Sim and
+// SimExplain so a score and its decomposition can never drift apart.
+func (e *Estimator) predSim(p query.Predicate, tv relation.Value) float64 {
+	typ := e.Schema.Type(p.Attr)
+	if p.Op == query.OpIn {
+		// Disjunction: the tuple is as similar as its best alternative.
+		best := 0.0
+		for _, alt := range p.Values {
+			var s float64
+			if typ == relation.Categorical {
+				s = e.VSim(p.Attr, alt.Str, tv.Str)
+			} else {
+				s = NumericSim(alt.Num, tv.Num)
+			}
+			if s > best {
+				best = s
+			}
+		}
+		return best
+	}
+	qv := p.Value
+	if p.Op == query.OpRange {
+		qv = relation.Numv((p.Value.Num + p.Hi.Num) / 2)
+	}
+	if typ == relation.Categorical {
+		return e.VSim(p.Attr, qv.Str, tv.Str)
+	}
+	return NumericSim(qv.Num, tv.Num)
+}
+
+// SimExplain computes Sim(Q, t) together with its per-attribute
+// decomposition: one obs.Contribution per predicate of Q, whose Terms
+// (weight × sim) sum — in the same floating-point accumulation order Sim
+// uses — to the returned total. Predicates over null tuple values appear
+// with Sim and Term 0, so the breakdown always covers every bound
+// attribute.
+func (e *Estimator) SimExplain(q *query.Query, t relation.Tuple) (float64, []obs.Contribution) {
+	bound := q.BoundAttrs()
+	if bound.Empty() {
+		return 0, nil
+	}
+	weights := e.Ordering.ImportanceWeights(bound)
+	contribs := make([]obs.Contribution, 0, len(q.Preds))
+	total := 0.0
+	for _, p := range q.Preds {
+		w := weights[p.Attr]
+		c := obs.Contribution{Attr: e.Schema.Attr(p.Attr).Name, Weight: w}
+		tv := t[p.Attr]
+		if !tv.IsNull() {
+			c.Sim = e.predSim(p, tv)
+			c.Term = w * c.Sim
+			total += c.Term
+		}
+		contribs = append(contribs, c)
+	}
+	return total, contribs
 }
 
 // SimTuples computes the similarity between two tuples over the given

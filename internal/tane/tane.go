@@ -92,6 +92,13 @@ type Result struct {
 	N      int // sample size the result was mined from
 	AFDs   []AFD
 	AKeys  []AKey
+	// LevelsVisited is the number of lattice levels the level-wise search
+	// walked (level k holds the k-attribute sets); SetsExamined counts the
+	// attribute sets whose partition was evaluated. Both feed the learning
+	// profile of the observability layer: they say where a slow mine spent
+	// its time and how hard the pruning worked.
+	LevelsVisited int
+	SetsExamined  int
 }
 
 // Mine runs TANE over the relation.
@@ -202,6 +209,7 @@ func (m Miner) Mine(rel *relation.Relation) *Result {
 
 	level := subsetsOfSize(arity, 1)
 	for size := 1; size <= maxLevel && len(level) > 0; size++ {
+		res.LevelsVisited = size
 		for _, x := range level {
 			if m.MinimalOnly {
 				skip := false
@@ -215,6 +223,7 @@ func (m Miner) Mine(rel *relation.Relation) *Result {
 					continue
 				}
 			}
+			res.SetsExamined++
 			px := getPart(x)
 
 			// Keys.

@@ -261,3 +261,26 @@ func TestStabilityAcrossSamples(t *testing.T) {
 		}
 	}
 }
+
+func TestMineReportsLatticeProfile(t *testing.T) {
+	rel := fdRel(500, 0.05, 9)
+	res := Miner{Terr: 0.15, MaxLHS: 2}.Mine(rel)
+	// MaxLHS 2 needs partitions up to level 3 (π_{X∪A} for |X| = 2).
+	if res.LevelsVisited != 3 {
+		t.Errorf("LevelsVisited = %d, want 3", res.LevelsVisited)
+	}
+	arity := rel.Schema().Arity()
+	// Every set of sizes 1..3 is examined when nothing is pruned.
+	want := 0
+	for _, k := range []int{1, 2, 3} {
+		want += len(subsetsOfSize(arity, k))
+	}
+	if res.SetsExamined != want {
+		t.Errorf("SetsExamined = %d, want %d", res.SetsExamined, want)
+	}
+	// The empty relation examines nothing.
+	empty := Miner{}.Mine(relation.New(rel.Schema()))
+	if empty.LevelsVisited != 0 || empty.SetsExamined != 0 {
+		t.Errorf("empty mine profile: %d levels, %d sets", empty.LevelsVisited, empty.SetsExamined)
+	}
+}
