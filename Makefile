@@ -3,10 +3,17 @@
 #   make check       — everything CI runs
 #   make race        — race-check the concurrent packages (service, core, webdb)
 #   make bench-serve — serving-path benchmarks (cache hit vs miss)
+#   make bench       — full aimq-bench suite, BENCH_*.json into bench-results/
+#   make bench-quick — shrunken suite (the scale CI gates on)
+#   make bench-check — quick suite compared against bench/baseline; fails on
+#                      regressions past 2x
+#   make baseline    — refresh the checked-in bench/baseline from a quick run
 
 GO ?= go
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+LDFLAGS := -X aimq/internal/version.Version=$(VERSION)
 
-.PHONY: check vet build test race bench-serve
+.PHONY: check vet build test race bench-serve bench bench-quick bench-check baseline
 
 check: vet build test race
 
@@ -27,3 +34,16 @@ race:
 
 bench-serve:
 	$(GO) test -run XXX -bench 'BenchmarkService_' -benchmem ./internal/service/
+
+bench:
+	$(GO) run -ldflags '$(LDFLAGS)' ./cmd/aimq-bench -out bench-results
+
+bench-quick:
+	$(GO) run -ldflags '$(LDFLAGS)' ./cmd/aimq-bench -quick -out bench-results
+
+bench-check:
+	$(GO) run -ldflags '$(LDFLAGS)' ./cmd/aimq-bench -quick -out bench-results \
+		-baseline bench/baseline -threshold 2
+
+baseline:
+	$(GO) run -ldflags '$(LDFLAGS)' ./cmd/aimq-bench -quick -out bench/baseline

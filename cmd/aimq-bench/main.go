@@ -1,0 +1,143 @@
+// Command aimq-bench runs the standardized AIMQ benchmark scenarios and
+// emits one BENCH_<scenario>.json per scenario — the repo's machine-readable
+// performance trajectory — then optionally diffs the run against a baseline
+// directory and exits non-zero past the regression threshold.
+//
+// Refresh the results (full scale):
+//
+//	aimq-bench -out bench-results
+//
+// The CI gate (quick scale, diffed against the checked-in baseline, failing
+// only past a generous 2x):
+//
+//	aimq-bench -quick -out bench-results -baseline bench/baseline -threshold 2
+//
+// Diff two existing result sets without running anything:
+//
+//	aimq-bench -compare-only -out bench-results -baseline bench/baseline
+//
+// Scenarios cover the three cost centers of the paper's architecture: the
+// offline learn phase (probe→TANE→ordering→supertuples) at several sample
+// sizes, query answering under GuidedRelax / RandomRelax / ROCK with the
+// §6.3 Work/RelevantTuple quality number, and the concurrent serving layer
+// (cold cache, warm cache, single-flight contention).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"aimq/internal/bench"
+	"aimq/internal/version"
+)
+
+func main() {
+	out := flag.String("out", "bench-results", "directory BENCH_*.json results are written to")
+	quick := flag.Bool("quick", false, "shrink every scenario for a seconds-long CI run")
+	run := flag.String("run", "", "only run scenarios whose name contains this substring")
+	seed := flag.Int64("seed", 2006, "dataset and workload seed")
+	baseline := flag.String("baseline", "", "baseline directory to diff against after the run")
+	threshold := flag.Float64("threshold", 1.5, "worse-ratio past which a metric delta is a regression")
+	compareOnly := flag.Bool("compare-only", false, "skip running; just diff -out against -baseline")
+	list := flag.Bool("list", false, "list scenarios and exit")
+	showVersion := flag.Bool("version", false, "print the build version and exit")
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("aimq-bench %s (%s)\n", version.Version, version.GoVersion())
+		return
+	}
+	if *list {
+		for _, s := range bench.Scenarios() {
+			fmt.Printf("%-18s %s\n", s.Name, s.Describe)
+		}
+		return
+	}
+	code, err := runMain(*out, *baseline, *run, *threshold, *seed, *quick, *compareOnly, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aimq-bench:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+// runMain executes the selected scenarios and/or the baseline comparison.
+// The returned code is the process exit code: 0 clean, 2 when the
+// regression gate fails.
+func runMain(out, baseline, runFilter string, threshold float64, seed int64, quick, compareOnly bool, w io.Writer) (int, error) {
+	if !compareOnly {
+		if err := runScenarios(out, runFilter, seed, quick, w); err != nil {
+			return 0, err
+		}
+	}
+	if baseline == "" {
+		return 0, nil
+	}
+	return compareDirs(baseline, out, threshold, w)
+}
+
+func runScenarios(out, runFilter string, seed int64, quick bool, w io.Writer) error {
+	scenarios := bench.Select(bench.Scenarios(), runFilter)
+	if len(scenarios) == 0 {
+		return fmt.Errorf("no scenario matches -run %q", runFilter)
+	}
+	opts := bench.Options{Quick: quick, Seed: seed}
+	env := bench.NewEnv(opts)
+	mode := "full"
+	if quick {
+		mode = "quick"
+	}
+	fmt.Fprintf(w, "aimq-bench %s: %d scenario(s), %s scale, seed %d → %s\n",
+		version.Version, len(scenarios), mode, seed, out)
+	for _, s := range scenarios {
+		start := time.Now()
+		res, err := s.Run(opts, env)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		path, err := bench.WriteResult(out, res)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		fmt.Fprintf(w, "%-18s %4d ops in %8s  p50 %10s  p99 %10s  %9.1f ops/s  %7.0f allocs/op",
+			s.Name, res.Iterations, time.Since(start).Round(time.Millisecond),
+			durStr(res.Latency.P50), durStr(res.Latency.P99), res.Throughput, res.Mem.AllocsPerOp)
+		if q := res.Quality; q != nil {
+			fmt.Fprintf(w, "  work/relevant %.1f", q.WorkPerRelevant)
+		}
+		fmt.Fprintf(w, "  → %s\n", path)
+	}
+	return nil
+}
+
+func compareDirs(baselineDir, currentDir string, threshold float64, w io.Writer) (int, error) {
+	base, err := bench.LoadDir(baselineDir)
+	if err != nil {
+		return 0, fmt.Errorf("baseline %s: %w", baselineDir, err)
+	}
+	if len(base) == 0 {
+		return 0, fmt.Errorf("baseline %s holds no BENCH_*.json", baselineDir)
+	}
+	cur, err := bench.LoadDir(currentDir)
+	if err != nil {
+		return 0, fmt.Errorf("results %s: %w", currentDir, err)
+	}
+	cmp, err := bench.Compare(base, cur, threshold)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(w, "\nregression gate: %s (baseline) vs %s (current), threshold %.2fx\n",
+		baselineDir, currentDir, threshold)
+	cmp.RenderTable(w, threshold)
+	if cmp.Failed() {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+func durStr(seconds float64) string {
+	return time.Duration(seconds * float64(time.Second)).Round(time.Microsecond).String()
+}

@@ -26,6 +26,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"aimq/internal/bench"
 )
 
 func main() {
@@ -46,7 +48,7 @@ func main() {
 }
 
 type counters struct {
-	ok, errs, cached, timeouts atomic.Int64
+	ok, errs, cached, timeouts, answers atomic.Int64
 }
 
 func run(base, queries string, conc, total int, dur time.Duration, k int, timeout time.Duration, seed int64, w io.Writer) error {
@@ -71,7 +73,7 @@ func run(base, queries string, conc, total int, dur time.Duration, k int, timeou
 		cnt      counters
 		issued   atomic.Int64
 		mu       sync.Mutex
-		lats     []time.Duration
+		lats     bench.Sketch
 		wg       sync.WaitGroup
 		deadline = time.Now().Add(dur)
 	)
@@ -80,7 +82,9 @@ func run(base, queries string, conc, total int, dur time.Duration, k int, timeou
 		go func(wk int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(seed + int64(wk)))
-			local := make([]time.Duration, 0, 1024)
+			// Per-worker sketch, merged under the lock at the end: recording a
+			// latency never contends with another worker mid-run.
+			var local bench.Sketch
 			for i := 0; ; i++ {
 				if total > 0 {
 					if issued.Add(1) > int64(total) {
@@ -101,17 +105,19 @@ func run(base, queries string, conc, total int, dur time.Duration, k int, timeou
 					continue
 				}
 				var body struct {
-					Cached bool `json:"cached"`
+					Cached  bool              `json:"cached"`
+					Answers []json.RawMessage `json:"answers"`
 				}
 				_ = json.NewDecoder(resp.Body).Decode(&body)
 				resp.Body.Close()
 				switch {
 				case resp.StatusCode == http.StatusOK:
 					cnt.ok.Add(1)
+					cnt.answers.Add(int64(len(body.Answers)))
 					if body.Cached {
 						cnt.cached.Add(1)
 					}
-					local = append(local, elapsed)
+					local.ObserveDuration(elapsed)
 				case resp.StatusCode == http.StatusGatewayTimeout:
 					cnt.timeouts.Add(1)
 				default:
@@ -119,7 +125,7 @@ func run(base, queries string, conc, total int, dur time.Duration, k int, timeou
 				}
 			}
 			mu.Lock()
-			lats = append(lats, local...)
+			lats.Merge(&local)
 			mu.Unlock()
 		}(wk)
 	}
@@ -147,15 +153,14 @@ func run(base, queries string, conc, total int, dur time.Duration, k int, timeou
 	if elapsed > 0 {
 		fmt.Fprintf(w, "throughput: %.1f req/s\n", float64(ok)/elapsed.Seconds())
 	}
-	if len(lats) > 0 {
-		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	if lats.Count() > 0 {
 		pct := func(p float64) time.Duration {
-			i := int(p * float64(len(lats)-1))
-			return lats[i]
+			return time.Duration(lats.Quantile(p) * float64(time.Second))
 		}
-		fmt.Fprintf(w, "latency: p50 %s  p90 %s  p99 %s  max %s\n",
+		fmt.Fprintf(w, "latency: p50 %s  p90 %s  p95 %s  p99 %s  max %s\n",
 			pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
-			pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
+			pct(0.95).Round(time.Microsecond), pct(0.99).Round(time.Microsecond),
+			pct(1).Round(time.Microsecond))
 	}
 	fmt.Fprintf(w, "client-observed cache hits: %d/%d (%.1f%%)\n",
 		cnt.cached.Load(), ok, 100*float64(cnt.cached.Load())/float64(ok))
@@ -164,6 +169,15 @@ func run(base, queries string, conc, total int, dur time.Duration, k int, timeou
 		lookups := hits + misses
 		fmt.Fprintf(w, "service /metrics: cache hits %d, misses %d (hit ratio %.1f%%)\n",
 			hits, misses, 100*float64(hits)/float64(max64(lookups, 1)))
+		// The paper's §6.3 efficiency view of the run: how many boolean
+		// source queries and extracted tuples the service spent per answer
+		// it returned (cached answers cost nothing, so a warm workload
+		// drives these toward zero).
+		relaxQ := after.relaxQueries - before.relaxQueries
+		tuples := after.tuples - before.tuples
+		answers := max64(cnt.answers.Load(), 1)
+		fmt.Fprintf(w, "service work: %d source queries (%.2f/answer), %d tuples extracted (%.2f/answer)\n",
+			relaxQ, float64(relaxQ)/float64(answers), tuples, float64(tuples)/float64(answers))
 		printStageReport(w, before, after)
 	} else {
 		fmt.Fprintf(w, "service /metrics scrape failed: %v\n", scrapeErr)
@@ -199,6 +213,8 @@ func printStageReport(w io.Writer, before, after serviceCounters) {
 // counters plus the per-stage histogram sums and counts.
 type serviceCounters struct {
 	hits, misses int64
+	relaxQueries int64
+	tuples       int64
 	stageSum     map[string]float64
 	stageCount   map[string]int64
 }
@@ -233,6 +249,10 @@ func scrapeMetrics(client *http.Client, base string) (serviceCounters, error) {
 			out.hits = int64(v)
 		case name == "aimq_service_cache_misses_total":
 			out.misses = int64(v)
+		case name == "aimq_service_relaxation_queries_total":
+			out.relaxQueries = int64(v)
+		case name == "aimq_service_tuples_extracted_total":
+			out.tuples = int64(v)
 		case strings.HasPrefix(name, "aimq_service_stage_seconds_sum{"):
 			if stage := stageLabel(name); stage != "" {
 				out.stageSum[stage] = v

@@ -47,6 +47,7 @@ import (
 	"aimq/internal/core"
 	"aimq/internal/relation"
 	"aimq/internal/service"
+	"aimq/internal/version"
 	"aimq/internal/webdb"
 )
 
@@ -70,7 +71,13 @@ func main() {
 	traceRing := flag.Int("trace-ring", 64, "traces kept by /debug/traces (recent and slowest each; negative disables)")
 	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "log answers slower than this at WARN (negative disables)")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("aimq-serve %s (%s)\n", version.Version, version.GoVersion())
+		return
+	}
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
 	if *logJSON {
@@ -105,6 +112,7 @@ type config struct {
 }
 
 func run(c config, logger *slog.Logger) error {
+	logger.Info("aimq-serve starting", "version", version.Version, "go", version.GoVersion())
 	var src webdb.Source
 	switch {
 	case c.data != "":

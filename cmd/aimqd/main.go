@@ -32,6 +32,7 @@ import (
 
 	"aimq/internal/obs"
 	"aimq/internal/relation"
+	"aimq/internal/version"
 	"aimq/internal/webdb"
 )
 
@@ -41,7 +42,13 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		fmt.Printf("aimqd %s (%s)\n", version.Version, version.GoVersion())
+		return
+	}
 
 	var handler slog.Handler = slog.NewTextHandler(os.Stderr, nil)
 	if *logJSON {
@@ -77,7 +84,8 @@ func run(data, addr string, idleTimeout, drain time.Duration) error {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() {
-		slog.Info("serving relation", "tuples", rel.Size(), "schema", rel.Schema().String(), "addr", addr)
+		slog.Info("serving relation", "version", version.Version,
+			"tuples", rel.Size(), "schema", rel.Schema().String(), "addr", addr)
 		errc <- srv.ListenAndServe()
 	}()
 	select {

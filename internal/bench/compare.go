@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// gateMetric is one gated quantity of a Result: how to read it, which
+// direction is worse, and the absolute-noise floor below which a ratio is
+// meaningless (a 13µs cache hit doubling to 26µs is scheduler noise, not a
+// regression; a 20ms relaxation doubling is real).
+type gateMetric struct {
+	name string
+	read func(Result) float64
+	// higherIsBetter flips the worse-ratio: throughput regresses by
+	// shrinking, latency by growing.
+	higherIsBetter bool
+	// floor is the smallest absolute delta that can count as a regression.
+	floor float64
+}
+
+// gateMetrics are the quantities the regression gate checks, per scenario.
+// CPU seconds and the non-gated percentiles ride along in the table but
+// only these four fail a build.
+var gateMetrics = []gateMetric{
+	{"latency_p50", func(r Result) float64 { return r.Latency.P50 }, false, 1e-3},
+	{"latency_p99", func(r Result) float64 { return r.Latency.P99 }, false, 2e-3},
+	{"throughput", func(r Result) float64 { return r.Throughput }, true, 0},
+	{"allocs_per_op", func(r Result) float64 { return r.Mem.AllocsPerOp }, false, 64},
+}
+
+// Delta is one metric's baseline-vs-new comparison.
+type Delta struct {
+	Scenario string
+	Metric   string
+	Base     float64
+	New      float64
+	// Ratio is the worse-direction ratio: >1 means the new result is worse
+	// by that factor, whatever the metric's polarity.
+	Ratio float64
+	// Regression marks deltas past the gate threshold and above the noise
+	// floor.
+	Regression bool
+}
+
+// Comparison is the outcome of diffing a new result set against a baseline.
+type Comparison struct {
+	Deltas []Delta
+	// MissingFromNew lists baseline scenarios the new run didn't produce —
+	// a silently dropped scenario must fail the gate, or a deleted
+	// benchmark looks like a perf win.
+	MissingFromNew []string
+	// NewScenarios lists results with no baseline (reported, never gated).
+	NewScenarios []string
+}
+
+// Regressions returns the deltas that failed the gate.
+func (c *Comparison) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Compare diffs a new result set against a baseline. threshold is the
+// worse-ratio past which a delta is a regression (2.0 = "twice as bad");
+// it must be > 1.
+func Compare(baseline, current map[string]Result, threshold float64) (*Comparison, error) {
+	if threshold <= 1 {
+		return nil, fmt.Errorf("bench: threshold must exceed 1, got %g", threshold)
+	}
+	cmp := &Comparison{}
+	for _, name := range ScenarioNames(baseline) {
+		base := baseline[name]
+		cur, ok := current[name]
+		if !ok {
+			cmp.MissingFromNew = append(cmp.MissingFromNew, name)
+			continue
+		}
+		if base.Quick != cur.Quick {
+			return nil, fmt.Errorf("bench: scenario %s: comparing a quick run against a full run", name)
+		}
+		for _, gm := range gateMetrics {
+			d := Delta{
+				Scenario: name,
+				Metric:   gm.name,
+				Base:     gm.read(base),
+				New:      gm.read(cur),
+			}
+			d.Ratio = worseRatio(d.Base, d.New, gm.higherIsBetter)
+			delta := d.New - d.Base
+			if gm.higherIsBetter {
+				delta = d.Base - d.New
+			}
+			d.Regression = d.Ratio > threshold && delta > gm.floor
+			cmp.Deltas = append(cmp.Deltas, d)
+		}
+	}
+	for _, name := range ScenarioNames(current) {
+		if _, ok := baseline[name]; !ok {
+			cmp.NewScenarios = append(cmp.NewScenarios, name)
+		}
+	}
+	sort.SliceStable(cmp.Deltas, func(i, j int) bool {
+		if cmp.Deltas[i].Scenario != cmp.Deltas[j].Scenario {
+			return cmp.Deltas[i].Scenario < cmp.Deltas[j].Scenario
+		}
+		return cmp.Deltas[i].Metric < cmp.Deltas[j].Metric
+	})
+	return cmp, nil
+}
+
+// worseRatio returns how many times worse new is than base in the metric's
+// bad direction; 1 when equal or both zero.
+func worseRatio(base, new float64, higherIsBetter bool) float64 {
+	a, b := new, base // ratio = worse/better for lower-is-better metrics
+	if higherIsBetter {
+		a, b = base, new
+	}
+	if b <= 0 {
+		if a <= 0 {
+			return 1
+		}
+		return a // worse than a zero baseline: report the raw magnitude
+	}
+	return a / b
+}
+
+// RenderTable writes the comparison as an aligned regression table.
+// Regressions are marked; scenarios present on only one side are listed
+// after the table.
+func (c *Comparison) RenderTable(w io.Writer, threshold float64) {
+	fmt.Fprintf(w, "%-18s %-14s %14s %14s %8s\n", "scenario", "metric", "baseline", "current", "ratio")
+	for _, d := range c.Deltas {
+		mark := ""
+		if d.Regression {
+			mark = "  << REGRESSION"
+		}
+		fmt.Fprintf(w, "%-18s %-14s %14s %14s %7.2fx%s\n",
+			d.Scenario, d.Metric, renderValue(d.Metric, d.Base), renderValue(d.Metric, d.New), d.Ratio, mark)
+	}
+	for _, name := range c.MissingFromNew {
+		fmt.Fprintf(w, "%-18s MISSING from current run (baseline has it)\n", name)
+	}
+	for _, name := range c.NewScenarios {
+		fmt.Fprintf(w, "%-18s new scenario (no baseline yet)\n", name)
+	}
+	reg := c.Regressions()
+	fmt.Fprintf(w, "gate: %d regression(s) past %.2fx", len(reg)+len(c.MissingFromNew), threshold)
+	if len(c.MissingFromNew) > 0 {
+		fmt.Fprintf(w, " (including %d missing scenario(s))", len(c.MissingFromNew))
+	}
+	fmt.Fprintln(w)
+}
+
+// Failed reports whether the gate should fail the build: any metric
+// regression, or any baseline scenario missing from the new run.
+func (c *Comparison) Failed() bool {
+	return len(c.Regressions()) > 0 || len(c.MissingFromNew) > 0
+}
+
+// renderValue formats a metric value with its natural unit.
+func renderValue(metric string, v float64) string {
+	switch metric {
+	case "latency_p50", "latency_p99":
+		return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+	case "throughput":
+		return fmt.Sprintf("%.1f/s", v)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}

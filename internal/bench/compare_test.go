@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// res builds a comparable Result with the gated metrics set.
+func res(scenario string, p50, p99, throughput, allocs float64) Result {
+	r := newResult(scenario, true)
+	r.Latency.P50 = p50
+	r.Latency.P99 = p99
+	r.Throughput = throughput
+	r.Mem.AllocsPerOp = allocs
+	r.Iterations = 10
+	return r
+}
+
+func set(rs ...Result) map[string]Result {
+	out := make(map[string]Result, len(rs))
+	for _, r := range rs {
+		out[r.Scenario] = r
+	}
+	return out
+}
+
+func TestCompareCleanRun(t *testing.T) {
+	base := set(res("guided", 0.010, 0.020, 100, 5000))
+	cur := set(res("guided", 0.011, 0.022, 95, 5001))
+	cmp, err := Compare(base, cur, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Failed() || len(cmp.Regressions()) != 0 {
+		t.Errorf("near-identical run flagged: %+v", cmp.Regressions())
+	}
+	if len(cmp.Deltas) != 4 {
+		t.Errorf("want 4 gated deltas, got %d", len(cmp.Deltas))
+	}
+}
+
+func TestCompareDetectsRegressions(t *testing.T) {
+	base := set(res("guided", 0.010, 0.020, 100, 5000))
+	// p50 doubled (delta 10ms >> 1ms floor), throughput halved, allocs
+	// tripled: three regressions at 1.5x.
+	cur := set(res("guided", 0.020, 0.021, 50, 15000))
+	cmp, err := Compare(base, cur, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, d := range cmp.Regressions() {
+		got[d.Metric] = true
+	}
+	for _, want := range []string{"latency_p50", "throughput", "allocs_per_op"} {
+		if !got[want] {
+			t.Errorf("regression on %s not flagged (got %v)", want, got)
+		}
+	}
+	if got["latency_p99"] {
+		t.Error("p99 within threshold was flagged")
+	}
+	if !cmp.Failed() {
+		t.Error("Failed() = false with regressions present")
+	}
+}
+
+// TestCompareNoiseFloor: a big ratio on a microsecond-scale latency is not a
+// regression — the absolute delta is under the floor.
+func TestCompareNoiseFloor(t *testing.T) {
+	base := set(res("serve-warm", 14e-6, 80e-6, 50_000, 61))
+	cur := set(res("serve-warm", 40e-6, 200e-6, 48_000, 61))
+	cmp, err := Compare(base, cur, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Failed() {
+		t.Errorf("sub-floor microsecond wobble flagged: %+v", cmp.Regressions())
+	}
+}
+
+func TestCompareMissingScenarioFailsGate(t *testing.T) {
+	base := set(res("guided", 0.01, 0.02, 100, 5000), res("random", 0.01, 0.02, 100, 5000))
+	cur := set(res("guided", 0.01, 0.02, 100, 5000), res("rock", 0.01, 0.02, 100, 5000))
+	cmp, err := Compare(base, cur, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.MissingFromNew) != 1 || cmp.MissingFromNew[0] != "random" {
+		t.Errorf("MissingFromNew = %v", cmp.MissingFromNew)
+	}
+	if len(cmp.NewScenarios) != 1 || cmp.NewScenarios[0] != "rock" {
+		t.Errorf("NewScenarios = %v", cmp.NewScenarios)
+	}
+	if !cmp.Failed() {
+		t.Error("dropped scenario must fail the gate")
+	}
+	var sb strings.Builder
+	cmp.RenderTable(&sb, 2)
+	if !strings.Contains(sb.String(), "MISSING") || !strings.Contains(sb.String(), "new scenario") {
+		t.Errorf("table does not surface scenario drift:\n%s", sb.String())
+	}
+}
+
+func TestCompareRejectsBadInputs(t *testing.T) {
+	if _, err := Compare(nil, nil, 1); err == nil {
+		t.Error("threshold 1 accepted")
+	}
+	base := set(res("guided", 0.01, 0.02, 100, 5000))
+	full := res("guided", 0.01, 0.02, 100, 5000)
+	full.Quick = false
+	if _, err := Compare(base, set(full), 2); err == nil {
+		t.Error("quick-vs-full comparison accepted")
+	}
+}
+
+func TestResultRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	r := res("serve-cold", 0.001, 0.004, 600, 10_000)
+	r.Params = map[string]float64{"db_tuples": 4000}
+	r.Quality = &QualitySummary{WorkPerRelevant: 4.6}
+	path, err := WriteResult(dir, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_serve-cold.json" {
+		t.Errorf("filename = %s", filepath.Base(path))
+	}
+	got, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, ok := got["serve-cold"]
+	if !ok {
+		t.Fatalf("LoadDir keys = %v", ScenarioNames(got))
+	}
+	if lr.Latency.P50 != r.Latency.P50 || lr.Quality == nil || lr.Quality.WorkPerRelevant != 4.6 {
+		t.Errorf("round trip lost fields: %+v", lr)
+	}
+}
+
+func TestLoadRejectsSchemaDrift(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, FileName("old"))
+	if err := os.WriteFile(path, []byte(`{"schema_version": 99, "scenario": "old"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadResult(path); err == nil || !strings.Contains(err.Error(), "schema version") {
+		t.Errorf("schema drift not rejected: %v", err)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !unix
+
+package bench
+
+// processCPUSeconds is unavailable off unix; results report 0 CPU seconds
+// and the comparator never gates on CPU time.
+func processCPUSeconds() float64 { return 0 }

@@ -1,0 +1,20 @@
+//go:build unix
+
+package bench
+
+import "syscall"
+
+// processCPUSeconds returns the process's cumulative user+system CPU time.
+// CPU time exposes work that wall clocks hide: a scenario that got slower
+// in wall time but not CPU time was descheduled (noisy neighbor), not
+// deoptimized.
+func processCPUSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	sec := func(tv syscall.Timeval) float64 {
+		return float64(tv.Sec) + float64(tv.Usec)/1e6
+	}
+	return sec(ru.Utime) + sec(ru.Stime)
+}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"aimq/internal/version"
+)
+
+// SchemaVersion is bumped whenever the Result JSON shape changes
+// incompatibly; the comparator refuses to diff across versions rather than
+// silently comparing renamed fields.
+const SchemaVersion = 1
+
+// filePrefix and fileSuffix bracket the scenario name in emitted filenames:
+// BENCH_<scenario>.json.
+const (
+	filePrefix = "BENCH_"
+	fileSuffix = ".json"
+)
+
+// LatencySummary is the per-operation latency distribution in seconds,
+// condensed from a Sketch.
+type LatencySummary struct {
+	P50  float64 `json:"p50_seconds"`
+	P90  float64 `json:"p90_seconds"`
+	P95  float64 `json:"p95_seconds"`
+	P99  float64 `json:"p99_seconds"`
+	P999 float64 `json:"p999_seconds"`
+	Mean float64 `json:"mean_seconds"`
+	Min  float64 `json:"min_seconds"`
+	Max  float64 `json:"max_seconds"`
+}
+
+// MemSummary is the runtime.MemStats delta across the measured run.
+type MemSummary struct {
+	AllocsPerOp         float64 `json:"allocs_per_op"`
+	BytesPerOp          float64 `json:"bytes_per_op"`
+	HeapAllocBytes      uint64  `json:"heap_alloc_bytes"` // live heap after the run
+	TotalAllocBytes     uint64  `json:"total_alloc_bytes"`
+	GCCycles            uint32  `json:"gc_cycles"`
+	GCPauseTotalSeconds float64 `json:"gc_pause_total_seconds"`
+}
+
+// QualitySummary carries the paper's answer-quality and efficiency numbers
+// for scenarios that answer queries (§6.3's Work/RelevantTuple and the raw
+// quantities behind it). Nil for scenarios where they don't apply (learn).
+type QualitySummary struct {
+	// WorkPerRelevant is |T_extracted| / |T_relevant|: tuples a user wades
+	// through per relevant tuple found. Lower is better.
+	WorkPerRelevant float64 `json:"work_per_relevant_tuple"`
+	// SourceQueriesPerAnswer is boolean queries issued against the source
+	// per returned answer.
+	SourceQueriesPerAnswer float64 `json:"source_queries_per_answer"`
+	// TuplesExtractedPerAnswer is source tuples examined per returned answer.
+	TuplesExtractedPerAnswer float64 `json:"tuples_extracted_per_answer"`
+	// AnswersPerQuery is the mean size of the returned answer set.
+	AnswersPerQuery float64 `json:"answers_per_query"`
+	// MeanSim is the mean final Sim(Q,t) over all returned answers.
+	MeanSim float64 `json:"mean_sim"`
+}
+
+// Result is one scenario's measured outcome — the unit serialized to
+// BENCH_<scenario>.json.
+type Result struct {
+	SchemaVersion int       `json:"schema_version"`
+	Scenario      string    `json:"scenario"`
+	Timestamp     time.Time `json:"timestamp"`
+	BuildVersion  string    `json:"build_version"`
+	GoVersion     string    `json:"go_version"`
+	GOOS          string    `json:"goos"`
+	GOARCH        string    `json:"goarch"`
+	NumCPU        int       `json:"num_cpu"`
+	Quick         bool      `json:"quick"`
+
+	// Params are the scenario knobs (sample size, workers, query count…) so
+	// two results are known to be comparable before their numbers are.
+	Params map[string]float64 `json:"params,omitempty"`
+
+	Iterations  int            `json:"iterations"`
+	WallSeconds float64        `json:"wall_seconds"`
+	CPUSeconds  float64        `json:"cpu_seconds"`
+	Throughput  float64        `json:"throughput_ops_per_sec"`
+	Latency     LatencySummary `json:"latency"`
+	Mem         MemSummary     `json:"mem"`
+
+	Quality *QualitySummary `json:"quality,omitempty"`
+
+	// Extra holds scenario-specific observations (AFDs mined, cache hit
+	// ratio, single-flight shares…) that are reported but not gated on.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// newResult stamps the environment fields shared by every scenario.
+func newResult(scenario string, quick bool) Result {
+	return Result{
+		SchemaVersion: SchemaVersion,
+		Scenario:      scenario,
+		Timestamp:     time.Now().UTC(),
+		BuildVersion:  version.Version,
+		GoVersion:     version.GoVersion(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		Quick:         quick,
+	}
+}
+
+// FileName returns the canonical BENCH_<scenario>.json name for a scenario.
+func FileName(scenario string) string {
+	return filePrefix + scenario + fileSuffix
+}
+
+// WriteResult writes r to dir/BENCH_<scenario>.json, creating dir as
+// needed. The JSON is indented and newline-terminated so the baselines
+// diff cleanly under version control.
+func WriteResult(dir string, r Result) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	buf = append(buf, '\n')
+	path := filepath.Join(dir, FileName(r.Scenario))
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadResult reads one result file.
+func LoadResult(path string) (Result, error) {
+	var r Result
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.SchemaVersion != SchemaVersion {
+		return r, fmt.Errorf("%s: schema version %d, this binary speaks %d",
+			path, r.SchemaVersion, SchemaVersion)
+	}
+	return r, nil
+}
+
+// LoadDir reads every BENCH_*.json in dir, keyed and sorted by scenario.
+func LoadDir(dir string) (map[string]Result, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]Result)
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, filePrefix) || !strings.HasSuffix(name, fileSuffix) {
+			continue
+		}
+		r, err := LoadResult(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		out[r.Scenario] = r
+	}
+	return out, nil
+}
+
+// Scenarios returns the sorted scenario names of a loaded result set.
+func ScenarioNames(set map[string]Result) []string {
+	names := make([]string, 0, len(set))
+	for name := range set {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

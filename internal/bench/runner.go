@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Measurement accumulates per-operation observations during a measured run.
+// The op callback receives it to record latencies (when the scenario times
+// sub-steps itself) and work stats; scenarios that don't, let measure time
+// each op call as one observation.
+type Measurement struct {
+	Sketch Sketch
+
+	// Work accumulators, folded into the Result's QualitySummary.
+	queriesIssued   int64
+	tuplesExtracted int64
+	tuplesQualified int64
+	answers         int64
+	simSum          float64
+	queries         int64
+
+	// extra collects scenario-specific reported numbers.
+	extra map[string]float64
+}
+
+// AddWork folds one answered query's cost and outcome into the quality
+// accumulators.
+func (m *Measurement) AddWork(queriesIssued, tuplesExtracted, tuplesQualified, answers int, simSum float64) {
+	m.queriesIssued += int64(queriesIssued)
+	m.tuplesExtracted += int64(tuplesExtracted)
+	m.tuplesQualified += int64(tuplesQualified)
+	m.answers += int64(answers)
+	m.simSum += simSum
+	m.queries++
+}
+
+// SetExtra records a scenario-specific reported (not gated) number.
+func (m *Measurement) SetExtra(key string, v float64) {
+	if m.extra == nil {
+		m.extra = make(map[string]float64)
+	}
+	m.extra[key] = v
+}
+
+// quality condenses the accumulators; nil when no query work was recorded.
+func (m *Measurement) quality() *QualitySummary {
+	if m.queries == 0 {
+		return nil
+	}
+	q := &QualitySummary{AnswersPerQuery: float64(m.answers) / float64(m.queries)}
+	if m.tuplesQualified > 0 {
+		q.WorkPerRelevant = float64(m.tuplesExtracted) / float64(m.tuplesQualified)
+	}
+	if m.answers > 0 {
+		q.SourceQueriesPerAnswer = float64(m.queriesIssued) / float64(m.answers)
+		q.TuplesExtractedPerAnswer = float64(m.tuplesExtracted) / float64(m.answers)
+		q.MeanSim = m.simSum / float64(m.answers)
+	}
+	return q
+}
+
+// measure runs op warmup+iterations times — the warmup calls (indices
+// 0..warmup-1) are discarded so first-op effects (page faults, lazy
+// initialization, an empty branch predictor) don't masquerade as tail
+// latency — then assembles the Result from the measured calls: wall/CPU
+// time, throughput, latency percentiles and the runtime.MemStats delta
+// (allocs/op, bytes/op, GC cycles and pause). A GC runs after warmup so the
+// delta belongs to the scenario, not to setup garbage.
+func measure(scenario string, quick bool, params map[string]float64, warmup, iterations int, op func(i int, m *Measurement) error) (Result, error) {
+	if iterations <= 0 {
+		return Result{}, fmt.Errorf("bench %s: iterations must be positive", scenario)
+	}
+	res := newResult(scenario, quick)
+	res.Params = params
+	res.Iterations = iterations
+
+	discard := &Measurement{}
+	for i := 0; i < warmup; i++ {
+		if err := op(i, discard); err != nil {
+			return Result{}, fmt.Errorf("bench %s: warmup op %d: %w", scenario, i, err)
+		}
+	}
+
+	m := &Measurement{}
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	cpu0 := processCPUSeconds()
+	start := time.Now()
+	for i := warmup; i < warmup+iterations; i++ {
+		t0 := time.Now()
+		if err := op(i, m); err != nil {
+			return Result{}, fmt.Errorf("bench %s: op %d: %w", scenario, i, err)
+		}
+		m.Sketch.ObserveDuration(time.Since(t0))
+	}
+	wall := time.Since(start)
+	res.CPUSeconds = processCPUSeconds() - cpu0
+	runtime.ReadMemStats(&after)
+
+	res.WallSeconds = wall.Seconds()
+	if res.WallSeconds > 0 {
+		res.Throughput = float64(iterations) / res.WallSeconds
+	}
+	res.Latency = m.Sketch.Summary()
+	res.Mem = MemSummary{
+		AllocsPerOp:         float64(after.Mallocs-before.Mallocs) / float64(iterations),
+		BytesPerOp:          float64(after.TotalAlloc-before.TotalAlloc) / float64(iterations),
+		HeapAllocBytes:      after.HeapAlloc,
+		TotalAllocBytes:     after.TotalAlloc - before.TotalAlloc,
+		GCCycles:            after.NumGC - before.NumGC,
+		GCPauseTotalSeconds: float64(after.PauseTotalNs-before.PauseTotalNs) / 1e9,
+	}
+	res.Quality = m.quality()
+	res.Extra = m.extra
+	return res, nil
+}

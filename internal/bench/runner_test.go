@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMeasureWarmupDiscarded(t *testing.T) {
+	var calls []int
+	r, err := measure("toy", true, nil, 2, 3, func(i int, m *Measurement) error {
+		calls = append(calls, i)
+		if i < 2 {
+			// Warmup work must not reach the measured accumulators.
+			m.AddWork(100, 100, 100, 100, 100)
+		} else {
+			m.AddWork(5, 50, 10, 2, 1.2)
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 5 || calls[0] != 0 || calls[4] != 4 {
+		t.Errorf("op indices = %v, want 0..4", calls)
+	}
+	if r.Iterations != 3 || r.Latency.P50 <= 0 || r.Throughput <= 0 {
+		t.Errorf("result not filled: %+v", r)
+	}
+	q := r.Quality
+	if q == nil {
+		t.Fatal("quality summary missing")
+	}
+	// 3 measured ops × AddWork(5,50,10,2,1.2).
+	if q.WorkPerRelevant != 5 || q.AnswersPerQuery != 2 || q.SourceQueriesPerAnswer != 2.5 {
+		t.Errorf("warmup leaked into quality: %+v", q)
+	}
+	if q.MeanSim != 0.6 { // 3×1.2 sim over 3×2 answers
+		t.Errorf("mean sim = %g", q.MeanSim)
+	}
+}
+
+func TestMeasureErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := measure("toy", true, nil, 0, 2, func(i int, m *Measurement) error {
+		if i == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || !strings.Contains(err.Error(), "toy") {
+		t.Errorf("op error not propagated with scenario name: %v", err)
+	}
+	if _, err := measure("toy", true, nil, 0, 0, nil); err == nil {
+		t.Error("zero iterations accepted")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all := Scenarios()
+	if len(Select(all, "")) != len(all) {
+		t.Error("empty pattern should select all")
+	}
+	serve := Select(all, "serve")
+	if len(serve) != 3 {
+		t.Errorf("serve matches = %d, want 3", len(serve))
+	}
+	if len(Select(all, "no-such-scenario")) != 0 {
+		t.Error("bogus pattern matched")
+	}
+}
+
+// TestScenarioNamesStable pins the suite's names: they key the BENCH_*.json
+// files, so renaming one silently orphans its baseline.
+func TestScenarioNamesStable(t *testing.T) {
+	want := []string{"learn", "learn-2x", "learn-4x", "guided", "random", "rock",
+		"guided-census", "serve-cold", "serve-warm", "serve-contention"}
+	all := Scenarios()
+	if len(all) != len(want) {
+		t.Fatalf("suite has %d scenarios, want %d", len(all), len(want))
+	}
+	for i, s := range all {
+		if s.Name != want[i] {
+			t.Errorf("scenario %d = %q, want %q", i, s.Name, want[i])
+		}
+		if s.Describe == "" || s.Run == nil {
+			t.Errorf("scenario %q missing description or runner", s.Name)
+		}
+	}
+}
+
+// TestServeWarmSmoke runs the cheapest serving scenario end to end at a tiny
+// scale and checks the result carries the serving counters.
+func TestServeWarmSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end scenario")
+	}
+	env := NewEnv(Options{Quick: true, Seed: 7})
+	var warm Scenario
+	for _, s := range Scenarios() {
+		if s.Name == "serve-warm" {
+			warm = s
+		}
+	}
+	r, err := warm.Run(env.o, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scenario != "serve-warm" || r.SchemaVersion != SchemaVersion {
+		t.Errorf("result header: %+v", r)
+	}
+	if r.Latency.P50 <= 0 || r.Latency.P50 > r.Latency.P99 {
+		t.Errorf("latency block implausible: %+v", r.Latency)
+	}
+	if r.Extra["cache_hits"] <= 0 {
+		t.Errorf("warm scenario recorded no cache hits: %v", r.Extra)
+	}
+	if r.Mem.AllocsPerOp <= 0 {
+		t.Errorf("allocs/op = %g", r.Mem.AllocsPerOp)
+	}
+}

@@ -1,0 +1,503 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync"
+
+	"aimq/internal/core"
+	"aimq/internal/datagen"
+	"aimq/internal/experiments"
+	"aimq/internal/query"
+	"aimq/internal/relation"
+	"aimq/internal/rock"
+	"aimq/internal/service"
+	"aimq/internal/webdb"
+)
+
+// Options selects the benchmark scale. Quick shrinks every scenario so the
+// full suite runs in a few seconds (the CI gate); the default scale is
+// sized for a laptop-minutes `make bench` refresh of the baselines.
+type Options struct {
+	Quick bool
+	Seed  int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 2006
+	}
+	return o
+}
+
+// scale resolves a knob to its quick or full value.
+func (o Options) scale(quick, full int) int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Scenario is one standardized benchmark: a name (which names the emitted
+// BENCH_<name>.json), a one-line description for -list, and a runner.
+type Scenario struct {
+	Name     string
+	Describe string
+	Run      func(o Options, env *Env) (Result, error)
+}
+
+// Env caches the expensive shared fixtures — the generated datasets and the
+// mined offline pipelines — across scenarios in one process, the way
+// experiments.Lab does for the paper reproductions. Setup cost stays out of
+// the measured windows: measure() re-reads MemStats after a GC, and the
+// fixtures are built before the timed loop starts.
+type Env struct {
+	o Options
+
+	mu     sync.Mutex
+	car    *datagen.CarDB
+	census *datagen.CensusDB
+	sample *relation.Relation
+	pipe   *experiments.Pipeline
+}
+
+// NewEnv creates a fixture cache for one benchmark run.
+func NewEnv(o Options) *Env { return &Env{o: o.withDefaults()} }
+
+// carDB returns the generated CarDB (quick: 4k tuples, full: 20k).
+func (e *Env) carDB() *datagen.CarDB {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.car == nil {
+		e.car = datagen.GenerateCarDB(e.o.scale(4_000, 20_000), e.o.Seed)
+	}
+	return e.car
+}
+
+// censusDB returns the generated CensusDB (quick: 3k tuples, full: 10k).
+func (e *Env) censusDB() *datagen.CensusDB {
+	db := func() *datagen.CensusDB {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		return e.census
+	}()
+	if db != nil {
+		return db
+	}
+	gen := datagen.GenerateCensusDB(e.o.scale(3_000, 10_000), e.o.Seed+1)
+	e.mu.Lock()
+	e.census = gen
+	e.mu.Unlock()
+	return gen
+}
+
+// carPipeline returns the mined offline stack over a CarDB sample (quick:
+// 1.5k tuples, full: 5k), built once and shared by the answering and
+// serving scenarios.
+func (e *Env) carPipeline() (*experiments.Pipeline, *datagen.CarDB, error) {
+	car := e.carDB()
+	e.mu.Lock()
+	if e.pipe != nil {
+		p := e.pipe
+		e.mu.Unlock()
+		return p, car, nil
+	}
+	e.mu.Unlock()
+
+	rng := rand.New(rand.NewSource(e.o.Seed + 17))
+	sample := car.Rel.Sample(e.o.scale(1_500, 5_000), rng)
+	pipe, err := experiments.BuildPipeline(sample, 0.15, 3)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: car pipeline: %w", err)
+	}
+	e.mu.Lock()
+	e.sample = sample
+	e.pipe = pipe
+	e.mu.Unlock()
+	return pipe, car, nil
+}
+
+// Scenarios returns the standardized suite in run order. Names are stable:
+// they key the BENCH_*.json files the comparator diffs across builds.
+func Scenarios() []Scenario {
+	return []Scenario{
+		{"learn", "offline phase (probe→TANE→order→supertuple) at the base sample size", runLearn(1)},
+		{"learn-2x", "offline phase at 2× the base sample size", runLearn(2)},
+		{"learn-4x", "offline phase at 4× the base sample size", runLearn(4)},
+		{"guided", "GuidedRelax answering over CarDB (paper §6.3 workload)", runAnswerer("guided")},
+		{"random", "RandomRelax answering over CarDB (the §6.3 strawman)", runAnswerer("random")},
+		{"rock", "ROCK cluster-based answering over CarDB (the §6.4 comparator)", runRock},
+		{"guided-census", "GuidedRelax answering over the 13-attribute CensusDB", runCensus},
+		{"serve-cold", "HTTP service answering with an empty cache (every request relaxes)", runServeCold},
+		{"serve-warm", "HTTP service answering from a primed cache", runServeWarm},
+		{"serve-contention", "concurrent identical queries sharing one relaxation (single-flight)", runServeContention},
+	}
+}
+
+// Select filters scenarios by exact name or substring; empty names selects
+// all.
+func Select(all []Scenario, pattern string) []Scenario {
+	if pattern == "" {
+		return all
+	}
+	var out []Scenario
+	for _, s := range all {
+		if strings.Contains(s.Name, pattern) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// runLearn benchmarks the offline phase — spanning-query probing, TANE
+// AFD/AKey mining, the Algorithm 2 ordering and supertuple construction —
+// with the mined sample capped at mult × the base size. Three multiples
+// give the learn-cost-vs-sample-size curve the related AFD-mining work
+// treats as first-class.
+func runLearn(mult int) func(Options, *Env) (Result, error) {
+	return func(o Options, env *Env) (Result, error) {
+		car := env.carDB()
+		src := webdb.NewLocal(car.Rel)
+		sampleSize := o.scale(400, 1_500) * mult
+		iters := o.scale(2, 3)
+		name := "learn"
+		if mult > 1 {
+			name = fmt.Sprintf("learn-%dx", mult)
+		}
+		params := map[string]float64{
+			"db_tuples":   float64(car.Rel.Size()),
+			"sample_size": float64(sampleSize),
+			"iterations":  float64(iters),
+		}
+		return measure(name, o.Quick, params, 1, iters, func(i int, m *Measurement) error {
+			_, _, stats, err := service.BuildModel(src, service.LearnConfig{
+				Seed:       o.Seed + int64(i),
+				SampleSize: sampleSize,
+				Workers:    1,
+			})
+			if err != nil {
+				return err
+			}
+			m.SetExtra("afds", float64(stats.AFDs))
+			m.SetExtra("akeys", float64(stats.AKeys))
+			m.SetExtra("probed_tuples", float64(stats.ProbedTuples))
+			m.SetExtra("sets_examined", float64(stats.SetsExamined))
+			for _, sp := range stats.Stages {
+				m.SetExtra("stage_"+sp.Name+"_ms", sp.DurMs)
+			}
+			return nil
+		})
+	}
+}
+
+// answerWorkload is the §6.3-style query pool: randomly picked tuples
+// turned into fully-bound like-queries.
+func answerWorkload(rel *relation.Relation, n int, seed int64) []*query.Query {
+	rng := rand.New(rand.NewSource(seed))
+	tuples := rel.Sample(n, rng).Tuples()
+	out := make([]*query.Query, 0, len(tuples))
+	for _, t := range tuples {
+		q := query.FromTuple(rel.Schema(), t)
+		for i := range q.Preds {
+			q.Preds[i].Op = query.OpLike
+		}
+		out = append(out, q)
+	}
+	return out
+}
+
+// answerConfig is the shared engine configuration for the strategy
+// comparison: identical budgets so Work/RelevantTuple differences are the
+// strategy's, not the knobs'.
+func answerConfig() core.Config {
+	return core.Config{
+		Tsim:           0.5,
+		K:              10,
+		BaseLimit:      1,
+		PerQueryLimit:  1000,
+		TargetRelevant: 20,
+	}
+}
+
+// runAnswerer benchmarks one relaxation strategy end to end: per operation,
+// one imprecise query is answered against the full CarDB through the mined
+// model, and the WorkStats feed the §6.3 quality numbers.
+func runAnswerer(strategy string) func(Options, *Env) (Result, error) {
+	return func(o Options, env *Env) (Result, error) {
+		pipe, car, err := env.carPipeline()
+		if err != nil {
+			return Result{}, err
+		}
+		src := webdb.NewLocal(car.Rel)
+		var relaxer core.Relaxer
+		switch strategy {
+		case "guided":
+			relaxer = &core.Guided{Ord: pipe.Ord}
+		case "random":
+			relaxer = &core.Random{Rng: rand.New(rand.NewSource(o.Seed + 61))}
+		default:
+			return Result{}, fmt.Errorf("bench: unknown strategy %q", strategy)
+		}
+		pool := answerWorkload(car.Rel, o.scale(4, 10), o.Seed+62)
+		iters := o.scale(8, 30)
+		params := map[string]float64{
+			"db_tuples":    float64(car.Rel.Size()),
+			"model_sample": float64(pipe.Rel.Size()),
+			"query_pool":   float64(len(pool)),
+			"tsim":         0.5,
+			"k":            10,
+		}
+		return measure(strategy, o.Quick, params, 2, iters, func(i int, m *Measurement) error {
+			eng := core.New(src, pipe.Est, relaxer, answerConfig())
+			res, err := eng.Answer(pool[i%len(pool)])
+			if err != nil {
+				return err
+			}
+			addAnswerWork(m, res)
+			return nil
+		})
+	}
+}
+
+// runRock benchmarks the ROCK comparator over the same workload: cluster
+// once (setup), then route-and-rank per query.
+func runRock(o Options, env *Env) (Result, error) {
+	pipe, car, err := env.carPipeline()
+	if err != nil {
+		return Result{}, err
+	}
+	clustering, err := rock.Cluster(pipe.Rel, rock.Config{
+		Theta:      0.5,
+		SampleSize: o.scale(400, 2_000),
+		Seed:       o.Seed + 63,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("bench: rock clustering: %w", err)
+	}
+	ans := &rock.Answerer{C: clustering, K: 10}
+	pool := answerWorkload(car.Rel, o.scale(4, 10), o.Seed+62)
+	iters := o.scale(8, 30)
+	params := map[string]float64{
+		"cluster_sample": float64(o.scale(400, 2_000)),
+		"clusters":       float64(clustering.NumClusters()),
+		"query_pool":     float64(len(pool)),
+		"k":              10,
+	}
+	return measure("rock", o.Quick, params, 2, iters, func(i int, m *Measurement) error {
+		res, err := ans.Answer(pool[i%len(pool)])
+		if err != nil {
+			return err
+		}
+		addAnswerWork(m, res)
+		return nil
+	})
+}
+
+// runCensus benchmarks GuidedRelax over the high-arity (13-attribute)
+// CensusDB, whose combinatorial relaxation schedules stress the scheduling
+// path in a way CarDB's 7 attributes cannot.
+func runCensus(o Options, env *Env) (Result, error) {
+	db := env.censusDB()
+	rng := rand.New(rand.NewSource(o.Seed + 7))
+	train := db.Rel.Sample(o.scale(1_000, 3_000), rng)
+	pipe, err := experiments.BuildPipeline(train, 0.08, 2)
+	if err != nil {
+		return Result{}, fmt.Errorf("bench: census pipeline: %w", err)
+	}
+	src := webdb.NewLocal(db.Rel)
+	relaxer := &core.Guided{Ord: pipe.Ord}
+	pool := answerWorkload(db.Rel, o.scale(3, 8), o.Seed+64)
+	iters := o.scale(3, 8)
+	cfg := answerConfig()
+	cfg.Tsim = 0.4 // the paper's census threshold
+	cfg.MaxQueriesPerBase = 150
+	params := map[string]float64{
+		"db_tuples":    float64(db.Rel.Size()),
+		"model_sample": float64(train.Size()),
+		"arity":        float64(db.Rel.Schema().Arity()),
+		"tsim":         cfg.Tsim,
+	}
+	return measure("guided-census", o.Quick, params, 1, iters, func(i int, m *Measurement) error {
+		eng := core.New(src, pipe.Est, relaxer, cfg)
+		res, err := eng.Answer(pool[i%len(pool)])
+		if err != nil {
+			return err
+		}
+		addAnswerWork(m, res)
+		return nil
+	})
+}
+
+// addAnswerWork folds one core.Result into the measurement's quality
+// accumulators.
+func addAnswerWork(m *Measurement, res *core.Result) {
+	simSum := 0.0
+	for _, a := range res.Answers {
+		simSum += a.Sim
+	}
+	m.AddWork(res.Work.QueriesIssued, res.Work.TuplesExtracted,
+		res.Work.TuplesQualified, len(res.Answers), simSum)
+}
+
+// newBenchService assembles the serving stack the serve-* scenarios drive:
+// the real service handler over a local source and the mined model, logs
+// discarded, slow-query log off.
+func newBenchService(o Options, env *Env) (*service.Service, *datagen.CarDB, error) {
+	pipe, car, err := env.carPipeline()
+	if err != nil {
+		return nil, nil, err
+	}
+	svc := service.New(webdb.NewLocal(car.Rel), pipe.Est, &core.Guided{Ord: pipe.Ord}, service.Config{
+		Engine: core.Config{
+			K:                 10,
+			Tsim:              0.5,
+			MaxQueriesPerBase: 60,
+		},
+		SlowQuery: -1,
+		Logger:    slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	return svc, car, nil
+}
+
+// serveQueries builds n distinct two-predicate imprecise queries (Model +
+// Price) in the /answer?q= wire format, deduplicated so each is a distinct
+// cache key.
+func serveQueries(car *datagen.CarDB, n int, seed int64) []string {
+	sc := car.Rel.Schema()
+	model, price := sc.MustIndex("Model"), sc.MustIndex("Price")
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[string]bool{}
+	var out []string
+	for len(out) < n {
+		t := car.Rel.Tuple(rng.Intn(car.Rel.Size()))
+		q := fmt.Sprintf("Model like %s, Price like %s",
+			t[model].Render(sc.Type(model)), t[price].Render(sc.Type(price)))
+		if seen[q] {
+			continue
+		}
+		seen[q] = true
+		out = append(out, q)
+	}
+	return out
+}
+
+// get issues one request through the service handler (no network: the
+// scenario measures the serving path, not the kernel's loopback).
+func get(svc *service.Service, target string) error {
+	r := httptest.NewRequest(http.MethodGet, target, nil)
+	w := httptest.NewRecorder()
+	svc.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		return fmt.Errorf("GET %s: HTTP %d: %s", target, w.Code, w.Body.String())
+	}
+	return nil
+}
+
+func answerTarget(q string) string {
+	return "/answer?q=" + url.QueryEscape(q)
+}
+
+// runServeCold drives the service with a distinct query per operation: every
+// request misses the cache and pays a full relaxation. This is the
+// worst-case serving latency a production deployment plans capacity for.
+func runServeCold(o Options, env *Env) (Result, error) {
+	svc, car, err := newBenchService(o, env)
+	if err != nil {
+		return Result{}, err
+	}
+	iters, warmup := o.scale(12, 40), 2
+	pool := serveQueries(car, iters+warmup, o.Seed+71)
+	params := map[string]float64{
+		"db_tuples":        float64(car.Rel.Size()),
+		"distinct_queries": float64(iters),
+	}
+	res, err := measure("serve-cold", o.Quick, params, warmup, iters, func(i int, m *Measurement) error {
+		return get(svc, answerTarget(pool[i]))
+	})
+	if err != nil {
+		return res, err
+	}
+	attachServeCounters(&res, svc)
+	return res, nil
+}
+
+// runServeWarm primes a small query pool, then drives round-robin repeats:
+// every measured request is an LRU cache hit, the best-case serving path.
+func runServeWarm(o Options, env *Env) (Result, error) {
+	svc, car, err := newBenchService(o, env)
+	if err != nil {
+		return Result{}, err
+	}
+	// The warmup pass primes every pool entry into the cache; the measured
+	// window then sees hits only.
+	pool := serveQueries(car, o.scale(8, 16), o.Seed+72)
+	iters := o.scale(3_000, 20_000)
+	params := map[string]float64{
+		"db_tuples":  float64(car.Rel.Size()),
+		"query_pool": float64(len(pool)),
+	}
+	res, err := measure("serve-warm", o.Quick, params, 100, iters, func(i int, m *Measurement) error {
+		return get(svc, answerTarget(pool[i%len(pool)]))
+	})
+	if err != nil {
+		return res, err
+	}
+	attachServeCounters(&res, svc)
+	return res, nil
+}
+
+// runServeContention fires a burst of identical uncached queries per
+// operation: the single-flight group must collapse each burst into one
+// relaxation run. Op latency is the burst's wall time; the shared-flight
+// counter delta proves the collapse happened.
+func runServeContention(o Options, env *Env) (Result, error) {
+	svc, car, err := newBenchService(o, env)
+	if err != nil {
+		return Result{}, err
+	}
+	iters, warmup := o.scale(8, 12), 2
+	burst := o.scale(16, 32)
+	pool := serveQueries(car, iters+warmup, o.Seed+73)
+	params := map[string]float64{
+		"db_tuples": float64(car.Rel.Size()),
+		"burst":     float64(burst),
+	}
+	res, err := measure("serve-contention", o.Quick, params, warmup, iters, func(i int, m *Measurement) error {
+		target := answerTarget(pool[i])
+		errs := make(chan error, burst)
+		for g := 0; g < burst; g++ {
+			go func() { errs <- get(svc, target) }()
+		}
+		for g := 0; g < burst; g++ {
+			if err := <-errs; err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	attachServeCounters(&res, svc)
+	return res, nil
+}
+
+// attachServeCounters copies the service's own counters into the result's
+// Extra block, so the serving scenarios report cache and single-flight
+// behavior alongside their latencies.
+func attachServeCounters(res *Result, svc *service.Service) {
+	hits, misses, relaxQueries := svc.Metrics()
+	if res.Extra == nil {
+		res.Extra = make(map[string]float64)
+	}
+	res.Extra["cache_hits"] = float64(hits)
+	res.Extra["cache_misses"] = float64(misses)
+	res.Extra["relax_queries"] = float64(relaxQueries)
+	res.Extra["singleflight_shared"] = float64(svc.SharedFlights())
+}

@@ -1,0 +1,189 @@
+// Package bench is the continuous-benchmarking subsystem: standardized
+// end-to-end scenarios over the AIMQ stack (learning, query answering,
+// serving), a mergeable quantile sketch for latency percentiles, wall/CPU
+// timers with runtime.MemStats deltas, a versioned BENCH_*.json result
+// schema, and a baseline comparator that turns two result sets into a
+// regression table.
+//
+// The package exists so the repo has a machine-readable performance
+// trajectory: cmd/aimq-bench emits one BENCH_<scenario>.json per scenario,
+// `make bench` refreshes them, and CI diffs a quick run against the
+// checked-in baseline to gate real regressions.
+package bench
+
+import "time"
+
+// Sketch geometry. Buckets are spaced by the factor gamma starting at
+// sketchMin seconds, giving a fixed relative quantile error of about
+// (gamma-1)/2 ≈ 1% across the whole range. 1ns … >10^4 s needs
+// log(10^13)/log(1.02) ≈ 1512 buckets; 1600 leaves headroom. The whole
+// sketch is ~13KB, cheap enough for one per worker.
+const (
+	sketchMin     = 1e-9
+	sketchGamma   = 1.02
+	sketchBuckets = 1600
+)
+
+// bucketWidths memoizes the bucket upper bounds so Observe is a binary
+// search-free index computation and Quantile a table lookup.
+var bucketBounds = func() [sketchBuckets]float64 {
+	var b [sketchBuckets]float64
+	v := sketchMin
+	for i := range b {
+		v *= sketchGamma
+		b[i] = v
+	}
+	return b
+}()
+
+// Sketch is a mergeable quantile sketch over non-negative observations
+// (typically latencies in seconds): geometrically spaced buckets with ~1%
+// relative error, exact count/sum/min/max. The zero value is ready to use.
+// Not safe for concurrent use — give each worker its own and Merge them,
+// which is the point: merging is exact (bucket-wise addition), unlike
+// merging pre-computed percentiles.
+type Sketch struct {
+	counts [sketchBuckets + 1]int64 // last bucket: overflow
+	total  int64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// Observe records one value. Negative values clamp to zero.
+func (s *Sketch) Observe(v float64) {
+	if v < 0 {
+		v = 0
+	}
+	s.counts[bucketIndex(v)]++
+	s.total++
+	s.sum += v
+	if s.total == 1 || v < s.min {
+		s.min = v
+	}
+	if v > s.max {
+		s.max = v
+	}
+}
+
+// ObserveDuration records one duration in seconds.
+func (s *Sketch) ObserveDuration(d time.Duration) {
+	s.Observe(d.Seconds())
+}
+
+// bucketIndex maps a value to its bucket by scanning the geometric bounds
+// with a binary search over the memoized table.
+func bucketIndex(v float64) int {
+	if v <= sketchMin {
+		return 0
+	}
+	lo, hi := 0, sketchBuckets
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bucketBounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Merge folds other into s. Merging is exact: bucket counts add, and the
+// merged quantiles are identical to a sketch that observed both streams.
+func (s *Sketch) Merge(other *Sketch) {
+	if other == nil || other.total == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		s.counts[i] += c
+	}
+	if s.total == 0 || other.min < s.min {
+		s.min = other.min
+	}
+	if other.max > s.max {
+		s.max = other.max
+	}
+	s.total += other.total
+	s.sum += other.sum
+}
+
+// Quantile returns the value at quantile q in [0,1] (0.5 = median). The
+// answer carries the sketch's ~1% relative error; min and max are exact.
+// An empty sketch returns 0.
+func (s *Sketch) Quantile(q float64) float64 {
+	if s.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.min
+	}
+	if q >= 1 {
+		return s.max
+	}
+	rank := int64(q * float64(s.total))
+	if rank >= s.total {
+		rank = s.total - 1
+	}
+	var seen int64
+	for i, c := range s.counts {
+		seen += c
+		if seen > rank {
+			// Midpoint of the bucket's geometric bounds, clamped to the
+			// exact observed extremes so tails never overshoot.
+			var lo float64
+			if i == 0 {
+				lo = 0
+			} else {
+				lo = bucketBounds[i-1]
+			}
+			hi := s.max
+			if i < sketchBuckets {
+				hi = bucketBounds[i]
+			}
+			v := (lo + hi) / 2
+			if v < s.min {
+				v = s.min
+			}
+			if v > s.max {
+				v = s.max
+			}
+			return v
+		}
+	}
+	return s.max
+}
+
+// Count returns the number of observations.
+func (s *Sketch) Count() int64 { return s.total }
+
+// Sum returns the exact sum of all observations.
+func (s *Sketch) Sum() float64 { return s.sum }
+
+// Mean returns the exact mean (0 when empty).
+func (s *Sketch) Mean() float64 {
+	if s.total == 0 {
+		return 0
+	}
+	return s.sum / float64(s.total)
+}
+
+// Min returns the exact smallest observation (0 when empty).
+func (s *Sketch) Min() float64 { return s.min }
+
+// Max returns the exact largest observation (0 when empty).
+func (s *Sketch) Max() float64 { return s.max }
+
+// Summary condenses the sketch into the latency block of a Result.
+func (s *Sketch) Summary() LatencySummary {
+	return LatencySummary{
+		P50:  s.Quantile(0.50),
+		P90:  s.Quantile(0.90),
+		P95:  s.Quantile(0.95),
+		P99:  s.Quantile(0.99),
+		P999: s.Quantile(0.999),
+		Mean: s.Mean(),
+		Min:  s.Min(),
+		Max:  s.Max(),
+	}
+}

@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestSketchQuantileAccuracy checks the sketch against exact quantiles of a
+// heavy-tailed sample: every estimate must land within the geometric bucket
+// error (~1% relative) plus the discretization of the sample itself.
+func TestSketchQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var s Sketch
+	vals := make([]float64, 0, 20_000)
+	for i := 0; i < 20_000; i++ {
+		// Log-uniform over ~6 decades: microseconds to seconds.
+		v := math.Pow(10, -6+6*rng.Float64())
+		vals = append(vals, v)
+		s.Observe(v)
+	}
+	sort.Float64s(vals)
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)-1))]
+		got := s.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > 0.05 {
+			t.Errorf("Quantile(%g) = %g, exact %g (rel err %.3f)", q, got, exact, rel)
+		}
+	}
+	if s.Min() != vals[0] || s.Max() != vals[len(vals)-1] {
+		t.Errorf("min/max not exact: got %g/%g want %g/%g", s.Min(), s.Max(), vals[0], vals[len(vals)-1])
+	}
+	if s.Count() != 20_000 {
+		t.Errorf("count = %d", s.Count())
+	}
+}
+
+// TestSketchMergeExact checks that merging worker sketches is identical to
+// one sketch observing both streams — the property the loadgen relies on.
+func TestSketchMergeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var a, b, all Sketch
+	for i := 0; i < 5_000; i++ {
+		v := rng.ExpFloat64() / 100
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		all.Observe(v)
+	}
+	var merged Sketch
+	merged.Merge(&a)
+	merged.Merge(&b)
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if got, want := merged.Quantile(q), all.Quantile(q); got != want {
+			t.Errorf("Quantile(%g): merged %g != combined %g", q, got, want)
+		}
+	}
+	// Sums are added in different orders, so allow float association slack.
+	if merged.Count() != all.Count() || math.Abs(merged.Sum()-all.Sum()) > 1e-9*all.Sum() {
+		t.Errorf("merged count/sum %d/%g, want %d/%g", merged.Count(), merged.Sum(), all.Count(), all.Sum())
+	}
+	if merged.Min() != all.Min() || merged.Max() != all.Max() {
+		t.Errorf("merged min/max %g/%g, want %g/%g", merged.Min(), merged.Max(), all.Min(), all.Max())
+	}
+}
+
+func TestSketchEmptyAndEdge(t *testing.T) {
+	var s Sketch
+	if s.Quantile(0.5) != 0 || s.Mean() != 0 || s.Count() != 0 {
+		t.Error("empty sketch should read as zeros")
+	}
+	s.Observe(-1) // clamps to 0
+	s.ObserveDuration(20 * time.Millisecond)
+	if s.Count() != 2 {
+		t.Fatalf("count = %d", s.Count())
+	}
+	if s.Min() != 0 {
+		t.Errorf("negative observation should clamp to 0, min = %g", s.Min())
+	}
+	if got := s.Quantile(1); got != 0.02 {
+		t.Errorf("max quantile = %g, want exact max 0.02", got)
+	}
+	s.Merge(nil) // no-op
+	if s.Count() != 2 {
+		t.Error("Merge(nil) changed the sketch")
+	}
+}
+
+// TestSketchSummary checks the Result latency block carries the sketch's
+// percentiles in order.
+func TestSketchSummary(t *testing.T) {
+	var s Sketch
+	for i := 1; i <= 1000; i++ {
+		s.Observe(float64(i) / 1000)
+	}
+	sum := s.Summary()
+	if !(sum.P50 <= sum.P90 && sum.P90 <= sum.P95 && sum.P95 <= sum.P99 && sum.P99 <= sum.P999 && sum.P999 <= sum.Max) {
+		t.Errorf("percentiles out of order: %+v", sum)
+	}
+	if sum.Min != 0.001 || sum.Max != 1 {
+		t.Errorf("min/max = %g/%g", sum.Min, sum.Max)
+	}
+	if math.Abs(sum.Mean-0.5005) > 1e-9 {
+		t.Errorf("mean = %g", sum.Mean)
+	}
+}

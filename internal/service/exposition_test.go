@@ -1,0 +1,327 @@
+package service
+
+import (
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parseExposition is a strict line-oriented parser for the Prometheus text
+// exposition format, covering the subset the service emits. It rejects
+// samples with no preceding TYPE, malformed metric names, illegal label
+// escaping (anything but \\ \" \n inside a quoted value), unparsable
+// values, histogram buckets whose le bounds or cumulative counts are not
+// monotone, and histograms whose +Inf bucket disagrees with _count.
+func parseExposition(body string) error {
+	metricName := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelName := regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	typed := map[string]string{}
+
+	type histGroup struct {
+		lastLE     float64
+		lastCount  float64
+		inf, count float64
+		infSeen    bool
+		countSeen  bool
+	}
+	hists := map[string]*histGroup{}
+	group := func(base string, labels [][2]string) *histGroup {
+		rest := make([]string, 0, len(labels))
+		for _, kv := range labels {
+			if kv[0] != "le" {
+				rest = append(rest, kv[0]+"="+kv[1])
+			}
+		}
+		sort.Strings(rest)
+		key := base + "\x00" + strings.Join(rest, ",")
+		g := hists[key]
+		if g == nil {
+			g = &histGroup{lastLE: math.Inf(-1)}
+			hists[key] = g
+		}
+		return g
+	}
+
+	for ln, line := range strings.Split(body, "\n") {
+		lineNo := ln + 1
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			if f := strings.SplitN(line, " ", 4); len(f) < 4 || !metricName.MatchString(f[2]) {
+				return fmt.Errorf("line %d: malformed HELP", lineNo)
+			}
+			continue
+		case strings.HasPrefix(line, "# TYPE "):
+			f := strings.Fields(line)
+			if len(f) != 4 || !metricName.MatchString(f[2]) {
+				return fmt.Errorf("line %d: malformed TYPE", lineNo)
+			}
+			switch f[3] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return fmt.Errorf("line %d: unknown metric type %q", lineNo, f[3])
+			}
+			typed[f[2]] = f[3]
+			continue
+		case strings.HasPrefix(line, "#"):
+			return fmt.Errorf("line %d: comment is neither HELP nor TYPE", lineNo)
+		}
+
+		name, labels, valueStr, err := splitSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		if !metricName.MatchString(name) {
+			return fmt.Errorf("line %d: bad metric name %q", lineNo, name)
+		}
+		for _, kv := range labels {
+			if !labelName.MatchString(kv[0]) {
+				return fmt.Errorf("line %d: bad label name %q", lineNo, kv[0])
+			}
+		}
+		value, err := parseSampleValue(valueStr)
+		if err != nil {
+			return fmt.Errorf("line %d: bad value %q", lineNo, valueStr)
+		}
+
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if strings.HasSuffix(name, suffix) && typed[strings.TrimSuffix(name, suffix)] == "histogram" {
+				base = strings.TrimSuffix(name, suffix)
+			}
+		}
+		if typed[base] == "" {
+			return fmt.Errorf("line %d: sample %s has no preceding TYPE", lineNo, name)
+		}
+
+		if typed[base] == "histogram" && base != name {
+			g := group(base, labels)
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				var le float64 = math.NaN()
+				for _, kv := range labels {
+					if kv[0] == "le" {
+						le, err = parseSampleValue(kv[1])
+						if err != nil {
+							return fmt.Errorf("line %d: bad le %q", lineNo, kv[1])
+						}
+					}
+				}
+				if math.IsNaN(le) {
+					return fmt.Errorf("line %d: bucket without le label", lineNo)
+				}
+				if le <= g.lastLE {
+					return fmt.Errorf("line %d: le bounds not increasing (%g after %g)", lineNo, le, g.lastLE)
+				}
+				if value < g.lastCount {
+					return fmt.Errorf("line %d: cumulative bucket counts decreased (%g after %g)", lineNo, value, g.lastCount)
+				}
+				g.lastLE, g.lastCount = le, value
+				if math.IsInf(le, 1) {
+					g.inf, g.infSeen = value, true
+				}
+			case strings.HasSuffix(name, "_count"):
+				g.count, g.countSeen = value, true
+			}
+		}
+	}
+	for key, g := range hists {
+		base := key[:strings.IndexByte(key, 0)]
+		if !g.infSeen {
+			return fmt.Errorf("histogram %s: no +Inf bucket", base)
+		}
+		if !g.countSeen || g.count != g.inf {
+			return fmt.Errorf("histogram %s: _count %g != +Inf bucket %g", base, g.count, g.inf)
+		}
+	}
+	return nil
+}
+
+// splitSample breaks one sample line into its metric name, decoded label
+// pairs and value string, enforcing the label quoting and escaping rules.
+func splitSample(line string) (name string, labels [][2]string, value string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i <= 0 {
+		return "", nil, "", fmt.Errorf("no value separator in %q", line)
+	}
+	name = line[:i]
+	if line[i] == ' ' {
+		return name, nil, strings.TrimSpace(line[i:]), nil
+	}
+	rest := line[i+1:] // after '{'
+	for len(rest) > 0 && rest[0] != '}' {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", nil, "", fmt.Errorf("label without '='")
+		}
+		key := rest[:eq]
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return "", nil, "", fmt.Errorf("label %s: unquoted value", key)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		closed := false
+	scan:
+		for len(rest) > 0 {
+			switch c := rest[0]; c {
+			case '\\':
+				if len(rest) < 2 {
+					return "", nil, "", fmt.Errorf("label %s: dangling backslash", key)
+				}
+				switch rest[1] {
+				case '\\', '"', 'n':
+					val.WriteByte('\\')
+					val.WriteByte(rest[1])
+				default:
+					return "", nil, "", fmt.Errorf("label %s: illegal escape \\%c", key, rest[1])
+				}
+				rest = rest[2:]
+			case '"':
+				rest = rest[1:]
+				closed = true
+				break scan
+			default:
+				val.WriteByte(c)
+				rest = rest[1:]
+			}
+		}
+		if !closed {
+			return "", nil, "", fmt.Errorf("label %s: unterminated value", key)
+		}
+		labels = append(labels, [2]string{key, val.String()})
+		if len(rest) > 0 && rest[0] == ',' {
+			rest = rest[1:]
+		}
+	}
+	if len(rest) == 0 || rest[0] != '}' {
+		return "", nil, "", fmt.Errorf("unterminated label set")
+	}
+	return name, labels, strings.TrimSpace(rest[1:]), nil
+}
+
+// parseSampleValue parses a sample or le value, accepting the Prometheus
+// infinity spellings.
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// TestExpositionParserAcceptsRealScrape runs the strict parser over an
+// actual /metrics scrape after traffic through every request path.
+func TestExpositionParserAcceptsRealScrape(t *testing.T) {
+	svc := obsService(t)
+	do(t, svc, "GET", "/answer?q=Model+like+Camry&k=3", "")
+	do(t, svc, "GET", "/answer?q=Model+like+Camry&k=3", "")
+	do(t, svc, "GET", "/answer?q=Price+like+12000&k=2&explain=true", "")
+	do(t, svc, "GET", "/answer?q=", "")
+
+	w := httptest.NewRecorder()
+	svc.ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	body := w.Body.String()
+	if err := parseExposition(body); err != nil {
+		t.Fatalf("real scrape rejected: %v\n%s", err, body)
+	}
+
+	// The build-info gauge carries this binary's stamped version and the
+	// toolchain that compiled it.
+	wantInfo := `aimq_service_build_info{version="dev",goversion="` + runtime.Version() + `"} 1`
+	if !strings.Contains(body, wantInfo) {
+		t.Errorf("scrape lacks %q", wantInfo)
+	}
+	// Two requests computed answers (one was a cache hit, one was a 400), so
+	// the answers-per-query histogram saw exactly two queries.
+	if !strings.Contains(body, "aimq_service_answers_per_query_count 2") {
+		t.Errorf("answers_per_query count != 2 in scrape")
+	}
+	for _, substr := range []string{
+		"aimq_service_goroutines ",
+		"aimq_service_heap_alloc_bytes ",
+		"aimq_service_gc_pause_seconds_total ",
+		`aimq_service_relax_depth_bucket{le="0"}`,
+		`aimq_service_answer_sim_bucket{le="1"}`,
+	} {
+		if !strings.Contains(body, substr) {
+			t.Errorf("scrape lacks %q", substr)
+		}
+	}
+}
+
+// TestExpositionParserRejectsMalformed feeds the parser hand-broken
+// exposition fragments; each must fail for the stated reason.
+func TestExpositionParserRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"no type", "m 1\n", "no preceding TYPE"},
+		{"bad metric name", "# TYPE 1m counter\n1m 1\n", "malformed TYPE"},
+		{"bad value", "# TYPE m counter\nm pickles\n", "bad value"},
+		{"illegal escape", "# TYPE m counter\nm{l=\"x\\q\"} 1\n", "illegal escape"},
+		{"unterminated label", "# TYPE m counter\nm{l=\"x} 1\n", "unterminated"},
+		{"unquoted label", "# TYPE m counter\nm{l=x} 1\n", "unquoted"},
+		{"unknown type", "# TYPE m sundial\nm 1\n", "unknown metric type"},
+		{
+			"non-monotone buckets",
+			"# TYPE h histogram\n" +
+				"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\n" +
+				"h_sum 1\nh_count 5\n",
+			"counts decreased",
+		},
+		{
+			"non-monotone bounds",
+			"# TYPE h histogram\n" +
+				"h_bucket{le=\"2\"} 1\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 2\n" +
+				"h_sum 1\nh_count 2\n",
+			"not increasing",
+		},
+		{
+			"count mismatch",
+			"# TYPE h histogram\n" +
+				"h_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 7\n",
+			"_count",
+		},
+		{
+			"missing inf",
+			"# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+			"+Inf",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := parseExposition(tc.body)
+			if err == nil {
+				t.Fatalf("accepted malformed input:\n%s", tc.body)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	got := escapeLabel("a\\b\"c\nd")
+	if got != `a\\b\"c\nd` {
+		t.Errorf("escapeLabel = %q", got)
+	}
+	// Round trip through the strict parser: an escaped pathological stage
+	// name must survive.
+	body := "# TYPE m counter\nm{l=\"" + got + "\"} 1\n"
+	if err := parseExposition(body); err != nil {
+		t.Errorf("escaped label rejected: %v", err)
+	}
+}

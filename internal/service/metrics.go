@@ -3,15 +3,21 @@ package service
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+
+	"aimq/internal/obs"
+	"aimq/internal/version"
 )
 
-// serviceMetrics tracks the service's operational counters and the answer
-// latency distribution, exposed at /metrics in the Prometheus text
-// exposition format. Implemented on stdlib atomics so the repo stays
-// dependency-free; any Prometheus scraper parses the output.
+// serviceMetrics tracks the service's operational counters, the answer
+// latency distribution and the answer-quality distributions, exposed at
+// /metrics in the Prometheus text exposition format. Implemented on stdlib
+// atomics so the repo stays dependency-free; any Prometheus scraper parses
+// the output.
 type serviceMetrics struct {
 	requestsOK     atomic.Int64 // answered 2xx
 	requestsErr    atomic.Int64 // answered 4xx/5xx
@@ -26,6 +32,53 @@ type serviceMetrics struct {
 
 	latency latencyHistogram
 	stages  stageHistograms
+
+	// Quality distributions, fed from finished traces: how deep relaxation
+	// had to go per answer, how many answers each query got, and where the
+	// Sim(Q,t) scores land. These turn the paper's §6 quality metrics into
+	// continuously scraped series.
+	relaxDepth     histogram
+	answersPer     histogram
+	answerSim      histogram
+	qualityInitOne sync.Once
+}
+
+// Quality-histogram bucket bounds. Depth counts dropped attributes per
+// relaxation step; answers-per-query tops out at the MaxK default; Sim is
+// bounded in (0,1].
+var (
+	depthBounds   = []float64{0, 1, 2, 3, 4, 5, 6, 8}
+	answersBounds = []float64{0, 1, 2, 5, 10, 20, 50, 100}
+	simBounds     = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1}
+)
+
+// initQuality sets the quality histograms' bounds; called from New and
+// lazily from observers so a zero-value serviceMetrics still works in tests.
+func (m *serviceMetrics) initQuality() {
+	m.qualityInitOne.Do(func() {
+		m.relaxDepth.bounds = depthBounds
+		m.answersPer.bounds = answersBounds
+		m.answerSim.bounds = simBounds
+	})
+}
+
+// observeQuality folds one finished trace into the quality histograms:
+// answers-per-query once, then per answer its Sim(Q,t) score and its
+// relaxation depth — the number of attributes the producing relaxation step
+// dropped, zero when the answer came straight from the base set.
+func (m *serviceMetrics) observeQuality(t *obs.Trace) {
+	m.initQuality()
+	m.answersPer.Observe(float64(len(t.Answers)))
+	for _, a := range t.Answers {
+		m.answerSim.Observe(a.Sim)
+		depth := 0
+		if !a.FromBase && len(a.Steps) > 0 {
+			if si := a.Steps[0]; si >= 0 && si < len(t.Steps) {
+				depth = len(t.Steps[si].Dropped)
+			}
+		}
+		m.relaxDepth.Observe(float64(depth))
+	}
 }
 
 // stageHistograms holds one latency histogram per pipeline stage
@@ -69,53 +122,119 @@ func (s *stageHistograms) get(name string) *latencyHistogram {
 	return s.m[name]
 }
 
-// latencyBounds are the histogram bucket upper bounds in seconds. Answer
-// latency spans cache hits (~µs) to deep relaxations (seconds), so the
-// buckets run from 100µs to 10s.
-var latencyBounds = [...]float64{
+// latencyBounds are the default histogram bucket upper bounds in seconds.
+// Answer latency spans cache hits (~µs) to deep relaxations (seconds), so
+// the buckets run from 100µs to 10s.
+var latencyBounds = []float64{
 	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
 	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
-// latencyHistogram is a fixed-bucket histogram. A mutex (not atomics) keeps
+// histogram is a fixed-bucket histogram with configurable bounds; the zero
+// value buckets by latencyBounds. A mutex (not atomics) keeps
 // sum/count/buckets mutually consistent; observation is far off the hot
 // path relative to a relaxation run.
-type latencyHistogram struct {
+type histogram struct {
+	// bounds are the bucket upper bounds, ascending; nil selects
+	// latencyBounds. Set before the first Observe — never after.
+	bounds []float64
+
 	mu     sync.Mutex
-	counts [len(latencyBounds) + 1]int64 // last bucket = +Inf
+	counts []int64 // len(bucketBounds())+1; last bucket = +Inf
 	sum    float64
 	total  int64
 }
 
-func (h *latencyHistogram) Observe(seconds float64) {
-	i := sort.SearchFloat64s(latencyBounds[:], seconds)
+// latencyHistogram is a histogram over the default latency buckets.
+type latencyHistogram = histogram
+
+func (h *histogram) bucketBounds() []float64 {
+	if h.bounds == nil {
+		return latencyBounds
+	}
+	return h.bounds
+}
+
+func (h *histogram) Observe(v float64) {
+	b := h.bucketBounds()
+	i := sort.SearchFloat64s(b, v)
 	h.mu.Lock()
+	if h.counts == nil {
+		h.counts = make([]int64, len(b)+1)
+	}
 	h.counts[i]++
-	h.sum += seconds
+	h.sum += v
 	h.total++
 	h.mu.Unlock()
 }
 
 // snapshot returns cumulative bucket counts, the sum and the total count.
-func (h *latencyHistogram) snapshot() ([]int64, float64, int64) {
+func (h *histogram) snapshot() ([]int64, float64, int64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	cum := make([]int64, len(h.counts))
+	cum := make([]int64, len(h.bucketBounds())+1)
 	var running int64
-	for i, c := range h.counts {
-		running += c
+	for i := range cum {
+		if i < len(h.counts) {
+			running += h.counts[i]
+		}
 		cum[i] = running
 	}
 	return cum, h.sum, h.total
+}
+
+// escapeLabel escapes a Prometheus label value: backslash, double quote and
+// newline, per the text exposition format. fmt's %q is close but not
+// identical (it escapes non-printables to Go syntax scrapers reject).
+func escapeLabel(v string) string {
+	return labelEscaper.Replace(v)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// writeHistogram renders one histogram series. labels, when non-empty, is a
+// pre-escaped label list without the le pair, e.g. `stage="relax"`.
+func writeHistogram(w io.Writer, name, labels string, h *histogram) {
+	cum, sum, total := h.snapshot()
+	bounds := h.bucketBounds()
+	comma := ""
+	if labels != "" {
+		comma = ","
+	}
+	for i, bound := range bounds {
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, comma, bound, cum[i])
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, comma, cum[len(cum)-1])
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, total)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, labels, sum)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, total)
+	}
 }
 
 // render writes the metrics in Prometheus text format. cacheEntries is the
 // current answer-cache population (the metrics struct does not own the
 // cache, so the gauge value is passed in at scrape time).
 func (m *serviceMetrics) render(w io.Writer, cacheEntries int) {
+	m.initQuality()
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	histo := func(name, help string, h *histogram) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+		writeHistogram(w, name, "", h)
+	}
+
+	fmt.Fprintf(w, "# HELP aimq_service_build_info Build metadata; value is always 1.\n")
+	fmt.Fprintf(w, "# TYPE aimq_service_build_info gauge\n")
+	fmt.Fprintf(w, "aimq_service_build_info{version=\"%s\",goversion=\"%s\"} 1\n",
+		escapeLabel(version.Version), escapeLabel(version.GoVersion()))
+
 	fmt.Fprintf(w, "# HELP aimq_service_requests_total Answer requests by outcome.\n")
 	fmt.Fprintf(w, "# TYPE aimq_service_requests_total counter\n")
 	fmt.Fprintf(w, "aimq_service_requests_total{status=\"ok\"} %d\n", m.requestsOK.Load())
@@ -133,38 +252,44 @@ func (m *serviceMetrics) render(w io.Writer, cacheEntries int) {
 	counter("aimq_service_slow_queries_total",
 		"Answers slower than the configured slow-query threshold.", m.slowQueries.Load())
 
-	fmt.Fprintf(w, "# HELP aimq_service_inflight_requests Answer requests currently being served.\n")
-	fmt.Fprintf(w, "# TYPE aimq_service_inflight_requests gauge\n")
-	fmt.Fprintf(w, "aimq_service_inflight_requests %d\n", m.inflight.Load())
+	gauge("aimq_service_inflight_requests",
+		"Answer requests currently being served.", float64(m.inflight.Load()))
+	gauge("aimq_service_cache_entries",
+		"Entries currently in the answer cache.", float64(cacheEntries))
 
-	fmt.Fprintf(w, "# HELP aimq_service_cache_entries Entries currently in the answer cache.\n")
-	fmt.Fprintf(w, "# TYPE aimq_service_cache_entries gauge\n")
-	fmt.Fprintf(w, "aimq_service_cache_entries %d\n", cacheEntries)
+	// Runtime health, read at scrape time: the serving process's goroutine
+	// population, heap footprint and cumulative GC cost.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	gauge("aimq_service_goroutines", "Goroutines in the serving process.",
+		float64(runtime.NumGoroutine()))
+	gauge("aimq_service_heap_alloc_bytes", "Bytes of live heap objects.",
+		float64(ms.HeapAlloc))
+	gauge("aimq_service_heap_sys_bytes", "Heap bytes obtained from the OS.",
+		float64(ms.HeapSys))
+	counter("aimq_service_gc_cycles_total", "Completed GC cycles.", int64(ms.NumGC))
+	fmt.Fprintf(w, "# HELP aimq_service_gc_pause_seconds_total Cumulative GC stop-the-world pause.\n")
+	fmt.Fprintf(w, "# TYPE aimq_service_gc_pause_seconds_total counter\n")
+	fmt.Fprintf(w, "aimq_service_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
 
-	cum, sum, total := m.latency.snapshot()
-	fmt.Fprintf(w, "# HELP aimq_service_answer_latency_seconds Answer latency (cache hits included).\n")
-	fmt.Fprintf(w, "# TYPE aimq_service_answer_latency_seconds histogram\n")
-	for i, bound := range latencyBounds[:] {
-		fmt.Fprintf(w, "aimq_service_answer_latency_seconds_bucket{le=\"%g\"} %d\n", bound, cum[i])
-	}
-	fmt.Fprintf(w, "aimq_service_answer_latency_seconds_bucket{le=\"+Inf\"} %d\n", cum[len(cum)-1])
-	fmt.Fprintf(w, "aimq_service_answer_latency_seconds_sum %g\n", sum)
-	fmt.Fprintf(w, "aimq_service_answer_latency_seconds_count %d\n", total)
+	histo("aimq_service_answer_latency_seconds",
+		"Answer latency (cache hits included).", &m.latency)
 
 	stageNames := m.stages.names()
 	if len(stageNames) > 0 {
 		fmt.Fprintf(w, "# HELP aimq_service_stage_seconds Time spent per answering-pipeline stage.\n")
 		fmt.Fprintf(w, "# TYPE aimq_service_stage_seconds histogram\n")
 		for _, name := range stageNames {
-			h := m.stages.get(name)
-			cum, sum, total := h.snapshot()
-			label := fmt.Sprintf("stage=%q", name)
-			for i, bound := range latencyBounds[:] {
-				fmt.Fprintf(w, "aimq_service_stage_seconds_bucket{%s,le=\"%g\"} %d\n", label, bound, cum[i])
-			}
-			fmt.Fprintf(w, "aimq_service_stage_seconds_bucket{%s,le=\"+Inf\"} %d\n", label, cum[len(cum)-1])
-			fmt.Fprintf(w, "aimq_service_stage_seconds_sum{%s} %g\n", label, sum)
-			fmt.Fprintf(w, "aimq_service_stage_seconds_count{%s} %d\n", label, total)
+			writeHistogram(w, "aimq_service_stage_seconds",
+				fmt.Sprintf("stage=\"%s\"", escapeLabel(name)), m.stages.get(name))
 		}
 	}
+
+	histo("aimq_service_relax_depth",
+		"Attributes relaxed away to produce each answer (0 = answered from the base set).",
+		&m.relaxDepth)
+	histo("aimq_service_answers_per_query",
+		"Answers returned per computed (uncached) query.", &m.answersPer)
+	histo("aimq_service_answer_sim",
+		"Sim(Q,t) scores of returned answers.", &m.answerSim)
 }

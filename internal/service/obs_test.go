@@ -300,6 +300,11 @@ func TestMetricsExposition(t *testing.T) {
 		"aimq_service_requests_total", "aimq_service_cache_entries",
 		"aimq_service_slow_queries_total", "aimq_service_answer_latency_seconds",
 		"aimq_service_stage_seconds",
+		"aimq_service_build_info", "aimq_service_goroutines",
+		"aimq_service_heap_alloc_bytes", "aimq_service_heap_sys_bytes",
+		"aimq_service_gc_cycles_total", "aimq_service_gc_pause_seconds_total",
+		"aimq_service_relax_depth", "aimq_service_answers_per_query",
+		"aimq_service_answer_sim",
 	} {
 		if len(series[want]) == 0 {
 			t.Errorf("missing series %s", want)

@@ -132,6 +132,7 @@ func New(src webdb.Source, est *similarity.Estimator, relaxer core.Relaxer, cfg 
 		flight:  newFlightGroup(),
 		start:   time.Now(),
 	}
+	s.met.initQuality()
 	s.cache = newLRUCache(s.cfg.CacheSize)
 	ringCap := s.cfg.TraceRing
 	if ringCap < 0 {
@@ -409,6 +410,7 @@ func (s *Service) compute(ctx context.Context, q *query.Query, k int, tsim float
 		t := rec.Finish()
 		tr = &t
 		s.ring.Add(t)
+		s.met.observeQuality(&t)
 		for name, d := range rec.SpanDurations() {
 			s.met.stages.Observe(name, d.Seconds())
 		}
@@ -501,6 +503,11 @@ func (s *Service) observe(start time.Time) {
 func (s *Service) Metrics() (cacheHits, cacheMisses, relaxQueries int64) {
 	return s.met.cacheHits.Load(), s.met.cacheMisses.Load(), s.met.relaxQueries.Load()
 }
+
+// SharedFlights returns how many requests piggybacked on another request's
+// in-flight identical computation — the single-flight dedup count the
+// contention benchmark asserts on.
+func (s *Service) SharedFlights() int64 { return s.met.flightShared.Load() }
 
 func parseAnswerRequest(r *http.Request) (*answerRequest, error) {
 	if r.Method == http.MethodPost {

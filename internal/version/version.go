@@ -1,0 +1,19 @@
+// Package version carries the build identity stamped into the binaries at
+// link time:
+//
+//	go build -ldflags "-X aimq/internal/version.Version=$(git describe --tags --always --dirty)"
+//
+// Unstamped builds report "dev". The string surfaces in the
+// aimq_service_build_info metric, the daemons' startup logs and -version
+// flags, and every BENCH_*.json result, so a scrape, a log line and a
+// benchmark file can all be traced back to the exact build that produced
+// them.
+package version
+
+import "runtime"
+
+// Version is the stamped build version ("dev" when not stamped).
+var Version = "dev"
+
+// GoVersion is the toolchain that compiled this binary.
+func GoVersion() string { return runtime.Version() }
