@@ -26,6 +26,12 @@
 //	aimq-serve -data cardb.csv -debug-addr 127.0.0.1:8091
 //	curl 'http://127.0.0.1:8091/debug/'
 //
+// The source is wrapped in retry + circuit-breaker middleware by default
+// (tune with -retry-attempts, -retry-base, -breaker-failures, -breaker-open;
+// disable with -resilient=false). With -cache-ttl set, expired cache entries
+// are served marked "stale" while the breaker is open — see
+// docs/ROBUSTNESS.md.
+//
 // Logs are structured (log/slog); every request carries a generated ID that
 // is echoed back as X-Request-ID and stamped on its trace.
 //
@@ -61,7 +67,14 @@ func main() {
 	maxK := flag.Int("max-k", 100, "cap on client-requested k")
 	tsim := flag.Float64("tsim", 0.5, "default similarity threshold")
 	cacheSize := flag.Int("cache", 1024, "LRU answer cache entries")
+	cacheTTL := flag.Duration("cache-ttl", 0, "answer freshness window; expired entries are served marked stale while the source is degraded (0 = never expire)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request answer deadline")
+	resilient := flag.Bool("resilient", true, "wrap the source in retry + circuit-breaker middleware")
+	retryAttempts := flag.Int("retry-attempts", 3, "attempts per source query, including the first (with -resilient)")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "base backoff between retries, doubled per attempt with full jitter (with -resilient)")
+	breakerFailures := flag.Int("breaker-failures", 5, "consecutive source failures that open the circuit breaker (with -resilient)")
+	breakerOpen := flag.Duration("breaker-open", 10*time.Second, "how long an open breaker sheds load before half-open probing (with -resilient)")
+	failDegrade := flag.Bool("fail-degrade", true, "return partial ranked results when relaxation queries fail (false = abort the request)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
 	maxQPB := flag.Int("max-queries-per-base", 0, "cap relaxation queries per base tuple (0 = unlimited)")
 	sampleSize := flag.Int("sample", 0, "cap the learning sample (0 = all)")
@@ -90,9 +103,13 @@ func main() {
 		data: *data, source: *source, model: *modelPath, addr: *addr,
 		debugAddr: *debugAddr,
 		k:         *k, maxK: *maxK, tsim: *tsim, cacheSize: *cacheSize,
-		timeout: *timeout, drain: *drain, maxQPB: *maxQPB,
+		cacheTTL: *cacheTTL,
+		timeout:  *timeout, drain: *drain, maxQPB: *maxQPB,
 		sampleSize: *sampleSize, terr: *terr, seed: *seed, probeWorkers: *probeWorkers,
 		traceRing: *traceRing, slowQuery: *slowQuery,
+		resilient: *resilient, retryAttempts: *retryAttempts, retryBase: *retryBase,
+		breakerFailures: *breakerFailures, breakerOpen: *breakerOpen,
+		failDegrade: *failDegrade,
 	}, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "aimq-serve:", err)
 		os.Exit(1)
@@ -109,6 +126,13 @@ type config struct {
 	seed                       int64
 	traceRing                  int
 	slowQuery                  time.Duration
+	cacheTTL                   time.Duration
+	resilient                  bool
+	retryAttempts              int
+	retryBase                  time.Duration
+	breakerFailures            int
+	breakerOpen                time.Duration
+	failDegrade                bool
 }
 
 func run(c config, logger *slog.Logger) error {
@@ -135,6 +159,22 @@ func run(c config, logger *slog.Logger) error {
 		return fmt.Errorf("need -data or -source")
 	}
 
+	if c.resilient {
+		src = webdb.NewResilient(src, webdb.ResilientConfig{
+			Retry: webdb.RetryPolicy{
+				MaxAttempts: c.retryAttempts,
+				BaseDelay:   c.retryBase,
+			},
+			Breaker: webdb.BreakerConfig{
+				FailureThreshold: c.breakerFailures,
+				OpenTimeout:      c.breakerOpen,
+			},
+		})
+		logger.Info("resilience middleware on",
+			"retry_attempts", c.retryAttempts, "retry_base", c.retryBase,
+			"breaker_failures", c.breakerFailures, "breaker_open", c.breakerOpen)
+	}
+
 	start := time.Now()
 	ord, est, learnStats, built, err := service.LoadOrBuildModel(c.model, src, service.LearnConfig{
 		Seed:       c.seed,
@@ -156,13 +196,19 @@ func run(c config, logger *slog.Logger) error {
 		logger.Info("model loaded", "path", c.model, "elapsed", time.Since(start).Round(time.Millisecond))
 	}
 
+	onFailure := core.FailAbort
+	if c.failDegrade {
+		onFailure = core.FailDegrade
+	}
 	svc := service.New(src, est, &core.Guided{Ord: ord}, service.Config{
 		Engine: core.Config{
 			K:                 c.k,
 			Tsim:              c.tsim,
 			MaxQueriesPerBase: c.maxQPB,
+			OnFailure:         onFailure,
 		},
 		CacheSize:      c.cacheSize,
+		CacheTTL:       c.cacheTTL,
 		RequestTimeout: c.timeout,
 		MaxK:           c.maxK,
 		TraceRing:      c.traceRing,

@@ -64,8 +64,8 @@ func TestSelect(t *testing.T) {
 		t.Error("empty pattern should select all")
 	}
 	serve := Select(all, "serve")
-	if len(serve) != 3 {
-		t.Errorf("serve matches = %d, want 3", len(serve))
+	if len(serve) != 4 {
+		t.Errorf("serve matches = %d, want 4", len(serve))
 	}
 	if len(Select(all, "no-such-scenario")) != 0 {
 		t.Error("bogus pattern matched")
@@ -76,7 +76,8 @@ func TestSelect(t *testing.T) {
 // files, so renaming one silently orphans its baseline.
 func TestScenarioNamesStable(t *testing.T) {
 	want := []string{"learn", "learn-2x", "learn-4x", "guided", "random", "rock",
-		"guided-census", "serve-cold", "serve-warm", "serve-contention"}
+		"guided-census", "serve-cold", "serve-warm", "serve-contention",
+		"chaos-guided", "serve-chaos"}
 	all := Scenarios()
 	if len(all) != len(want) {
 		t.Fatalf("suite has %d scenarios, want %d", len(all), len(want))

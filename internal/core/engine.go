@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 
@@ -40,13 +41,36 @@ type Config struct {
 	// the front of every depth level, so a cap sacrifices little recall.
 	// 0 means unlimited.
 	MaxQueriesPerBase int
-	// MaxSourceFailures tolerated before Answer aborts. Default 0.
+	// MaxSourceFailures tolerated before Answer aborts. Default 0. Only
+	// consulted under FailAbort; FailDegrade never hard-aborts.
 	MaxSourceFailures int
+	// OnFailure selects what a source failure does to the run: FailAbort
+	// (default) preserves the historical contract — the MaxSourceFailures+1-th
+	// failure aborts with an error — while FailDegrade treats failures like
+	// cancellation: each one consumes time budget (retry/backoff happens in
+	// the source wrapper) and the run keeps going, returning the partial
+	// ranked Result built from whatever succeeded. An open circuit breaker
+	// (webdb.ErrBreakerOpen) under FailDegrade stops the relaxation schedule
+	// immediately — every further query would be shed anyway.
+	OnFailure FailurePolicy
 	// Trace records every relaxation step (query issued, tuples extracted,
 	// tuples qualified) into Result.Trace. Off by default: traces of deep
 	// schedules are large.
 	Trace bool
 }
+
+// FailurePolicy selects how AnswerContext responds to source failures.
+type FailurePolicy int
+
+const (
+	// FailAbort aborts the run once failures exceed MaxSourceFailures
+	// (the historical behavior, and the zero value).
+	FailAbort FailurePolicy = iota
+	// FailDegrade keeps answering through failures, returning a partial
+	// ranked Result the way cancellation does. Pair it with a resilient
+	// source (webdb.NewResilient) so each failure has already been retried.
+	FailDegrade
+)
 
 func (c Config) withDefaults() Config {
 	if c.Tsim == 0 {
@@ -109,6 +133,10 @@ type TraceStep struct {
 	Qualified int
 	// Failed marks a source failure (Extracted/Qualified are 0).
 	Failed bool
+	// Shed marks a failure caused by an open circuit breaker: the query
+	// never reached the source, and under FailDegrade the schedule stopped
+	// here.
+	Shed bool
 }
 
 // Answerer is anything that can answer an imprecise query with a ranked
@@ -265,8 +293,9 @@ expansion:
 					break expansion
 				}
 				res.Work.SourceFailures++
+				shed := errors.Is(err, webdb.ErrBreakerOpen)
 				if cfg.Trace {
-					res.Trace = append(res.Trace, TraceStep{Query: rq.String(), Failed: true})
+					res.Trace = append(res.Trace, TraceStep{Query: rq.String(), Failed: true, Shed: shed})
 				}
 				if rec.Active() {
 					rec.AddStep(obs.RelaxStep{
@@ -274,8 +303,20 @@ expansion:
 						Dropped:   e.droppedAttrs(drop),
 						Query:     rq.String(),
 						Failed:    true,
+						Shed:      shed,
 						ElapsedMs: float64(rec.Since()-stepStart) / 1e6,
 					})
+				}
+				if cfg.OnFailure == FailDegrade {
+					if shed {
+						// The breaker is shedding: every remaining query in
+						// the schedule would fast-fail too. Rank what we have.
+						break expansion
+					}
+					// The failure already consumed its share of the time
+					// budget (the resilient wrapper retried with backoff);
+					// move on to the next relaxation query.
+					continue
 				}
 				if res.Work.SourceFailures > cfg.MaxSourceFailures {
 					err = fmt.Errorf("aimq: relaxation query failed: %w", err)
@@ -390,6 +431,7 @@ func (e *Engine) droppedAttrs(drop relation.AttrSet) []obs.DroppedAttr {
 // issued.
 func (e *Engine) baseSet(ctx context.Context, q *query.Query, cfg Config, work *WorkStats, rec *obs.Recorder) ([]relation.Tuple, *query.Query, error) {
 	qpr := q.ToPrecise()
+	var lastFail error
 	tryQuery := func(cand *query.Query) ([]relation.Tuple, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -404,6 +446,12 @@ func (e *Engine) baseSet(ctx context.Context, q *query.Query, cfg Config, work *
 				rec.BaseProbe(cand.String(), 0, true)
 			}
 			work.SourceFailures++
+			lastFail = err
+			if cfg.OnFailure == FailDegrade {
+				// Keep generalizing: a later, broader probe may still land
+				// (and if the breaker is open, each shed probe is ~free).
+				return nil, nil
+			}
 			if work.SourceFailures > cfg.MaxSourceFailures {
 				return nil, fmt.Errorf("aimq: base query failed: %w", err)
 			}
@@ -466,6 +514,11 @@ func (e *Engine) baseSet(ctx context.Context, q *query.Query, cfg Config, work *
 		return nil, nil, err
 	}
 	if len(tuples) == 0 {
+		if lastFail != nil {
+			// Every probe failed (e.g. breaker open): keep the cause in the
+			// chain so callers can classify it (errors.Is(ErrBreakerOpen)).
+			return nil, nil, fmt.Errorf("aimq: source returned no tuples for %s or any generalization: %w", q, lastFail)
+		}
 		return nil, nil, fmt.Errorf("aimq: source returned no tuples for %s or any generalization", q)
 	}
 	return tuples, unconstrained, nil

@@ -81,7 +81,29 @@ type RelaxStep struct {
 	Qualified int           `json:"qualified"` // new tuples above the Tsim gate
 	DupHits   int           `json:"dup_hits"`  // above-gate tuples already in the answer set
 	Failed    bool          `json:"failed,omitempty"`
-	ElapsedMs float64       `json:"elapsed_ms"`
+	// Shed marks a step abandoned without reaching the source because the
+	// circuit breaker was open (the engine stops expanding, ranks what it
+	// has, and the step shows up here so explain output tells the truth).
+	Shed      bool    `json:"shed,omitempty"`
+	ElapsedMs float64 `json:"elapsed_ms"`
+}
+
+// SourceEvent records one noteworthy source access observed by the
+// resilience layer: a query that was retried, failed after retries, or shed
+// by an open circuit breaker. Clean first-attempt successes are not
+// recorded (they would dwarf the trace).
+type SourceEvent struct {
+	Query    string `json:"query"`
+	Attempts int    `json:"attempts,omitempty"`
+	Retries  int    `json:"retries,omitempty"`
+	// Breaker is the breaker state after the call ("closed", "half-open",
+	// "open").
+	Breaker string `json:"breaker,omitempty"`
+	// FastFail marks queries shed without touching the source.
+	FastFail  bool    `json:"fast_fail,omitempty"`
+	Failed    bool    `json:"failed,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	ElapsedMs float64 `json:"elapsed_ms"`
 }
 
 // Contribution is one attribute's term in the weighted similarity sum
@@ -137,6 +159,7 @@ type Trace struct {
 	BaseQuery string          `json:"base_query,omitempty"`
 	BaseCount int             `json:"base_count,omitempty"`
 	Steps     []RelaxStep     `json:"relax_steps,omitempty"`
+	Source    []SourceEvent   `json:"source_events,omitempty"`
 	Answers   []AnswerExplain `json:"answers,omitempty"`
 	Err       string          `json:"error,omitempty"`
 }
@@ -236,6 +259,16 @@ func (r *Recorder) AddStep(step RelaxStep) int {
 	return idx
 }
 
+// AddSourceEvent appends one resilience-layer source event.
+func (r *Recorder) AddSourceEvent(ev SourceEvent) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.tr.Source = append(r.tr.Source, ev)
+	r.mu.Unlock()
+}
+
 // AddAnswer appends one answer decomposition.
 func (r *Recorder) AddAnswer(a AnswerExplain) {
 	if r == nil {
@@ -302,6 +335,7 @@ func snapshotLocked(t *Trace) Trace {
 	cp.Spans = append([]Span(nil), t.Spans...)
 	cp.BaseProbe = append([]BaseProbe(nil), t.BaseProbe...)
 	cp.Steps = append([]RelaxStep(nil), t.Steps...)
+	cp.Source = append([]SourceEvent(nil), t.Source...)
 	cp.Answers = append([]AnswerExplain(nil), t.Answers...)
 	return cp
 }

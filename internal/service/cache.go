@@ -3,55 +3,67 @@ package service
 import (
 	"container/list"
 	"sync"
+	"time"
 )
 
 // lruCache is a fixed-capacity LRU map from cache key to a finished answer
-// payload. Entries are immutable once inserted: handlers serialize straight
-// from the stored payload, so a hit costs one map lookup and one list move.
-// Safe for concurrent use.
+// payload, with an optional TTL. Entries past the TTL are *kept* (until
+// LRU-evicted) and reported expired rather than deleted: when the source's
+// circuit breaker is open, the service serves them with "stale": true —
+// degraded freshness beats no answer against a source we don't control.
+// Entries are immutable once inserted: handlers serialize straight from the
+// stored payload, so a hit costs one map lookup and one list move. Safe for
+// concurrent use.
 type lruCache struct {
-	mu   sync.Mutex
-	cap  int
-	ll   *list.List // front = most recently used
+	mu    sync.Mutex
+	cap   int
+	ttl   time.Duration // 0 = entries never expire
+	ll    *list.List    // front = most recently used
 	byKey map[string]*list.Element
 }
 
 type lruEntry struct {
-	key string
-	val *answerPayload
+	key      string
+	val      *answerPayload
+	storedAt time.Time
 }
 
-func newLRUCache(capacity int) *lruCache {
+func newLRUCache(capacity int, ttl time.Duration) *lruCache {
 	if capacity <= 0 {
 		capacity = 1024
 	}
-	return &lruCache{cap: capacity, ll: list.New(), byKey: make(map[string]*list.Element)}
+	return &lruCache{cap: capacity, ttl: ttl, ll: list.New(), byKey: make(map[string]*list.Element)}
 }
 
 // Get returns the cached payload for key, promoting it to most recently
-// used.
-func (c *lruCache) Get(key string) (*answerPayload, bool) {
+// used. expired reports whether the entry has outlived the TTL; callers
+// decide whether a stale payload is servable (breaker open) or a miss.
+func (c *lruCache) Get(key string) (val *answerPayload, expired, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.byKey[key]
-	if !ok {
-		return nil, false
+	el, found := c.byKey[key]
+	if !found {
+		return nil, false, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).val, true
+	e := el.Value.(*lruEntry)
+	expired = c.ttl > 0 && time.Since(e.storedAt) > c.ttl
+	return e.val, expired, true
 }
 
 // Add inserts (or refreshes) key, evicting the least recently used entry
-// when over capacity.
+// when over capacity. Refreshing restamps the entry's age.
 func (c *lruCache) Add(key string, val *answerPayload) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
 		c.ll.MoveToFront(el)
-		el.Value.(*lruEntry).val = val
+		e := el.Value.(*lruEntry)
+		e.val = val
+		e.storedAt = time.Now()
 		return
 	}
-	c.byKey[key] = c.ll.PushFront(&lruEntry{key: key, val: val})
+	c.byKey[key] = c.ll.PushFront(&lruEntry{key: key, val: val, storedAt: time.Now()})
 	if c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
@@ -59,7 +71,7 @@ func (c *lruCache) Add(key string, val *answerPayload) {
 	}
 }
 
-// Len reports the number of cached entries.
+// Len reports the number of cached entries (expired ones included).
 func (c *lruCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

@@ -11,6 +11,7 @@ import (
 
 	"aimq/internal/obs"
 	"aimq/internal/version"
+	"aimq/internal/webdb"
 )
 
 // serviceMetrics tracks the service's operational counters, the answer
@@ -28,6 +29,7 @@ type serviceMetrics struct {
 	relaxQueries   atomic.Int64 // source queries issued by the engine
 	tuplesRead     atomic.Int64 // tuples extracted from the source
 	slowQueries    atomic.Int64 // answers slower than the slow-query threshold
+	staleServes    atomic.Int64 // responses served from expired/error-bypassed cache
 	inflight       atomic.Int64
 
 	latency latencyHistogram
@@ -215,9 +217,10 @@ func writeHistogram(w io.Writer, name, labels string, h *histogram) {
 }
 
 // render writes the metrics in Prometheus text format. cacheEntries is the
-// current answer-cache population (the metrics struct does not own the
-// cache, so the gauge value is passed in at scrape time).
-func (m *serviceMetrics) render(w io.Writer, cacheEntries int) {
+// current answer-cache population and res the resilience-layer snapshot
+// (nil when the source has no resilience wrapper); both are owned elsewhere,
+// so their values are passed in at scrape time.
+func (m *serviceMetrics) render(w io.Writer, cacheEntries int, res *webdb.ResilienceStats) {
 	m.initQuality()
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -251,6 +254,27 @@ func (m *serviceMetrics) render(w io.Writer, cacheEntries int) {
 		"Tuples returned by the autonomous source.", m.tuplesRead.Load())
 	counter("aimq_service_slow_queries_total",
 		"Answers slower than the configured slow-query threshold.", m.slowQueries.Load())
+	counter("aimq_service_stale_serves_total",
+		"Responses served from expired or error-bypassed cache entries (serve-stale degradation).",
+		m.staleServes.Load())
+
+	if res != nil {
+		counter("aimq_source_retries_total",
+			"Source query attempts beyond the first (resilience retry layer).", res.Retries)
+		counter("aimq_source_fast_fails_total",
+			"Source queries shed by an open circuit breaker.", res.FastFails)
+		counter("aimq_source_failures_total",
+			"Source queries that failed after exhausting retries.", res.Failures)
+		counter("aimq_source_successes_total",
+			"Source queries that succeeded (retried or not).", res.Successes)
+		gauge("aimq_source_breaker_state",
+			"Circuit breaker state: 0 closed, 1 half-open, 2 open.", float64(res.State))
+		fmt.Fprintf(w, "# HELP aimq_source_breaker_transitions_total Circuit breaker transitions by target state.\n")
+		fmt.Fprintf(w, "# TYPE aimq_source_breaker_transitions_total counter\n")
+		fmt.Fprintf(w, "aimq_source_breaker_transitions_total{to=\"open\"} %d\n", res.Opens)
+		fmt.Fprintf(w, "aimq_source_breaker_transitions_total{to=\"half_open\"} %d\n", res.HalfOpens)
+		fmt.Fprintf(w, "aimq_source_breaker_transitions_total{to=\"closed\"} %d\n", res.Closes)
+	}
 
 	gauge("aimq_service_inflight_requests",
 		"Answer requests currently being served.", float64(m.inflight.Load()))

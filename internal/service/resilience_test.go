@@ -1,0 +1,161 @@
+package service
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"aimq/internal/core"
+	"aimq/internal/webdb"
+)
+
+// resilientService builds a service whose source is Resilient(Chaos(Local)),
+// returning the chaos handle (to break the source at runtime) and the
+// resilient wrapper (to inspect breaker state).
+func resilientService(t *testing.T, ttl time.Duration, bcfg webdb.BreakerConfig) (*Service, *webdb.Chaos, *webdb.Resilient) {
+	t.Helper()
+	rel := testDB(2000, 3)
+	chaos := webdb.NewChaos(webdb.NewLocal(rel), webdb.ChaosConfig{})
+	res := webdb.NewResilient(chaos, webdb.ResilientConfig{
+		Retry:   webdb.RetryPolicy{MaxAttempts: 1},
+		Breaker: bcfg,
+	})
+	svc := newService(t, rel, res, Config{
+		Engine: core.Config{
+			K:                 5,
+			Tsim:              0.5,
+			BaseLimit:         1,
+			MaxQueriesPerBase: 40,
+			OnFailure:         core.FailDegrade,
+		},
+		CacheTTL:  ttl,
+		SlowQuery: -1,
+	})
+	return svc, chaos, res
+}
+
+// TestServeStaleWhenBreakerOpen is the acceptance scenario end to end: prime
+// a key, kill the source until the breaker opens, and the expired entry is
+// still served — marked stale — while /healthz reports degraded and uncached
+// keys get a fast 503.
+func TestServeStaleWhenBreakerOpen(t *testing.T) {
+	svc, chaos, res := resilientService(t, 5*time.Millisecond,
+		webdb.BreakerConfig{FailureThreshold: 2, OpenTimeout: time.Hour})
+
+	const primed = "/answer?q=Model+like+Accord&k=5"
+	if code, body := do(t, svc, "GET", primed, ""); code != 200 || body["stale"] != nil {
+		t.Fatalf("healthy prime: code %d, stale %v", code, body["stale"])
+	}
+	if code, body := do(t, svc, "GET", "/healthz", ""); code != 200 ||
+		body["status"] != "ok" || body["breaker"] != "closed" {
+		t.Fatalf("healthy healthz: code %d, body %v", code, body)
+	}
+
+	// Break the source and trip the breaker with an uncached query. Under
+	// FailDegrade every base-set probe fails, so one request supplies the
+	// consecutive failures the threshold needs.
+	chaos.SetConfig(webdb.ChaosConfig{FailProb: 1})
+	do(t, svc, "GET", "/answer?q=Make+like+Honda&k=5", "")
+	if st := res.Stats(); st.State != webdb.BreakerOpen {
+		t.Fatalf("breaker %v after source death, want open (stats %+v)", st.State, st)
+	}
+
+	time.Sleep(10 * time.Millisecond) // let the primed entry expire
+
+	start := time.Now()
+	code, body := do(t, svc, "GET", primed, "")
+	elapsed := time.Since(start)
+	if code != 200 || body["stale"] != true || body["cached"] != true {
+		t.Fatalf("expired key with breaker open: code %d, stale %v, cached %v; want a stale-marked 200",
+			code, body["stale"], body["cached"])
+	}
+	if answers, ok := body["answers"].([]any); !ok || len(answers) == 0 {
+		t.Errorf("stale serve returned no answers: %v", body["answers"])
+	}
+	if elapsed > 50*time.Millisecond {
+		t.Errorf("stale serve took %v; it must not touch the dead source", elapsed)
+	}
+	if svc.StaleServes() != 1 {
+		t.Errorf("stale serves = %d, want 1", svc.StaleServes())
+	}
+
+	if code, body := do(t, svc, "GET", "/healthz", ""); code != 200 ||
+		body["status"] != "degraded" || body["breaker"] != "open" {
+		t.Fatalf("degraded healthz: code %d, body %v", code, body)
+	}
+
+	// An uncached key has nothing to fall back on: the breaker sheds it fast.
+	if code, body := do(t, svc, "GET", "/answer?q=Make+like+Toyota&k=5", ""); code != 503 {
+		t.Fatalf("uncached key with breaker open: code %d, body %v; want 503", code, body)
+	}
+
+	r := httptest.NewRequest("GET", "/metrics", nil)
+	w := httptest.NewRecorder()
+	svc.ServeHTTP(w, r)
+	text := w.Body.String()
+	for _, want := range []string{
+		"aimq_source_breaker_state 2",
+		"aimq_service_stale_serves_total 1",
+		"aimq_source_fast_fails_total",
+		`aimq_source_breaker_transitions_total{to="open"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestStaleOnRecomputeError covers the second degradation trigger: the
+// breaker is still closed (threshold out of reach) but a fresh computation
+// fails outright — the expired payload is served, marked stale, instead of
+// surfacing the error.
+func TestStaleOnRecomputeError(t *testing.T) {
+	svc, chaos, res := resilientService(t, 5*time.Millisecond,
+		webdb.BreakerConfig{FailureThreshold: 1 << 20, OpenTimeout: time.Hour})
+
+	const primed = "/answer?q=Model+like+Accord&k=5"
+	if code, _ := do(t, svc, "GET", primed, ""); code != 200 {
+		t.Fatalf("healthy prime failed: %d", code)
+	}
+
+	chaos.SetConfig(webdb.ChaosConfig{FailProb: 1})
+	time.Sleep(10 * time.Millisecond)
+
+	code, body := do(t, svc, "GET", primed, "")
+	if code != 200 || body["stale"] != true || body["cached"] != true {
+		t.Fatalf("recompute failure over an expired key: code %d, stale %v, cached %v; want stale-on-error 200",
+			code, body["stale"], body["cached"])
+	}
+	if st := res.Stats(); st.State != webdb.BreakerClosed {
+		t.Fatalf("breaker %v, want closed — this test exercises stale-on-error, not shedding", st.State)
+	}
+	if code, body := do(t, svc, "GET", "/healthz", ""); body["status"] != "ok" {
+		t.Errorf("healthz with breaker closed: code %d, body %v; want ok", code, body)
+	}
+}
+
+// TestServiceWithoutResilienceUnchanged: a plain source (no Stats method)
+// keeps the historical behavior — no breaker field in healthz, no
+// aimq_source_* metrics, no stale serving.
+func TestServiceWithoutResilienceUnchanged(t *testing.T) {
+	rel := testDB(500, 4)
+	svc := newService(t, rel, nil, Config{CacheTTL: time.Nanosecond})
+	if code, _ := do(t, svc, "GET", "/answer?q=Model+like+Accord&k=3", ""); code != 200 {
+		t.Fatalf("answer: %d", code)
+	}
+	if _, body := do(t, svc, "GET", "/healthz", ""); body["breaker"] != nil || body["status"] != "ok" {
+		t.Errorf("plain-source healthz grew resilience fields: %v", body)
+	}
+	r := httptest.NewRequest("GET", "/metrics", nil)
+	w := httptest.NewRecorder()
+	svc.ServeHTTP(w, r)
+	if strings.Contains(w.Body.String(), "aimq_source_") {
+		t.Errorf("plain-source /metrics exposes aimq_source_* series")
+	}
+	// An expired entry without a degraded source is recomputed, not served
+	// stale.
+	if _, body := do(t, svc, "GET", "/answer?q=Model+like+Accord&k=3", ""); body["stale"] != nil {
+		t.Errorf("fresh recompute marked stale: %v", body)
+	}
+}

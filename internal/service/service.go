@@ -60,6 +60,12 @@ type Config struct {
 	Engine core.Config
 	// CacheSize is the LRU answer cache capacity in entries. Default 1024.
 	CacheSize int
+	// CacheTTL is how long a cached answer stays fresh. Expired entries are
+	// kept (until LRU-evicted) and served with "stale": true when the
+	// source's circuit breaker is open or a fresh computation fails —
+	// serve-stale degradation. 0 = entries never expire (and stale-on-error
+	// still serves them, marked stale, if a recomputation fails).
+	CacheTTL time.Duration
 	// RequestTimeout bounds each answer computation; client-supplied
 	// timeouts are clamped to it. Default 30s.
 	RequestTimeout time.Duration
@@ -115,6 +121,11 @@ type Service struct {
 	start  time.Time
 	ring   *obs.Ring
 	log    *slog.Logger
+	// res is non-nil when the source is wrapped in resilience middleware
+	// (webdb.Resilient or anything exposing its Stats): /healthz degrades on
+	// an open breaker, /metrics exports the counters, and /answer serves
+	// stale cache entries while the breaker sheds.
+	res resilienceSource
 
 	learnMu sync.Mutex
 	learn   *obs.LearnStats
@@ -133,7 +144,10 @@ func New(src webdb.Source, est *similarity.Estimator, relaxer core.Relaxer, cfg 
 		start:   time.Now(),
 	}
 	s.met.initQuality()
-	s.cache = newLRUCache(s.cfg.CacheSize)
+	s.cache = newLRUCache(s.cfg.CacheSize, s.cfg.CacheTTL)
+	if rs, ok := src.(resilienceSource); ok {
+		s.res = rs
+	}
 	ringCap := s.cfg.TraceRing
 	if ringCap < 0 {
 		ringCap = 0
@@ -163,6 +177,19 @@ func (s *Service) LearnStats() *obs.LearnStats {
 	s.learnMu.Lock()
 	defer s.learnMu.Unlock()
 	return s.learn
+}
+
+// resilienceSource is the face of webdb.Resilient the service consumes —
+// an interface (satisfied by type assertion in New) so any future wrapper
+// exposing the same stats plugs in.
+type resilienceSource interface {
+	Stats() webdb.ResilienceStats
+}
+
+// degraded reports whether the source's circuit breaker is shedding: the
+// trigger for serving stale cache entries and for /healthz's "degraded".
+func (s *Service) degraded() bool {
+	return s.res != nil && s.res.Stats().State == webdb.BreakerOpen
 }
 
 // reqIDKey carries the request ID through the request context.
@@ -219,7 +246,10 @@ type workJSON struct {
 // answerResponse wraps a payload with per-request serving facts.
 type answerResponse struct {
 	*answerPayload
-	Cached    bool    `json:"cached"`
+	Cached bool `json:"cached"`
+	// Stale marks a payload served past its TTL (or after a failed
+	// recomputation) because the source is degraded.
+	Stale     bool    `json:"stale,omitempty"`
 	Shared    bool    `json:"shared,omitempty"`
 	ElapsedMs float64 `json:"elapsed_ms"`
 }
@@ -288,15 +318,24 @@ func (s *Service) handleAnswer(w http.ResponseWriter, r *http.Request) {
 
 	key := cacheKey(q, k, tsim)
 	if !req.Explain {
-		if payload, ok := s.cache.Get(key); ok {
-			s.met.cacheHits.Add(1)
-			s.met.requestsOK.Add(1)
-			s.observe(startReq)
-			s.logAnswer(reqID, req.Query, http.StatusOK, true, false, startReq, len(payload.Answers))
-			writeJSON(w, http.StatusOK, answerResponse{
-				answerPayload: payload, Cached: true, ElapsedMs: msSince(startReq),
-			})
-			return
+		if payload, expired, ok := s.cache.Get(key); ok {
+			serveStale := expired && s.degraded()
+			if !expired || serveStale {
+				// Fresh hit, or an expired entry served stale because the
+				// breaker is open: recomputing would only shed against the
+				// dead source, so degraded freshness wins.
+				if serveStale {
+					s.met.staleServes.Add(1)
+				}
+				s.met.cacheHits.Add(1)
+				s.met.requestsOK.Add(1)
+				s.observe(startReq)
+				s.logAnswer(reqID, req.Query, http.StatusOK, true, false, startReq, len(payload.Answers))
+				writeJSON(w, http.StatusOK, answerResponse{
+					answerPayload: payload, Cached: true, Stale: serveStale, ElapsedMs: msSince(startReq),
+				})
+				return
+			}
 		}
 		s.met.cacheMisses.Add(1)
 	}
@@ -329,9 +368,29 @@ func (s *Service) handleAnswer(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: err.Error(), Partial: payload})
 			return
 		}
+		// Stale-on-error: a failed recomputation with any cached payload —
+		// fresh or expired — still answers 200, marked stale. The cache
+		// key's payload is immutable, so this costs one lookup.
+		if !req.Explain {
+			if stale, _, ok := s.cache.Get(key); ok {
+				s.met.staleServes.Add(1)
+				s.met.requestsOK.Add(1)
+				s.logAnswer(reqID, req.Query, http.StatusOK, true, shared, startReq, len(stale.Answers))
+				writeJSON(w, http.StatusOK, answerResponse{
+					answerPayload: stale, Cached: true, Stale: true, ElapsedMs: msSince(startReq),
+				})
+				return
+			}
+		}
+		status := http.StatusInternalServerError
+		if errors.Is(err, webdb.ErrBreakerOpen) {
+			// Nothing cached and the breaker is shedding: 503 tells load
+			// balancers and clients to back off, unlike a generic 500.
+			status = http.StatusServiceUnavailable
+		}
 		s.met.requestsErr.Add(1)
-		s.logAnswer(reqID, req.Query, http.StatusInternalServerError, false, shared, startReq, 0)
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: err.Error()})
+		s.logAnswer(reqID, req.Query, status, false, shared, startReq, 0)
+		writeJSON(w, status, errorResponse{Error: err.Error()})
 		return
 	}
 	s.met.requestsOK.Add(1)
@@ -467,17 +526,34 @@ func (s *Service) payload(q *query.Query, res *core.Result, k int, tsim float64)
 	return p
 }
 
+// handleHealthz reports liveness. A degraded source — circuit breaker not
+// closed — flips status to "degraded" (still HTTP 200: the process is
+// healthy and serving, possibly from stale cache; orchestrators must not
+// restart it for a remote source's outage).
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"cache_entries":  s.cache.Len(),
-	})
+	}
+	if s.res != nil {
+		st := s.res.Stats()
+		body["breaker"] = st.State.String()
+		if st.State != webdb.BreakerClosed {
+			body["status"] = "degraded"
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.met.render(w, s.cache.Len())
+	var res *webdb.ResilienceStats
+	if s.res != nil {
+		st := s.res.Stats()
+		res = &st
+	}
+	s.met.render(w, s.cache.Len(), res)
 }
 
 // handleTraces serves the trace ring: the most recent traces (newest first)
@@ -508,6 +584,11 @@ func (s *Service) Metrics() (cacheHits, cacheMisses, relaxQueries int64) {
 // in-flight identical computation — the single-flight dedup count the
 // contention benchmark asserts on.
 func (s *Service) SharedFlights() int64 { return s.met.flightShared.Load() }
+
+// StaleServes returns how many responses were served from expired or
+// error-bypassed cache entries — the serve-stale degradation count the
+// chaos benchmark asserts on.
+func (s *Service) StaleServes() int64 { return s.met.staleServes.Load() }
 
 func parseAnswerRequest(r *http.Request) (*answerRequest, error) {
 	if r.Method == http.MethodPost {

@@ -431,21 +431,21 @@ func TestGracefulShutdownDrainsInflight(t *testing.T) {
 }
 
 func TestLRUCacheEviction(t *testing.T) {
-	c := newLRUCache(2)
+	c := newLRUCache(2, 0)
 	a, b, d := &answerPayload{Query: "a"}, &answerPayload{Query: "b"}, &answerPayload{Query: "d"}
 	c.Add("a", a)
 	c.Add("b", b)
-	if _, ok := c.Get("a"); !ok { // promotes a over b
+	if _, _, ok := c.Get("a"); !ok { // promotes a over b
 		t.Fatal("a missing")
 	}
 	c.Add("d", d) // evicts b (least recently used)
-	if _, ok := c.Get("b"); ok {
+	if _, _, ok := c.Get("b"); ok {
 		t.Errorf("b survived eviction")
 	}
-	if _, ok := c.Get("a"); !ok {
+	if _, _, ok := c.Get("a"); !ok {
 		t.Errorf("a evicted despite recent use")
 	}
-	if _, ok := c.Get("d"); !ok {
+	if _, _, ok := c.Get("d"); !ok {
 		t.Errorf("d missing")
 	}
 	if c.Len() != 2 {

@@ -9,6 +9,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"aimq/internal/query"
 	"aimq/internal/relation"
@@ -22,8 +23,13 @@ type Client struct {
 	schema *relation.Schema
 
 	// Retries is the number of additional attempts per request after a
-	// transport-level failure (autonomous sources flake). Default 0.
+	// retryable failure — transport errors, 5xx, 429 (autonomous sources
+	// flake). Default 0.
 	Retries int
+	// Retry overrides the retry policy entirely. When nil, a policy with
+	// Retries+1 attempts and fast backoff (25ms base, 250ms cap) is used,
+	// so the historical Retries knob keeps working.
+	Retry *RetryPolicy
 	// PageSize is the page requested when the caller asks for unlimited
 	// results: the client walks pages until the server reports the result
 	// complete. Default 500.
@@ -166,35 +172,73 @@ func (c *Client) queryPage(ctx context.Context, q *query.Query, limit, offset in
 	return tuples, rj.Complete, nil
 }
 
+// get fetches u under the client's retry policy: transport errors, 5xx and
+// 429 are retried with jittered backoff (honoring Retry-After), other
+// non-200 statuses are terminal. Non-200 responses surface as *StatusError
+// so wrappers like Resilient classify them the same way.
 func (c *Client) get(ctx context.Context, u string) ([]byte, error) {
-	var lastErr error
-	for attempt := 0; attempt <= c.Retries; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
+	policy := c.retryPolicy()
+	var body []byte
+	_, err := policy.Do(ctx, func(ctx context.Context) error {
+		b, err := c.getOnce(ctx, u)
+		if err == nil {
+			body = b
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
-		if err != nil {
-			return nil, err
-		}
-		resp, err := c.http.Do(req)
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		body, err := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		if resp.StatusCode != http.StatusOK {
-			var ej errorJSON
-			if json.Unmarshal(body, &ej) == nil && ej.Error != "" {
-				return nil, fmt.Errorf("server: %s (HTTP %d)", ej.Error, resp.StatusCode)
-			}
-			return nil, fmt.Errorf("server: HTTP %d", resp.StatusCode)
-		}
-		return body, nil
+		return err
+	})
+	return body, err
+}
+
+func (c *Client) retryPolicy() RetryPolicy {
+	if c.Retry != nil {
+		return *c.Retry
 	}
-	return nil, lastErr
+	return RetryPolicy{
+		MaxAttempts: c.Retries + 1,
+		BaseDelay:   25 * time.Millisecond,
+		MaxDelay:    250 * time.Millisecond,
+	}
+}
+
+// getOnce performs a single HTTP attempt.
+func (c *Client) getOnce(ctx context.Context, u string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		se := &StatusError{
+			Code:       resp.StatusCode,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+		var ej errorJSON
+		if json.Unmarshal(body, &ej) == nil && ej.Error != "" {
+			se.Msg = ej.Error
+		}
+		return nil, se
+	}
+	return body, nil
+}
+
+// parseRetryAfter parses the delay-seconds form of a Retry-After header
+// (the HTTP-date form is ignored: no autonomous-source emulation here
+// emits it, and a wrong clock would produce absurd sleeps).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
