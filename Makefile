@@ -3,6 +3,8 @@
 #   make check       — everything CI runs
 #   make race        — race-check the concurrent packages (service, core, webdb)
 #   make bench-serve — serving-path benchmarks (cache hit vs miss)
+#   make bench-learn — offline learn-phase scenarios only (probe→mine→order
+#                      →supertuple at 1x/2x/4x sample sizes)
 #   make bench       — full aimq-bench suite, BENCH_*.json into bench-results/
 #   make bench-quick — shrunken suite (the scale CI gates on)
 #   make bench-check — quick suite compared against bench/baseline; fails on
@@ -13,7 +15,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -X aimq/internal/version.Version=$(VERSION)
 
-.PHONY: check vet build test race bench-serve bench bench-quick bench-check baseline
+.PHONY: check vet build test race bench-serve bench-learn bench bench-quick bench-check baseline
 
 check: vet build test race
 
@@ -35,15 +37,20 @@ race:
 bench-serve:
 	$(GO) test -run XXX -bench 'BenchmarkService_' -benchmem ./internal/service/
 
+bench-learn:
+	$(GO) run -ldflags '$(LDFLAGS)' ./cmd/aimq-bench -run learn -out bench-results
+
 bench:
 	$(GO) run -ldflags '$(LDFLAGS)' ./cmd/aimq-bench -out bench-results
 
 bench-quick:
 	$(GO) run -ldflags '$(LDFLAGS)' ./cmd/aimq-bench -quick -out bench-results
 
+# The alloc gate is absolute, not baseline-relative: the zero-allocation
+# serve path stays under 16 allocs/op (measured ~3) or the gate fails.
 bench-check:
 	$(GO) run -ldflags '$(LDFLAGS)' ./cmd/aimq-bench -quick -out bench-results \
-		-baseline bench/baseline -threshold 2
+		-baseline bench/baseline -threshold 2 -alloc-gate serve-warm=16
 
 baseline:
 	$(GO) run -ldflags '$(LDFLAGS)' ./cmd/aimq-bench -quick -out bench/baseline

@@ -46,6 +46,9 @@ type Work struct {
 	QueriesIssued   int
 	TuplesExtracted int
 	TuplesQualified int
+	// StepsPruned is how many relaxation queries the engine proved
+	// pointless (Sim upper bound below Tsim) and skipped without issuing.
+	StepsPruned int
 }
 
 // Ask answers an imprecise query written in the CLI syntax, e.g.
@@ -104,6 +107,7 @@ func (db *DB) convert(res *core.Result) *Answers {
 			QueriesIssued:   res.Work.QueriesIssued,
 			TuplesExtracted: res.Work.TuplesExtracted,
 			TuplesQualified: res.Work.TuplesQualified,
+			StepsPruned:     res.Work.StepsPruned,
 		},
 	}
 	for _, a := range res.Answers {

@@ -10,7 +10,8 @@
 // The CI gate (quick scale, diffed against the checked-in baseline, failing
 // only past a generous 2x):
 //
-//	aimq-bench -quick -out bench-results -baseline bench/baseline -threshold 2
+//	aimq-bench -quick -out bench-results -baseline bench/baseline -threshold 2 \
+//	  -alloc-gate serve-warm=16
 //
 // Diff two existing result sets without running anything:
 //
@@ -28,6 +29,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"aimq/internal/bench"
@@ -42,6 +45,8 @@ func main() {
 	baseline := flag.String("baseline", "", "baseline directory to diff against after the run")
 	threshold := flag.Float64("threshold", 1.5, "worse-ratio past which a metric delta is a regression")
 	compareOnly := flag.Bool("compare-only", false, "skip running; just diff -out against -baseline")
+	learnWorkers := flag.Int("learn-workers", 0, "probe/supertuple workers for the learn scenarios (0 = default 4; 1 measures the serial path)")
+	allocGate := flag.String("alloc-gate", "", "comma-separated scenario=max allocs/op caps, e.g. serve-warm=16; exceeding any fails the run")
 	list := flag.Bool("list", false, "list scenarios and exit")
 	showVersion := flag.Bool("version", false, "print the build version and exit")
 	flag.Parse()
@@ -56,7 +61,12 @@ func main() {
 		}
 		return
 	}
-	code, err := runMain(*out, *baseline, *run, *threshold, *seed, *quick, *compareOnly, os.Stdout)
+	gates, err := parseAllocGates(*allocGate)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "aimq-bench:", err)
+		os.Exit(1)
+	}
+	code, err := runMain(*out, *baseline, *run, *threshold, *seed, *quick, *compareOnly, *learnWorkers, gates, os.Stdout)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "aimq-bench:", err)
 		os.Exit(1)
@@ -67,24 +77,92 @@ func main() {
 // runMain executes the selected scenarios and/or the baseline comparison.
 // The returned code is the process exit code: 0 clean, 2 when the
 // regression gate fails.
-func runMain(out, baseline, runFilter string, threshold float64, seed int64, quick, compareOnly bool, w io.Writer) (int, error) {
+func runMain(out, baseline, runFilter string, threshold float64, seed int64, quick, compareOnly bool, learnWorkers int, gates map[string]float64, w io.Writer) (int, error) {
 	if !compareOnly {
-		if err := runScenarios(out, runFilter, seed, quick, w); err != nil {
+		if err := runScenarios(out, runFilter, seed, quick, learnWorkers, w); err != nil {
 			return 0, err
 		}
 	}
-	if baseline == "" {
-		return 0, nil
+	code := 0
+	if len(gates) > 0 {
+		gc, err := checkAllocGates(out, gates, w)
+		if err != nil {
+			return 0, err
+		}
+		if gc != 0 {
+			code = gc
+		}
 	}
-	return compareDirs(baseline, out, threshold, w)
+	if baseline == "" {
+		return code, nil
+	}
+	cc, err := compareDirs(baseline, out, threshold, w)
+	if err != nil {
+		return 0, err
+	}
+	if cc != 0 {
+		code = cc
+	}
+	return code, nil
 }
 
-func runScenarios(out, runFilter string, seed int64, quick bool, w io.Writer) error {
+// parseAllocGates parses "-alloc-gate serve-warm=16,serve-cold=100000"
+// into a scenario→cap map.
+func parseAllocGates(spec string) (map[string]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	gates := make(map[string]float64)
+	for _, part := range strings.Split(spec, ",") {
+		name, limit, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("-alloc-gate %q: want scenario=max", part)
+		}
+		max, err := strconv.ParseFloat(limit, 64)
+		if err != nil {
+			return nil, fmt.Errorf("-alloc-gate %q: %w", part, err)
+		}
+		gates[name] = max
+	}
+	return gates, nil
+}
+
+// checkAllocGates enforces the per-scenario allocs/op caps against the
+// results in dir. A gated scenario missing from the results is an error —
+// a silently skipped gate would pass forever.
+func checkAllocGates(dir string, gates map[string]float64, w io.Writer) (int, error) {
+	results, err := bench.LoadDir(dir)
+	if err != nil {
+		return 0, fmt.Errorf("alloc gate: %w", err)
+	}
+	byName := make(map[string]bench.Result, len(results))
+	for _, r := range results {
+		byName[r.Scenario] = r
+	}
+	code := 0
+	for name, max := range gates {
+		r, ok := byName[name]
+		if !ok {
+			return 0, fmt.Errorf("alloc gate: scenario %s has no result in %s", name, dir)
+		}
+		if r.Mem.AllocsPerOp > max {
+			fmt.Fprintf(w, "alloc gate FAIL: %s at %.0f allocs/op exceeds the %.0f cap\n",
+				name, r.Mem.AllocsPerOp, max)
+			code = 2
+		} else {
+			fmt.Fprintf(w, "alloc gate ok: %s at %.0f allocs/op (cap %.0f)\n",
+				name, r.Mem.AllocsPerOp, max)
+		}
+	}
+	return code, nil
+}
+
+func runScenarios(out, runFilter string, seed int64, quick bool, learnWorkers int, w io.Writer) error {
 	scenarios := bench.Select(bench.Scenarios(), runFilter)
 	if len(scenarios) == 0 {
 		return fmt.Errorf("no scenario matches -run %q", runFilter)
 	}
-	opts := bench.Options{Quick: quick, Seed: seed}
+	opts := bench.Options{Quick: quick, Seed: seed, LearnWorkers: learnWorkers}
 	env := bench.NewEnv(opts)
 	mode := "full"
 	if quick {

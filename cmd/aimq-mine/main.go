@@ -29,15 +29,16 @@ func main() {
 	minimal := flag.Bool("minimal", false, "report only minimal dependencies")
 	topAFDs := flag.Int("afds", 25, "number of AFDs to print")
 	similar := flag.String("similar", "", "comma-separated Attr=Value pairs to show mined neighborhoods for")
+	workers := flag.Int("workers", 1, "supertuple index build goroutines (with -similar)")
 	flag.Parse()
 
-	if err := run(*data, *terr, *maxLHS, *minimal, *topAFDs, *similar); err != nil {
+	if err := run(*data, *terr, *maxLHS, *minimal, *topAFDs, *similar, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "aimq-mine:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data string, terr float64, maxLHS int, minimal bool, topAFDs int, similar string) error {
+func run(data string, terr float64, maxLHS int, minimal bool, topAFDs int, similar string, workers int) error {
 	if data == "" {
 		return fmt.Errorf("need -data")
 	}
@@ -68,7 +69,7 @@ func run(data string, terr float64, maxLHS int, minimal bool, topAFDs int, simil
 	fmt.Print(ord.Describe())
 
 	if similar != "" {
-		idx := supertuple.Builder{Buckets: 10}.Build(rel)
+		idx := supertuple.Builder{Buckets: 10, Workers: workers}.Build(rel)
 		est := similarity.New(idx, ord, similarity.Config{})
 		fmt.Println("\nmined value neighborhoods:")
 		for _, pair := range strings.Split(similar, ",") {

@@ -18,27 +18,27 @@ func carCSV(t *testing.T) string {
 
 func TestRunMine(t *testing.T) {
 	path := carCSV(t)
-	if err := run(path, 0.15, 2, false, 5, ""); err != nil {
+	if err := run(path, 0.15, 2, false, 5, "", 1); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	// Minimal mode and neighborhoods.
-	if err := run(path, 0.15, 2, true, 3, "Make=Ford,Model=Camry"); err != nil {
+	if err := run(path, 0.15, 2, true, 3, "Make=Ford,Model=Camry", 1); err != nil {
 		t.Fatalf("run with -similar: %v", err)
 	}
 }
 
 func TestRunMineErrors(t *testing.T) {
-	if err := run("", 0.15, 2, false, 5, ""); err == nil {
+	if err := run("", 0.15, 2, false, 5, "", 1); err == nil {
 		t.Errorf("missing -data accepted")
 	}
-	if err := run("/does/not/exist.csv", 0.15, 2, false, 5, ""); err == nil {
+	if err := run("/does/not/exist.csv", 0.15, 2, false, 5, "", 1); err == nil {
 		t.Errorf("missing file accepted")
 	}
 	path := carCSV(t)
-	if err := run(path, 0.15, 2, false, 5, "BadPair"); err == nil {
+	if err := run(path, 0.15, 2, false, 5, "BadPair", 1); err == nil {
 		t.Errorf("malformed -similar accepted")
 	}
-	if err := run(path, 0.15, 2, false, 5, "Ghost=x"); err == nil {
+	if err := run(path, 0.15, 2, false, 5, "Ghost=x", 1); err == nil {
 		t.Errorf("unknown attribute in -similar accepted")
 	}
 }

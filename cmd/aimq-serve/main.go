@@ -80,7 +80,10 @@ func main() {
 	sampleSize := flag.Int("sample", 0, "cap the learning sample (0 = all)")
 	terr := flag.Float64("terr", 0.15, "TANE error threshold for learning")
 	seed := flag.Int64("seed", 1, "probing/sampling seed")
-	probeWorkers := flag.Int("probe-workers", 1, "concurrent spanning probes while learning")
+	probeWorkers := flag.Int("probe-workers", 1, "concurrent spanning probes and supertuple-build goroutines while learning")
+	prune := flag.Bool("prune", true, "skip relaxation queries whose Sim upper bound is already below tsim")
+	keyPruneErr := flag.Float64("key-prune-max-error", 0, "also skip relaxation queries that keep the mined best key bound, when the key's g3 error is at or below this (0 = exact keys only)")
+	cacheSnapshot := flag.String("cache-snapshot", "", "path for the hot-query cache snapshot: warmed from at startup, rewritten at shutdown ('' = disabled)")
 	traceRing := flag.Int("trace-ring", 64, "traces kept by /debug/traces (recent and slowest each; negative disables)")
 	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "log answers slower than this at WARN (negative disables)")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
@@ -106,6 +109,7 @@ func main() {
 		cacheTTL: *cacheTTL,
 		timeout:  *timeout, drain: *drain, maxQPB: *maxQPB,
 		sampleSize: *sampleSize, terr: *terr, seed: *seed, probeWorkers: *probeWorkers,
+		prune: *prune, keyPruneErr: *keyPruneErr, cacheSnapshot: *cacheSnapshot,
 		traceRing: *traceRing, slowQuery: *slowQuery,
 		resilient: *resilient, retryAttempts: *retryAttempts, retryBase: *retryBase,
 		breakerFailures: *breakerFailures, breakerOpen: *breakerOpen,
@@ -133,6 +137,9 @@ type config struct {
 	breakerFailures            int
 	breakerOpen                time.Duration
 	failDegrade                bool
+	prune                      bool
+	keyPruneErr                float64
+	cacheSnapshot              string
 }
 
 func run(c config, logger *slog.Logger) error {
@@ -206,6 +213,8 @@ func run(c config, logger *slog.Logger) error {
 			Tsim:              c.tsim,
 			MaxQueriesPerBase: c.maxQPB,
 			OnFailure:         onFailure,
+			DisablePruning:    !c.prune,
+			KeyPruneMaxError:  c.keyPruneErr,
 		},
 		CacheSize:      c.cacheSize,
 		CacheTTL:       c.cacheTTL,
@@ -219,6 +228,21 @@ func run(c config, logger *slog.Logger) error {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if c.cacheSnapshot != "" {
+		if snap, err := service.LoadCacheSnapshot(c.cacheSnapshot); err == nil {
+			warmStart := time.Now()
+			warmed, werr := svc.WarmCache(ctx, snap)
+			logger.Info("cache warmed from snapshot", "path", c.cacheSnapshot,
+				"entries", len(snap.Entries), "warmed", warmed,
+				"elapsed", time.Since(warmStart).Round(time.Millisecond))
+			if werr != nil && !errors.Is(werr, context.Canceled) {
+				logger.Warn("cache warming stopped early", "error", werr)
+			}
+		} else if !errors.Is(err, os.ErrNotExist) {
+			logger.Warn("cache snapshot unreadable, starting cold", "path", c.cacheSnapshot, "error", err)
+		}
+	}
 
 	if c.debugAddr != "" {
 		dbg := &http.Server{Addr: c.debugAddr, Handler: svc.DebugHandler()}
@@ -241,6 +265,14 @@ func run(c config, logger *slog.Logger) error {
 	err = svc.Run(ctx, c.addr, c.drain)
 	if err == nil {
 		logger.Info("drained and stopped")
+	}
+	if c.cacheSnapshot != "" {
+		snap := svc.SnapshotCache(0)
+		if serr := service.SaveCacheSnapshot(c.cacheSnapshot, snap); serr != nil {
+			logger.Warn("cache snapshot not saved", "path", c.cacheSnapshot, "error", serr)
+		} else {
+			logger.Info("cache snapshot saved", "path", c.cacheSnapshot, "entries", len(snap.Entries))
+		}
 	}
 	return err
 }

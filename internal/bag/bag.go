@@ -119,3 +119,64 @@ func (b Bag) Top(n int) []string {
 func (b Bag) String() string {
 	return strings.Join(b.Top(len(b)), ", ")
 }
+
+// Entry is one word of a flattened bag.
+type Entry struct {
+	Word  string
+	Count int
+}
+
+// Flatten returns the bag's entries sorted by word. The similarity
+// estimator flattens every supertuple bag once and runs the O(k²) pairwise
+// Jaccard sweep over the flat forms: a merge join over two sorted slices
+// replaces per-word map hashing in the hottest loop of the offline phase.
+func Flatten(b Bag) []Entry {
+	out := make([]Entry, 0, len(b))
+	for w, c := range b {
+		out = append(out, Entry{Word: w, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Word < out[j].Word })
+	return out
+}
+
+// JaccardFlat computes the same bag-semantics Jaccard coefficient as
+// Jaccard over two Flatten results. The integer intersection and union are
+// identical to the map computation, so the quotient is bit-identical.
+func JaccardFlat(a, b []Entry) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter, union := 0, 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].Word == b[j].Word:
+			ca, cb := a[i].Count, b[j].Count
+			if ca < cb {
+				inter += ca
+				union += cb
+			} else {
+				inter += cb
+				union += ca
+			}
+			i++
+			j++
+		case a[i].Word < b[j].Word:
+			union += a[i].Count
+			i++
+		default:
+			union += b[j].Count
+			j++
+		}
+	}
+	for ; i < len(a); i++ {
+		union += a[i].Count
+	}
+	for ; j < len(b); j++ {
+		union += b[j].Count
+	}
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

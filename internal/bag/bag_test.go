@@ -2,6 +2,7 @@ package bag
 
 import (
 	"math"
+	"math/rand"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -113,5 +114,38 @@ func TestTopOrdering(t *testing.T) {
 	s := b.String()
 	if !strings.HasPrefix(s, "F150:8, ZX2:7") {
 		t.Errorf("String = %q", s)
+	}
+}
+
+// TestJaccardFlatMatchesJaccard drives the merge-join form against the map
+// form over randomized bags, including the empty/disjoint/identical edges.
+// The flat form must be bit-identical: the similarity estimator's matrix —
+// and therefore persisted model snapshots — are built from it.
+func TestJaccardFlatMatchesJaccard(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	words := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	randBag := func() Bag {
+		b := New()
+		for _, w := range words {
+			if rng.Intn(2) == 0 {
+				b.AddN(w, 1+rng.Intn(9))
+			}
+		}
+		return b
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b := randBag(), randBag()
+		want := Jaccard(a, b)
+		got := JaccardFlat(Flatten(a), Flatten(b))
+		if got != want {
+			t.Fatalf("trial %d: JaccardFlat = %v, Jaccard = %v\na=%v\nb=%v", trial, got, want, a, b)
+		}
+	}
+	if got := JaccardFlat(nil, nil); got != 0 {
+		t.Errorf("JaccardFlat(nil, nil) = %v, want 0", got)
+	}
+	one := Flatten(fromCounts(map[string]int{"x": 2}))
+	if got, want := JaccardFlat(one, one), 1.0; got != want {
+		t.Errorf("self similarity = %v, want %v", got, want)
 	}
 }

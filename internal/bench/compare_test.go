@@ -81,6 +81,39 @@ func TestCompareNoiseFloor(t *testing.T) {
 	}
 }
 
+// TestCompareThroughputNoiseFloor: throughput ratios of microsecond-scale
+// ops amplify the same wobble the latency floors mask — a 1µs cache hit
+// jittering to 3µs reads as a 3x throughput collapse. The floor is per-op
+// time growth; a genuine millisecond-scale slowdown still gates.
+func TestCompareThroughputNoiseFloor(t *testing.T) {
+	base := set(res("serve-warm", 1e-6, 2e-6, 1_000_000, 3))
+	cur := set(res("serve-warm", 3e-6, 4e-6, 330_000, 3))
+	cmp, err := Compare(base, cur, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.Failed() {
+		t.Errorf("sub-floor throughput wobble flagged: %+v", cmp.Regressions())
+	}
+
+	// 100 ops/s → 30 ops/s is ~23ms more per op: a real regression.
+	base = set(res("guided", 0.010, 0.020, 100, 5000))
+	cur = set(res("guided", 0.033, 0.040, 30, 5000))
+	cmp, err = Compare(base, cur, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range cmp.Regressions() {
+		if d.Metric == "throughput" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("millisecond-scale throughput collapse not flagged: %+v", cmp.Regressions())
+	}
+}
+
 func TestCompareMissingScenarioFailsGate(t *testing.T) {
 	base := set(res("guided", 0.01, 0.02, 100, 5000), res("random", 0.01, 0.02, 100, 5000))
 	cur := set(res("guided", 0.01, 0.02, 100, 5000), res("rock", 0.01, 0.02, 100, 5000))

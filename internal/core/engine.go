@@ -57,6 +57,32 @@ type Config struct {
 	// tuples qualified) into Result.Trace. Off by default: traces of deep
 	// schedules are large.
 	Trace bool
+	// DisablePruning turns off the Sim-bound relaxation prune. By default
+	// the engine skips a relaxation step when an upper bound on the gating
+	// similarity of any *new* tuple the step could retrieve is already at
+	// or below Tsim: a tuple returned by the query that dropped attribute
+	// set D matches the base tuple exactly on every kept attribute, and on
+	// each dropped attribute can contribute at most the base value's
+	// largest mined cross-value similarity (1 for numeric attributes, whose
+	// values are unconstrained). Skipped steps cannot change the above-Tsim
+	// answer set (TestPruningEquivalence) but are not issued and do not
+	// count against MaxQueriesPerBase, so under a per-base cap the pruned
+	// engine reaches deeper into the schedule than the unpruned one.
+	DisablePruning bool
+	// KeyPruneMaxError tunes the second prune, the key-bound prune: a
+	// relaxation step that *keeps* every attribute of the mined best key
+	// bound is skipped, because a query carrying a key binding identifies
+	// the base tuple — it is the precise query in disguise, and re-issuing
+	// it can only re-extract tuples already retrieved. With an exact key
+	// (g3 error 0) the skip provably cannot change the answer set
+	// (TestKeyPruneEquivalence). The default (0) trusts only exact keys;
+	// raising the threshold extends the same trust to approximate keys —
+	// the exact trust GuidedRelax already places in mined AFDs for its
+	// schedule — at the cost of possibly skipping tuples that collide with
+	// the base on the key (at most an error-fraction of the source, and
+	// still retrieved by any later step that drops part of the key).
+	// DisablePruning turns this prune off too.
+	KeyPruneMaxError float64
 }
 
 // FailurePolicy selects how AnswerContext responds to source failures.
@@ -110,6 +136,10 @@ type WorkStats struct {
 	TuplesExtracted int // tuples returned by the source across all queries
 	TuplesQualified int // tuples whose gating similarity exceeded Tsim
 	SourceFailures  int
+	// StepsPruned counts relaxation steps skipped because their Sim upper
+	// bound fell below Tsim — queries the engine proved pointless without
+	// issuing them (see Config.DisablePruning).
+	StepsPruned int
 }
 
 // Result is the outcome of answering one imprecise query.
@@ -275,12 +305,36 @@ expansion:
 		tq := query.FromTuple(sc, t)
 		bound := tq.BoundAttrs()
 		issued := 0
+		var pb pruneBound
+		pruning := !cfg.DisablePruning && e.Est.Ordering != nil
+		if pruning {
+			pb = e.pruneBoundFor(t, bound, all, sc, cfg.KeyPruneMaxError)
+		}
 		for _, drop := range e.Relaxer.Schedule(bound) {
 			if ctx.Err() != nil || done() {
 				break expansion
 			}
 			if cfg.MaxQueriesPerBase > 0 && issued >= cfg.MaxQueriesPerBase {
 				break
+			}
+			// Sim-bound prune: skip the step when no new tuple it retrieves
+			// can clear the gate. The first step per base tuple is always
+			// issued — a tuple identical to the base on every bound attribute
+			// matches *any* relaxed query, so one issued step is what
+			// guarantees such clones are retrieved even when every bound is
+			// hopeless.
+			if pruning && issued > 0 && pb.upperBound(drop) <= cfg.Tsim-pruneEps {
+				res.Work.StepsPruned++
+				continue
+			}
+			// Key-bound prune: the step keeps the mined key bound, so its
+			// query still identifies the base tuple — every tuple it could
+			// retrieve agrees with an already-answered base tuple on a key.
+			// Unlike the Sim bound this needs no issued-first guard: the
+			// base tuple itself is always in the answer set by construction.
+			if pruning && pb.keyed && drop.Intersect(pb.key).Empty() {
+				res.Work.StepsPruned++
+				continue
 			}
 			issued++
 			rq := tq.DropAttrs(drop)
@@ -406,6 +460,67 @@ expansion:
 	// A cancelled context surfaces here, after ranking: the partial answer
 	// set is still returned.
 	return res, ctx.Err()
+}
+
+// pruneEps is the float-safety margin of the Sim-bound prune: a step is
+// skipped only when its upper bound sits at least this far below Tsim, so
+// rounding in the bound arithmetic can never prune a step whose true bound
+// equals the threshold.
+const pruneEps = 1e-9
+
+// pruneBound is the per-base-tuple state of the Sim-bound prune. For the
+// base tuple t with bound attributes B (weights taken over all attributes,
+// exactly as SimTuples computes the gating similarity):
+//
+//	boundSum   = Σ_{a∈B} w_a            — the gate score of an exact clone
+//	penalty[a] = w_a × (1 − cap_a)      — similarity forfeited by dropping a
+//
+// where cap_a bounds how similar a *different* value of a can be to t.a:
+// the largest mined cross-value similarity of t.a for categorical
+// attributes, 1 for numeric ones (a dropped numeric value is unconstrained,
+// so nothing is forfeited and numeric drops are never pruned on).
+type pruneBound struct {
+	boundSum float64
+	penalty  []float64
+	// key is the mined best key when the key-bound prune applies to this
+	// base tuple: the key's error is within Config.KeyPruneMaxError and the
+	// base tuple binds every key attribute. Zero (with keyed false) otherwise.
+	key   relation.AttrSet
+	keyed bool
+}
+
+// pruneBoundFor precomputes the prune state for one base tuple.
+func (e *Engine) pruneBoundFor(t relation.Tuple, bound, all relation.AttrSet, sc *relation.Schema, keyMaxErr float64) pruneBound {
+	weights := e.Est.Ordering.ImportanceWeights(all)
+	pb := pruneBound{penalty: make([]float64, sc.Arity())}
+	if bk := e.Est.Ordering.BestKey; !bk.Attrs.Empty() && bk.Error <= keyMaxErr && bound.Contains(bk.Attrs) {
+		pb.key = bk.Attrs
+		pb.keyed = true
+	}
+	for _, a := range bound.Members() {
+		w := weights[a]
+		pb.boundSum += w
+		cap := 1.0
+		if sc.Type(a) == relation.Categorical {
+			cap = e.Est.MaxVSim(a, t[a].Str)
+		}
+		pb.penalty[a] = w * (1 - cap)
+	}
+	return pb
+}
+
+// upperBound is the largest gating similarity any tuple retrieved after
+// dropping the given attribute set can score against the base tuple,
+// ignoring exact matches on dropped attributes (those tuples also match
+// shallower queries and are retrieved there — see TestPruningEquivalence).
+func (pb pruneBound) upperBound(drop relation.AttrSet) float64 {
+	ub := pb.boundSum
+	for a := range pb.penalty {
+		if drop.Has(a) {
+			ub -= pb.penalty[a]
+		}
+	}
+	return ub
 }
 
 // droppedAttrs renders a relaxed attribute set with the mined importance

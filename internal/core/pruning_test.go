@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"testing"
+
+	"aimq/internal/query"
+	"aimq/internal/relation"
+)
+
+// answerSet reduces a result to the facts pruning is allowed to preserve:
+// which tuples were returned and at what similarity. Seq is deliberately
+// excluded — pruning changes discovery order of equal answers, never
+// membership or score.
+func answerSet(t *testing.T, rel *relation.Relation, res *Result) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64, len(res.Answers))
+	for _, a := range res.Answers {
+		key := a.Tuple.Render(rel.Schema())
+		if prev, dup := out[key]; dup && math.Abs(prev-a.Sim) > 1e-12 {
+			t.Fatalf("tuple %s appears with two sims: %v vs %v", key, prev, a.Sim)
+		}
+		out[key] = a.Sim
+	}
+	return out
+}
+
+func diffAnswerSets(a, b map[string]float64) []string {
+	var diffs []string
+	keys := make(map[string]bool, len(a)+len(b))
+	for k := range a {
+		keys[k] = true
+	}
+	for k := range b {
+		keys[k] = true
+	}
+	ordered := make([]string, 0, len(keys))
+	for k := range keys {
+		ordered = append(ordered, k)
+	}
+	sort.Strings(ordered)
+	for _, k := range ordered {
+		sa, inA := a[k]
+		sb, inB := b[k]
+		switch {
+		case !inA:
+			diffs = append(diffs, fmt.Sprintf("only unpruned: %s (sim %v)", k, sb))
+		case !inB:
+			diffs = append(diffs, fmt.Sprintf("only pruned: %s (sim %v)", k, sa))
+		case math.Abs(sa-sb) > 1e-12:
+			diffs = append(diffs, fmt.Sprintf("sim differs for %s: pruned %v, unpruned %v", k, sa, sb))
+		}
+	}
+	return diffs
+}
+
+// TestPruningEquivalence is the safety proof for the Sim-bound prune: with
+// unbounded budgets, the pruned and unpruned engines must return exactly the
+// same above-Tsim answer set at exactly the same similarities, for a sweep
+// of queries and thresholds. Budgets must be unbounded because skipping a
+// provably-useless query frees budget for a useful one — a behavior change
+// that is the point of the optimization, not a violation of it.
+func TestPruningEquivalence(t *testing.T) {
+	rel := testDB(3000, 1)
+	unbounded := func(tsim float64, disable bool) Config {
+		return Config{
+			Tsim:           tsim,
+			K:              1_000_000,
+			PerQueryLimit:  1_000_000,
+			DisablePruning: disable,
+		}
+	}
+	queries := []*query.Query{
+		query.New(rel.Schema()).
+			Where("Model", query.OpLike, relation.Cat("Camry")).
+			Where("Price", query.OpLike, relation.Numv(10000)),
+		query.New(rel.Schema()).
+			Where("Make", query.OpLike, relation.Cat("Ford")).
+			Where("Class", query.OpLike, relation.Cat("truck")).
+			Where("Year", query.OpLike, relation.Numv(2000)),
+		query.New(rel.Schema()).
+			Where("Model", query.OpLike, relation.Cat("Civic")).
+			Where("Class", query.OpLike, relation.Cat("compact")).
+			Where("Price", query.OpLike, relation.Numv(9000)),
+	}
+	totalPruned := 0
+	for qi, q := range queries {
+		// The low thresholds check equivalence where the bound rarely bites;
+		// the high ones (above 1 minus the fixture's best attainable
+		// penalty, ≈0.75) are where the Sim prune actually fires.
+		for _, tsim := range []float64{0.4, 0.7, 0.8, 0.9} {
+			pruned := newEngine(t, rel, unbounded(tsim, false))
+			plain := newEngine(t, rel, unbounded(tsim, true))
+			resP, err := pruned.Answer(q)
+			if err != nil {
+				t.Fatalf("q%d tsim=%v pruned: %v", qi, tsim, err)
+			}
+			resU, err := plain.Answer(q)
+			if err != nil {
+				t.Fatalf("q%d tsim=%v unpruned: %v", qi, tsim, err)
+			}
+			if diffs := diffAnswerSets(answerSet(t, rel, resP), answerSet(t, rel, resU)); len(diffs) != 0 {
+				for _, d := range diffs {
+					t.Errorf("q%d tsim=%v: %s", qi, tsim, d)
+				}
+			}
+			if resU.Work.StepsPruned != 0 {
+				t.Errorf("q%d tsim=%v: DisablePruning engine reported %d pruned steps", qi, tsim, resU.Work.StepsPruned)
+			}
+			if resP.Work.QueriesIssued > resU.Work.QueriesIssued {
+				t.Errorf("q%d tsim=%v: pruning issued more queries (%d) than the plain engine (%d)",
+					qi, tsim, resP.Work.QueriesIssued, resU.Work.QueriesIssued)
+			}
+			totalPruned += resP.Work.StepsPruned
+		}
+	}
+	// The sweep must actually exercise the prune path, or the equivalence
+	// above is vacuous.
+	if totalPruned == 0 {
+		t.Fatalf("no relaxation step was ever pruned across the sweep; test is vacuous")
+	}
+}
+
+// vinSchema is carSchema plus a unique VIN attribute: TANE mines {VIN} as
+// an exact (error-0) key, which is what arms the key-bound prune at its
+// default trust level.
+func vinDB(n int, seed int64) *relation.Relation {
+	sc := relation.MustSchema(
+		relation.Attribute{Name: "VIN", Type: relation.Categorical},
+		relation.Attribute{Name: "Make", Type: relation.Categorical},
+		relation.Attribute{Name: "Model", Type: relation.Categorical},
+		relation.Attribute{Name: "Class", Type: relation.Categorical},
+		relation.Attribute{Name: "Year", Type: relation.Numeric},
+	)
+	base := testDB(n, seed)
+	r := relation.New(sc)
+	for i, t := range base.Tuples() {
+		r.Append(relation.Tuple{
+			relation.Cat(fmt.Sprintf("v%05d", i)),
+			t[0], t[1], t[2], t[3],
+		})
+	}
+	return r
+}
+
+// TestKeyPruneEquivalence is the safety proof for the key-bound prune on a
+// source where the mined key is exact: skipping every relaxation step that
+// keeps the unique VIN bound must leave the answer set untouched, because
+// such steps can only re-retrieve the base tuple itself. The unpruned
+// engine pays for those steps; the pruned one must not, and must still
+// return identical answers under unbounded budgets.
+func TestKeyPruneEquivalence(t *testing.T) {
+	rel := vinDB(1500, 2)
+	cfg := func(disable bool) Config {
+		return Config{
+			Tsim:           0.5,
+			K:              1_000_000,
+			PerQueryLimit:  1_000_000,
+			DisablePruning: disable,
+		}
+	}
+	pruned := newEngine(t, rel, cfg(false))
+	plain := newEngine(t, rel, cfg(true))
+	if bk := pruned.Est.Ordering.BestKey; bk.Error != 0 || !bk.Attrs.Has(0) {
+		t.Fatalf("fixture did not mine VIN as an exact key: %v error=%v", bk.Attrs.Members(), bk.Error)
+	}
+	q := query.New(rel.Schema()).
+		Where("Model", query.OpLike, relation.Cat("Camry")).
+		Where("Class", query.OpLike, relation.Cat("sedan"))
+	resP, err := pruned.Answer(q)
+	if err != nil {
+		t.Fatalf("pruned: %v", err)
+	}
+	resU, err := plain.Answer(q)
+	if err != nil {
+		t.Fatalf("unpruned: %v", err)
+	}
+	if diffs := diffAnswerSets(answerSet(t, rel, resP), answerSet(t, rel, resU)); len(diffs) != 0 {
+		for _, d := range diffs {
+			t.Errorf("%s", d)
+		}
+	}
+	if resP.Work.StepsPruned == 0 {
+		t.Fatalf("exact key never pruned a step; test is vacuous")
+	}
+	if resP.Work.QueriesIssued >= resU.Work.QueriesIssued {
+		t.Errorf("key prune did not save queries: pruned issued %d, unpruned %d",
+			resP.Work.QueriesIssued, resU.Work.QueriesIssued)
+	}
+}

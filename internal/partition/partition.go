@@ -19,6 +19,8 @@
 package partition
 
 import (
+	"math"
+
 	"aimq/internal/relation"
 )
 
@@ -38,12 +40,41 @@ type Partition struct {
 // for dependency mining over probed Web data).
 func Single(rel *relation.Relation, attr int) *Partition {
 	typ := rel.Schema().Type(attr)
+	p := &Partition{N: rel.Size()}
+	if typ == relation.Numeric {
+		// Group by the raw float bits: formatting every value through
+		// Value.Key made strconv the hottest call in the mining phase, and
+		// the bits are the same identity (NaNs are canonicalized; the
+		// datasets carry none, but a stray NaN must not split a class).
+		groups := make(map[uint64][]int32)
+		var nulls []int32
+		for i, t := range rel.Tuples() {
+			v := t[attr]
+			if v.IsNull() {
+				nulls = append(nulls, int32(i))
+				continue
+			}
+			bits := math.Float64bits(v.Num)
+			if v.Num != v.Num {
+				bits = math.Float64bits(math.NaN())
+			}
+			groups[bits] = append(groups[bits], int32(i))
+		}
+		if len(nulls) >= 2 {
+			p.Classes = append(p.Classes, nulls)
+		}
+		for _, g := range groups {
+			if len(g) >= 2 {
+				p.Classes = append(p.Classes, g)
+			}
+		}
+		return p
+	}
 	groups := make(map[string][]int32)
 	for i, t := range rel.Tuples() {
 		k := t[attr].Key(typ)
 		groups[k] = append(groups[k], int32(i))
 	}
-	p := &Partition{N: rel.Size()}
 	for _, g := range groups {
 		if len(g) >= 2 {
 			p.Classes = append(p.Classes, g)

@@ -267,3 +267,37 @@ func TestCollectRecordsStats(t *testing.T) {
 		t.Errorf("TuplesReturned %d < ProbedTuples %d", st.TuplesReturned, st.ProbedTuples)
 	}
 }
+
+// TestParallelCollectDeterministicAcrossWorkerCounts pins the -probe-workers
+// determinism contract: the collected sample is tuple-for-tuple identical
+// for 1, 4 and 8 workers, because spanning-query results merge in query
+// order regardless of completion order. Run under -race this is also the
+// concurrency check on the probe worker pool.
+func TestParallelCollectDeterministicAcrossWorkerCounts(t *testing.T) {
+	rel := bigRel(4000, 51)
+	collect := func(workers int) *relation.Relation {
+		c := New(webdb.NewLocal(rel), rand.New(rand.NewSource(7)))
+		c.SeedProbeLimit = 4000
+		c.Parallelism = workers
+		out, err := c.Collect("Make")
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return out
+	}
+	base := collect(1)
+	sc := rel.Schema()
+	for _, workers := range []int{4, 8} {
+		got := collect(workers)
+		if got.Size() != base.Size() {
+			t.Fatalf("workers=%d: size %d, want %d", workers, got.Size(), base.Size())
+		}
+		for i := 0; i < base.Size(); i++ {
+			for j := 0; j < sc.Arity(); j++ {
+				if !base.Tuple(i)[j].Equal(got.Tuple(i)[j], sc.Type(j)) {
+					t.Fatalf("workers=%d: tuple %d differs from sequential collect", workers, i)
+				}
+			}
+		}
+	}
+}

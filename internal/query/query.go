@@ -244,6 +244,30 @@ func FromTuple(s *relation.Schema, t relation.Tuple) *Query {
 // String renders the query in the paper's notation, e.g.
 // "R(Model = Camry ∧ Price < 10000)". Predicates print in attribute order
 // for stable output.
+// Text renders the query in the comma-separated clause syntax Parse
+// accepts, so it can be persisted and replayed later (the service's
+// cache-warming snapshot does this). In-lists use the parser's "|"
+// separator; the display form String does not round-trip.
+func (q *Query) Text() string {
+	preds := make([]Predicate, len(q.Preds))
+	copy(preds, q.Preds)
+	sort.SliceStable(preds, func(i, j int) bool { return preds[i].Attr < preds[j].Attr })
+	parts := make([]string, len(preds))
+	for i, p := range preds {
+		if p.Op == OpIn {
+			typ := q.Schema.Type(p.Attr)
+			alts := make([]string, len(p.Values))
+			for j, v := range p.Values {
+				alts[j] = v.Render(typ)
+			}
+			parts[i] = fmt.Sprintf("%s in (%s)", q.Schema.Attr(p.Attr).Name, strings.Join(alts, " | "))
+			continue
+		}
+		parts[i] = p.Render(q.Schema)
+	}
+	return strings.Join(parts, ", ")
+}
+
 func (q *Query) String() string {
 	preds := make([]Predicate, len(q.Preds))
 	copy(preds, q.Preds)

@@ -307,3 +307,29 @@ func TestParseIn(t *testing.T) {
 		t.Errorf("garbage numeric in-list accepted")
 	}
 }
+
+func TestTextRoundTripsThroughParse(t *testing.T) {
+	s := carSchema(t)
+	queries := []*Query{
+		New(s).Where("Model", OpLike, relation.Cat("Camry")).
+			Where("Price", OpLike, relation.Numv(10000)),
+		New(s).Where("Make", OpEq, relation.Cat("Toyota")).
+			Where("Year", OpGreater, relation.Numv(1999)),
+		New(s).WhereRange("Price", 8000, 12000),
+		New(s).WhereIn("Model", relation.Cat("Camry"), relation.Cat("Accord")),
+	}
+	for _, q := range queries {
+		text := q.Text()
+		back, err := Parse(s, text)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", text, err)
+			continue
+		}
+		if got := back.Text(); got != text {
+			t.Errorf("round trip drifted: %q -> %q", text, got)
+		}
+		if back.String() != q.String() {
+			t.Errorf("round trip changed the query: %s -> %s", q, back)
+		}
+	}
+}

@@ -53,9 +53,9 @@ func (a *Answerer) Answer(q *query.Query) (*core.Result, error) {
 		pos int
 		sim float64
 	}
-	var all []scored
+	all := make([]scored, 0, len(candidates))
 	for _, pos := range candidates {
-		sim := jaccard(items, a.C.items.itemsOf(a.C.Rel.Tuple(pos)))
+		sim := jaccard(items, a.C.tupleItems[pos])
 		if sim > a.Tsim {
 			all = append(all, scored{pos, sim})
 		}
@@ -90,7 +90,7 @@ func (a *Answerer) routeToCluster(items []int32) int {
 	for ci, members := range a.C.Members {
 		n := 0
 		for _, pos := range members {
-			if jaccard(items, a.C.items.itemsOf(a.C.Rel.Tuple(pos))) >= a.C.Cfg.Theta {
+			if jaccard(items, a.C.tupleItems[pos]) >= a.C.Cfg.Theta {
 				n++
 			}
 		}
@@ -122,7 +122,7 @@ func (a *Answerer) SimilarTuples(t relation.Tuple, k int) []core.Answer {
 	}
 	all := make([]scored, 0, a.C.Rel.Size())
 	for pos := 0; pos < a.C.Rel.Size(); pos++ {
-		sim := jaccard(items, a.C.items.itemsOf(a.C.Rel.Tuple(pos)))
+		sim := jaccard(items, a.C.tupleItems[pos])
 		if sim > a.Tsim {
 			all = append(all, scored{pos, sim})
 		}

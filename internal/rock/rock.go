@@ -78,6 +78,11 @@ type Clustering struct {
 	Cfg Config
 
 	items *itemizer
+	// tupleItems[i] is the precomputed item set of tuple i. Itemizing every
+	// tuple once at fit time keeps the answering path read-only and free of
+	// the per-candidate item-set allocations that used to dominate ROCK's
+	// serving cost (≈10k allocs/op vs guided's ≈3k in the first baseline).
+	tupleItems [][]int32
 	// Assign[i] is the cluster id of tuple i (−1 for outliers that had no
 	// neighbors among the clustered sample).
 	Assign []int
@@ -110,9 +115,13 @@ func Cluster(rel *relation.Relation, cfg Config) (*Clustering, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	c.sampleIdx = rng.Perm(rel.Size())[:cfg.SampleSize]
 
+	c.tupleItems = make([][]int32, rel.Size())
+	for pos := 0; pos < rel.Size(); pos++ {
+		c.tupleItems[pos] = c.items.itemsOf(rel.Tuple(pos))
+	}
 	sampleItems := make([][]int32, len(c.sampleIdx))
 	for i, pos := range c.sampleIdx {
-		sampleItems[i] = c.items.itemsOf(rel.Tuple(pos))
+		sampleItems[i] = c.tupleItems[pos]
 	}
 
 	start := time.Now()
@@ -166,7 +175,7 @@ func (c *Clustering) label(sampleItems [][]int32, assign []int, nClusters int, i
 		if inSample[pos] {
 			continue
 		}
-		items := c.items.itemsOf(c.Rel.Tuple(pos))
+		items := c.tupleItems[pos]
 		for i := range counts {
 			counts[i] = 0
 		}

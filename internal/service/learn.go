@@ -27,7 +27,7 @@ type LearnConfig struct {
 	Terr       float64 // TANE g3 threshold (default 0.15)
 	MaxLHS     int     // AFD antecedent bound (default min(arity-1, 3))
 	Buckets    int     // numeric discretization buckets (default 10)
-	Workers    int     // concurrent spanning probes (default 1)
+	Workers    int     // concurrent spanning probes and supertuple-build goroutines (default 1)
 }
 
 func (lc LearnConfig) withDefaults() LearnConfig {
@@ -112,7 +112,7 @@ func BuildModel(src webdb.Source, lc LearnConfig) (*afd.Ordering, *similarity.Es
 	stage("order", begin)
 
 	begin = time.Now()
-	idx := supertuple.Builder{Buckets: lc.Buckets}.Build(sample)
+	idx := supertuple.Builder{Buckets: lc.Buckets, Workers: lc.Workers}.Build(sample)
 	est := similarity.New(idx, ord, similarity.Config{})
 	stage("supertuple", begin)
 	stats.TotalMs = float64(time.Since(start).Nanoseconds()) / 1e6

@@ -1,0 +1,37 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+
+	"aimq/internal/model"
+	"aimq/internal/webdb"
+)
+
+// TestBuildModelParallelBitIdentical is the acceptance test for the parallel
+// learn pipeline: with the same seed, the model learned with concurrent
+// probing and a multi-worker supertuple build must serialize to exactly the
+// bytes the sequential build produces. Anything less means parallelism crept
+// into float accumulation order or merge order somewhere.
+func TestBuildModelParallelBitIdentical(t *testing.T) {
+	rel := testDB(3000, 5)
+	snap := func(workers int) []byte {
+		t.Helper()
+		ord, est, _, err := BuildModel(webdb.NewLocal(rel), LearnConfig{Pivot: "Make", Workers: workers})
+		if err != nil {
+			t.Fatalf("BuildModel(Workers=%d): %v", workers, err)
+		}
+		var buf bytes.Buffer
+		if err := model.Capture(ord, est).Write(&buf); err != nil {
+			t.Fatalf("snapshot write (Workers=%d): %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+	base := snap(1)
+	for _, workers := range []int{4, 8} {
+		if got := snap(workers); !bytes.Equal(base, got) {
+			t.Errorf("Workers=%d model snapshot differs from sequential build (%d vs %d bytes)",
+				workers, len(got), len(base))
+		}
+	}
+}

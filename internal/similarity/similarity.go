@@ -88,12 +88,33 @@ func New(idx *supertuple.Index, ord *afd.Ordering, cfg Config) *Estimator {
 func (e *Estimator) computeMatrix(attr int) map[string]map[string]float64 {
 	values := e.Index.Values(attr)
 	others := relation.AttrSet(0)
+	attrs := make([]int, 0, e.Schema.Arity()-1)
 	for a := 0; a < e.Schema.Arity(); a++ {
 		if a != attr {
 			others = others.Add(a)
+			attrs = append(attrs, a)
 		}
 	}
 	weights := e.Ordering.ImportanceWeights(others)
+
+	// Flatten every value's bags once: the O(k²) pair sweep below is the
+	// dominant cost of the offline phase, and merge-joining sorted slices
+	// beats re-hashing the same bag maps k times each.
+	wflat := make([]float64, len(attrs))
+	for i, a := range attrs {
+		wflat[i] = weights[a]
+	}
+	flats := make([][][]bag.Entry, len(values))
+	for i, v := range values {
+		st := e.Index.Get(attr, v)
+		fl := make([][]bag.Entry, len(attrs))
+		for j, a := range attrs {
+			if bg, ok := st.Bags[a]; ok {
+				fl[j] = bag.Flatten(bg)
+			}
+		}
+		flats[i] = fl
+	}
 
 	m := make(map[string]map[string]float64, len(values))
 	put := func(a, b string, sim float64) {
@@ -105,10 +126,8 @@ func (e *Estimator) computeMatrix(attr int) map[string]map[string]float64 {
 		row[b] = sim
 	}
 	for i := 0; i < len(values); i++ {
-		st1 := e.Index.Get(attr, values[i])
 		for j := i + 1; j < len(values); j++ {
-			st2 := e.Index.Get(attr, values[j])
-			sim := vsim(st1, st2, weights)
+			sim := vsim(flats[i], flats[j], wflat)
 			if sim <= 0 || sim < e.MinSim {
 				continue
 			}
@@ -120,16 +139,20 @@ func (e *Estimator) computeMatrix(attr int) map[string]map[string]float64 {
 }
 
 // vsim is VSim(C1, C2) = Σ W_imp(A_i) × SimJ(C1.A_i, C2.A_i) over the
-// supertuples' attribute bags.
-func vsim(st1, st2 *supertuple.SuperTuple, weights map[int]float64) float64 {
+// supertuples' flattened attribute bags (parallel slices in ascending
+// attribute position). The fixed accumulation order matters: float addition
+// is not associative, so iterating a weights map directly would make the
+// last ulp of a similarity depend on map iteration order and break
+// bit-identical model snapshots. A nil flat slice means the supertuple has
+// no bag for that attribute, matching the map-form absence check.
+func vsim(f1, f2 [][]bag.Entry, weights []float64) float64 {
 	total := 0.0
-	for a, w := range weights {
-		b1, ok1 := st1.Bags[a]
-		b2, ok2 := st2.Bags[a]
-		if !ok1 || !ok2 {
+	for i := range weights {
+		b1, b2 := f1[i], f2[i]
+		if b1 == nil || b2 == nil {
 			continue
 		}
-		total += w * bag.Jaccard(b1, b2)
+		total += weights[i] * bag.JaccardFlat(b1, b2)
 	}
 	return total
 }
@@ -146,6 +169,22 @@ func (e *Estimator) VSim(attr int, v1, v2 string) float64 {
 		return 0
 	}
 	return row[v2]
+}
+
+// MaxVSim returns an upper bound on VSim(attr, v, v') over every value
+// v' ≠ v: the largest similarity in v's mined row (0 when v has no similar
+// values). Relaxation pruning uses it as the cap on how much similarity a
+// dropped categorical attribute can still contribute from a non-identical
+// value; it reads the live matrix, so SetVSim feedback is reflected
+// immediately.
+func (e *Estimator) MaxVSim(attr int, v string) float64 {
+	m := 0.0
+	for _, s := range e.matrices[attr][v] {
+		if s > m {
+			m = s
+		}
+	}
+	return m
 }
 
 // Matrix returns a deep copy of the pairwise similarity matrix of one

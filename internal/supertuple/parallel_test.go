@@ -1,0 +1,75 @@
+package supertuple
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"aimq/internal/relation"
+)
+
+// wideRel generates a relation large and varied enough that a parallel
+// build actually splits work across chunks: three categorical attributes
+// with skewed value frequencies plus two numeric ones (so bucketing is
+// exercised), with some planted nulls.
+func wideRel(n int, seed int64) *relation.Relation {
+	sc := relation.MustSchema(
+		relation.Attribute{Name: "Make", Type: relation.Categorical},
+		relation.Attribute{Name: "Model", Type: relation.Categorical},
+		relation.Attribute{Name: "Color", Type: relation.Categorical},
+		relation.Attribute{Name: "Year", Type: relation.Numeric},
+		relation.Attribute{Name: "Price", Type: relation.Numeric},
+	)
+	rng := rand.New(rand.NewSource(seed))
+	makes := []string{"Ford", "Toyota", "Honda", "BMW"}
+	models := []string{"Focus", "F150", "Camry", "Corolla", "Civic", "Accord", "M3"}
+	colors := []string{"White", "Black", "Red", "Blue", "Silver"}
+	r := relation.New(sc)
+	for i := 0; i < n; i++ {
+		color := relation.Cat(colors[rng.Intn(len(colors))])
+		if rng.Intn(17) == 0 {
+			color = relation.NullValue
+		}
+		r.Append(relation.Tuple{
+			relation.Cat(makes[rng.Intn(len(makes))]),
+			relation.Cat(models[rng.Intn(len(models))]),
+			color,
+			relation.Numv(float64(1995 + rng.Intn(12))),
+			relation.Numv(float64(5000 + rng.Intn(25000))),
+		})
+	}
+	return r
+}
+
+// TestBuildParallelDeterministic asserts the tentpole determinism claim:
+// the index built with 1, 4 and 8 workers is identical — same AV-pairs,
+// same supports, same bags, same numeric bucketing — because partials are
+// pure counts merged in chunk order. Run under -race this also exercises
+// the worker partitioning for data races.
+func TestBuildParallelDeterministic(t *testing.T) {
+	rel := wideRel(5000, 7)
+	base := Builder{Buckets: 8, MinSupport: 2, Workers: 1}.Build(rel)
+	for _, workers := range []int{4, 8} {
+		got := Builder{Buckets: 8, MinSupport: 2, Workers: workers}.Build(rel)
+		if !reflect.DeepEqual(base.ByAttr, got.ByAttr) {
+			t.Errorf("Workers=%d produced a different index than Workers=1", workers)
+		}
+		if !reflect.DeepEqual(base.buckets, got.buckets) {
+			t.Errorf("Workers=%d produced different numeric bucketing", workers)
+		}
+		if base.PairCount() != got.PairCount() {
+			t.Errorf("Workers=%d PairCount = %d, want %d", workers, got.PairCount(), base.PairCount())
+		}
+	}
+}
+
+// TestBuildParallelMoreWorkersThanTuples covers the degenerate partitions:
+// worker count above the tuple count, and a single-tuple relation.
+func TestBuildParallelMoreWorkersThanTuples(t *testing.T) {
+	rel := wideRel(3, 9)
+	seq := Builder{Workers: 1}.Build(rel)
+	par := Builder{Workers: 64}.Build(rel)
+	if !reflect.DeepEqual(seq.ByAttr, par.ByAttr) {
+		t.Errorf("oversized worker pool changed the index")
+	}
+}

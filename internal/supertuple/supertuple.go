@@ -17,6 +17,7 @@ import (
 	"math"
 	"sort"
 	"strings"
+	"sync"
 
 	"aimq/internal/bag"
 	"aimq/internal/relation"
@@ -53,6 +54,13 @@ type Builder struct {
 	// MinSupport drops AV-pairs whose answerset is smaller than this; rare
 	// values produce unreliable supertuples. Default 1 (keep everything).
 	MinSupport int
+	// Workers is the number of goroutines indexing the sample. Each worker
+	// builds a private partial index over a contiguous chunk of tuples;
+	// the partials are merged in chunk order. Because supertuples are pure
+	// occurrence counts (integer bag merges commute and numeric bucketing
+	// is fixed up front from the whole sample), the merged index is
+	// identical to a sequential build for any worker count. Default 1.
+	Workers int
 }
 
 // Index holds the supertuples of one sample, grouped by attribute.
@@ -69,6 +77,21 @@ type Index struct {
 type bucketing struct {
 	min, width float64
 	n          int
+	// labels caches the rendered "lo-hi" bucket names. The indexing loop
+	// hits one label per tuple×attribute; formatting them there would make
+	// fmt.Sprintf the single hottest call in the learn phase.
+	labels []string
+}
+
+// label returns the keyword for bucket i without formatting when the cache
+// is present (it always is for Build-created indexes; the zero value
+// formats on demand).
+func (bk bucketing) label(i int) string {
+	if i < len(bk.labels) {
+		return bk.labels[i]
+	}
+	lo := bk.min + float64(i)*bk.width
+	return fmt.Sprintf("%g-%g", lo, lo+bk.width)
 }
 
 // Build scans the sample once and constructs supertuples for all AV-pairs
@@ -97,39 +120,60 @@ func (b Builder) Build(rel *relation.Relation) *Index {
 		if width <= 0 {
 			width = 1
 		}
-		idx.buckets[a] = bucketing{min: min, width: width, n: buckets}
+		bk := bucketing{min: min, width: width, n: buckets, labels: make([]string, buckets)}
+		for i := range bk.labels {
+			lo := min + float64(i)*width
+			bk.labels[i] = fmt.Sprintf("%g-%g", lo, lo+width)
+		}
+		idx.buckets[a] = bk
 	}
 	cats := sc.Categorical()
 	for _, a := range cats {
 		idx.ByAttr[a] = make(map[string]*SuperTuple)
 	}
 
-	for _, t := range rel.Tuples() {
-		for _, a := range cats {
-			v := t[a]
-			if v.IsNull() {
-				continue
+	tuples := rel.Tuples()
+	workers := b.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(tuples) {
+		workers = len(tuples)
+	}
+	if workers <= 1 {
+		idx.indexChunk(tuples, cats)
+	} else {
+		parts := make([]*Index, workers)
+		chunk := (len(tuples) + workers - 1) / workers
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(tuples) {
+				hi = len(tuples)
 			}
-			st := idx.ByAttr[a][v.Str]
-			if st == nil {
-				st = &SuperTuple{
-					Pair: AVPair{Attr: a, Value: v.Str},
-					Bags: make(map[int]bag.Bag, sc.Arity()-1),
-				}
-				idx.ByAttr[a][v.Str] = st
+			if lo >= hi {
+				break
 			}
-			st.Count++
-			for o := 0; o < sc.Arity(); o++ {
-				if o == a || t[o].IsNull() {
-					continue
-				}
-				kw := idx.Keyword(o, t[o])
-				bg := st.Bags[o]
-				if bg == nil {
-					bg = bag.New()
-					st.Bags[o] = bg
-				}
-				bg.Add(kw)
+			p := &Index{
+				Schema:  sc,
+				ByAttr:  make(map[int]map[string]*SuperTuple, len(cats)),
+				buckets: idx.buckets, // read-only after this point
+			}
+			for _, a := range cats {
+				p.ByAttr[a] = make(map[string]*SuperTuple)
+			}
+			parts[w] = p
+			wg.Add(1)
+			go func(p *Index, lo, hi int) {
+				defer wg.Done()
+				p.indexChunk(tuples[lo:hi], cats)
+			}(p, lo, hi)
+		}
+		wg.Wait()
+		for _, p := range parts {
+			if p != nil {
+				idx.mergeFrom(p, cats)
 			}
 		}
 	}
@@ -144,6 +188,74 @@ func (b Builder) Build(rel *relation.Relation) *Index {
 		}
 	}
 	return idx
+}
+
+// indexChunk folds a slice of tuples into the index: one supertuple per
+// AV-pair seen, one keyword-bag increment per co-occurring attribute value.
+// Each tuple's keywords are resolved once up front — every categorical
+// attribute's supertuple bags the same co-occurring keywords, so resolving
+// them inside the per-pair loop would redo the work len(cats) times.
+func (x *Index) indexChunk(tuples []relation.Tuple, cats []int) {
+	arity := x.Schema.Arity()
+	kws := make([]string, arity)
+	null := make([]bool, arity)
+	for _, t := range tuples {
+		for o := 0; o < arity; o++ {
+			if null[o] = t[o].IsNull(); !null[o] {
+				kws[o] = x.Keyword(o, t[o])
+			}
+		}
+		for _, a := range cats {
+			if null[a] {
+				continue
+			}
+			v := t[a]
+			st := x.ByAttr[a][v.Str]
+			if st == nil {
+				st = &SuperTuple{
+					Pair: AVPair{Attr: a, Value: v.Str},
+					Bags: make(map[int]bag.Bag, arity-1),
+				}
+				x.ByAttr[a][v.Str] = st
+			}
+			st.Count++
+			for o := 0; o < arity; o++ {
+				if o == a || null[o] {
+					continue
+				}
+				bg := st.Bags[o]
+				if bg == nil {
+					bg = bag.New()
+					st.Bags[o] = bg
+				}
+				bg.Add(kws[o])
+			}
+		}
+	}
+}
+
+// mergeFrom folds a partial index built from one chunk into x. Supports
+// and bag counts add; absent supertuples and bags are adopted wholesale
+// (the partial is not used afterwards).
+func (x *Index) mergeFrom(p *Index, cats []int) {
+	for _, a := range cats {
+		dst := x.ByAttr[a]
+		for v, st := range p.ByAttr[a] {
+			have := dst[v]
+			if have == nil {
+				dst[v] = st
+				continue
+			}
+			have.Count += st.Count
+			for o, bg := range st.Bags {
+				if have.Bags[o] == nil {
+					have.Bags[o] = bg
+				} else {
+					have.Bags[o].Merge(bg)
+				}
+			}
+		}
+	}
 }
 
 // Keyword converts an attribute value into the keyword used inside bags:
@@ -164,8 +276,7 @@ func (x *Index) Keyword(attr int, v relation.Value) string {
 	if i >= bk.n {
 		i = bk.n - 1
 	}
-	lo := bk.min + float64(i)*bk.width
-	return fmt.Sprintf("%g-%g", lo, lo+bk.width)
+	return bk.label(i)
 }
 
 // Get returns the supertuple for the AV-pair (attr, value), or nil if the
