@@ -1,10 +1,14 @@
 # Tier-1 checks plus the race-checked serving path.
 #
 #   make check       — everything CI runs
-#   make race        — race-check the concurrent packages (service, core, webdb)
+#   make race        — race-check the concurrent packages (service, core,
+#                      webdb, engine's columnar worker pool, similarity's
+#                      chunked pair sweep)
 #   make bench-serve — serving-path benchmarks (cache hit vs miss)
 #   make bench-learn — offline learn-phase scenarios only (probe→mine→order
 #                      →supertuple at 1x/2x/4x sample sizes)
+#   make bench-engine— columnar boolean-engine scan scenario only (full
+#                      scale: 1M tuples, sub-ms p50)
 #   make bench       — full aimq-bench suite, BENCH_*.json into bench-results/
 #   make bench-quick — shrunken suite (the scale CI gates on)
 #   make bench-check — quick suite compared against bench/baseline; fails on
@@ -15,7 +19,7 @@ GO ?= go
 VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
 LDFLAGS := -X aimq/internal/version.Version=$(VERSION)
 
-.PHONY: check vet build test race bench-serve bench-learn bench bench-quick bench-check baseline
+.PHONY: check vet build test race bench-serve bench-learn bench-engine bench bench-quick bench-check baseline
 
 check: vet build test race
 
@@ -30,9 +34,11 @@ test:
 
 # The answer cache and single-flight code are exercised concurrently; keep
 # them race-clean. core and webdb carry the context plumbing they rely on,
-# and obs is written to concurrently by every traced request.
+# and obs is written to concurrently by every traced request. engine runs
+# the columnar chunk worker pool (and its randomized differential suite);
+# similarity chunks the VSim pair sweep across goroutines.
 race:
-	$(GO) test -race ./internal/service/... ./internal/core/... ./internal/webdb/... ./internal/obs/...
+	$(GO) test -race ./internal/service/... ./internal/core/... ./internal/webdb/... ./internal/obs/... ./internal/engine/... ./internal/similarity/...
 
 bench-serve:
 	$(GO) test -run XXX -bench 'BenchmarkService_' -benchmem ./internal/service/
@@ -40,17 +46,23 @@ bench-serve:
 bench-learn:
 	$(GO) run -ldflags '$(LDFLAGS)' ./cmd/aimq-bench -run learn -out bench-results
 
+# Full scale: 1M generated tuples, sub-millisecond boolean-query p50 on the
+# columnar path (posting-bitmap ANDs, zone-map skips, popcount counts).
+bench-engine:
+	$(GO) run -ldflags '$(LDFLAGS)' ./cmd/aimq-bench -run engine-scan -out bench-results
+
 bench:
 	$(GO) run -ldflags '$(LDFLAGS)' ./cmd/aimq-bench -out bench-results
 
 bench-quick:
 	$(GO) run -ldflags '$(LDFLAGS)' ./cmd/aimq-bench -quick -out bench-results
 
-# The alloc gate is absolute, not baseline-relative: the zero-allocation
-# serve path stays under 16 allocs/op (measured ~3) or the gate fails.
+# The alloc gates are absolute, not baseline-relative: the zero-allocation
+# serve path stays under 16 allocs/op (measured ~3), and the columnar
+# engine's scan path under 64 (measured ~9: plan + accumulator + result).
 bench-check:
 	$(GO) run -ldflags '$(LDFLAGS)' ./cmd/aimq-bench -quick -out bench-results \
-		-baseline bench/baseline -threshold 2 -alloc-gate serve-warm=16
+		-baseline bench/baseline -threshold 2 -alloc-gate serve-warm=16,engine-scan=64
 
 baseline:
 	$(GO) run -ldflags '$(LDFLAGS)' ./cmd/aimq-bench -quick -out bench/baseline

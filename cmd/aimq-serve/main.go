@@ -81,6 +81,7 @@ func main() {
 	terr := flag.Float64("terr", 0.15, "TANE error threshold for learning")
 	seed := flag.Int64("seed", 1, "probing/sampling seed")
 	probeWorkers := flag.Int("probe-workers", 1, "concurrent spanning probes and supertuple-build goroutines while learning")
+	legacyEngine := flag.Bool("legacy-engine", false, "serve a local -data relation through the legacy row-at-a-time engine instead of the columnar bitmap engine")
 	prune := flag.Bool("prune", true, "skip relaxation queries whose Sim upper bound is already below tsim")
 	keyPruneErr := flag.Float64("key-prune-max-error", 0, "also skip relaxation queries that keep the mined best key bound, when the key's g3 error is at or below this (0 = exact keys only)")
 	cacheSnapshot := flag.String("cache-snapshot", "", "path for the hot-query cache snapshot: warmed from at startup, rewritten at shutdown ('' = disabled)")
@@ -113,7 +114,8 @@ func main() {
 		traceRing: *traceRing, slowQuery: *slowQuery,
 		resilient: *resilient, retryAttempts: *retryAttempts, retryBase: *retryBase,
 		breakerFailures: *breakerFailures, breakerOpen: *breakerOpen,
-		failDegrade: *failDegrade,
+		failDegrade:  *failDegrade,
+		legacyEngine: *legacyEngine,
 	}, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "aimq-serve:", err)
 		os.Exit(1)
@@ -140,6 +142,7 @@ type config struct {
 	prune                      bool
 	keyPruneErr                float64
 	cacheSnapshot              string
+	legacyEngine               bool
 }
 
 func run(c config, logger *slog.Logger) error {
@@ -152,8 +155,13 @@ func run(c config, logger *slog.Logger) error {
 			return err
 		}
 		logger.Info("serving local relation",
-			"tuples", rel.Size(), "schema", rel.Schema().String(), "file", c.data)
-		src = webdb.NewLocal(rel)
+			"tuples", rel.Size(), "schema", rel.Schema().String(), "file", c.data,
+			"engine", map[bool]string{false: "columnar", true: "legacy"}[c.legacyEngine])
+		if c.legacyEngine {
+			src = webdb.NewLocalLegacy(rel)
+		} else {
+			src = webdb.NewLocal(rel)
+		}
 	case c.source != "":
 		client, err := webdb.NewClient(c.source, nil)
 		if err != nil {

@@ -77,7 +77,7 @@ func TestSelect(t *testing.T) {
 func TestScenarioNamesStable(t *testing.T) {
 	want := []string{"learn", "learn-2x", "learn-4x", "guided", "random", "rock",
 		"guided-census", "serve-cold", "serve-warm", "serve-contention",
-		"chaos-guided", "serve-chaos"}
+		"chaos-guided", "serve-chaos", "engine-scan"}
 	all := Scenarios()
 	if len(all) != len(want) {
 		t.Fatalf("suite has %d scenarios, want %d", len(all), len(want))

@@ -71,6 +71,7 @@ type Env struct {
 
 	mu     sync.Mutex
 	car    *datagen.CarDB
+	bigCar *datagen.CarDB
 	census *datagen.CensusDB
 	sample *relation.Relation
 	pipe   *experiments.Pipeline
@@ -148,6 +149,7 @@ func Scenarios() []Scenario {
 		{"serve-contention", "concurrent identical queries sharing one relaxation (single-flight)", runServeContention},
 		{"chaos-guided", "GuidedRelax through ~10% injected faults behind retry+breaker (zero hard aborts)", runChaosGuided},
 		{"serve-chaos", "serve-stale degradation: breaker open, expired cache entries served stale", runServeChaos},
+		{"engine-scan", "columnar boolean engine over a large CarDB (full: 1M tuples, sub-ms p50)", runEngineScan},
 	}
 }
 

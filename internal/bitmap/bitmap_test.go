@@ -1,0 +1,169 @@
+package bitmap
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSetGetClear(t *testing.T) {
+	b := New(130) // crosses two word boundaries with a ragged tail
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Get(i) {
+			t.Fatalf("fresh bitmap has bit %d set", i)
+		}
+		b.Set(i)
+		if !b.Get(i) {
+			t.Fatalf("Set(%d) not visible", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Get(64) || b.Count() != 7 {
+		t.Fatalf("Clear(64) failed: count %d", b.Count())
+	}
+}
+
+func TestNewFullMasksTail(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 128, 4096} {
+		b := NewFull(n)
+		if got := b.Count(); got != n {
+			t.Fatalf("NewFull(%d).Count() = %d", n, got)
+		}
+		if n%WordBits != 0 && n > 0 {
+			last := b.Words()[len(b.Words())-1]
+			if last>>(uint(n%WordBits)) != 0 {
+				t.Fatalf("NewFull(%d) left trailing bits set", n)
+			}
+		}
+	}
+}
+
+func TestBooleanOpsMatchSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 1000
+	for trial := 0; trial < 50; trial++ {
+		a, b := New(n), New(n)
+		as, bs := map[int]bool{}, map[int]bool{}
+		for i := 0; i < 300; i++ {
+			x, y := rng.Intn(n), rng.Intn(n)
+			a.Set(x)
+			as[x] = true
+			b.Set(y)
+			bs[y] = true
+		}
+		and, or, andnot := a.Clone(), a.Clone(), a.Clone()
+		and.And(b)
+		or.Or(b)
+		andnot.AndNot(b)
+		for i := 0; i < n; i++ {
+			if and.Get(i) != (as[i] && bs[i]) {
+				t.Fatalf("trial %d: And bit %d", trial, i)
+			}
+			if or.Get(i) != (as[i] || bs[i]) {
+				t.Fatalf("trial %d: Or bit %d", trial, i)
+			}
+			if andnot.Get(i) != (as[i] && !bs[i]) {
+				t.Fatalf("trial %d: AndNot bit %d", trial, i)
+			}
+		}
+		if and.Count() != CountWords(and.Words()) {
+			t.Fatalf("Count/CountWords disagree")
+		}
+	}
+}
+
+func TestIterateAndAppendPositions(t *testing.T) {
+	b := New(500)
+	want := []int{0, 1, 63, 64, 200, 255, 256, 499}
+	for _, i := range want {
+		b.Set(i)
+	}
+	var got []int
+	b.Iterate(func(i int) bool {
+		got = append(got, i)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("Iterate visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Iterate order: %v, want %v", got, want)
+		}
+	}
+	ap := b.AppendPositions(nil)
+	for i := range want {
+		if ap[i] != want[i] {
+			t.Fatalf("AppendPositions: %v, want %v", ap, want)
+		}
+	}
+	// Early-stop iteration.
+	count := 0
+	b.Iterate(func(i int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("Iterate did not stop early: %d visits", count)
+	}
+}
+
+func TestWordRangeViewsShareStorage(t *testing.T) {
+	b := New(4096 * 3)
+	b.Set(4096 + 7)
+	view := b.WordRange(4096, 4096*2)
+	if len(view) != 64 {
+		t.Fatalf("chunk view has %d words, want 64", len(view))
+	}
+	if view[0]&(1<<7) == 0 {
+		t.Fatalf("chunk view does not see bit set via parent")
+	}
+	view[1] = 1 // write through the view
+	if !b.Get(4096 + 64) {
+		t.Fatalf("write through view not visible in parent")
+	}
+}
+
+func TestAppendWordPositionsBase(t *testing.T) {
+	words := []uint64{1 << 3, 1 << 0}
+	got := AppendWordPositions(nil, words, 8192)
+	if len(got) != 2 || got[0] != 8195 || got[1] != 8256 {
+		t.Fatalf("AppendWordPositions = %v", got)
+	}
+}
+
+func TestAnyAndReset(t *testing.T) {
+	b := New(200)
+	if b.Any() {
+		t.Fatal("empty bitmap Any() = true")
+	}
+	b.Set(199)
+	if !b.Any() || !AnyWord(b.Words()) {
+		t.Fatal("Any() missed set bit")
+	}
+	b.Reset()
+	if b.Any() || b.Count() != 0 {
+		t.Fatal("Reset left bits")
+	}
+}
+
+func BenchmarkAndWords1M(b *testing.B) {
+	x, y := NewFull(1_000_000), NewFull(1_000_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		AndWords(x.Words(), y.Words())
+	}
+}
+
+func BenchmarkCount1M(b *testing.B) {
+	x := NewFull(1_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if x.Count() != 1_000_000 {
+			b.Fatal("bad count")
+		}
+	}
+}

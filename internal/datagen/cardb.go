@@ -164,7 +164,7 @@ func CarSchema() *relation.Schema {
 func GenerateCarDB(n int, seed int64) *CarDB {
 	rng := rand.New(rand.NewSource(seed))
 	sc := CarSchema()
-	rel := relation.New(sc)
+	rel := relation.NewWithCapacity(sc, n)
 
 	totalPop := 0.0
 	for _, m := range carCatalog {

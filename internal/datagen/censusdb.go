@@ -114,7 +114,7 @@ var countries = []struct {
 // GenerateCensusDB generates n pre-classified census tuples.
 func GenerateCensusDB(n int, seed int64) *CensusDB {
 	rng := rand.New(rand.NewSource(seed))
-	rel := relation.New(CensusSchema())
+	rel := relation.NewWithCapacity(CensusSchema(), n)
 	class := make([]string, 0, n)
 
 	eduTotal, occTotal, wcTotal, raceTotal, ctryTotal := 0.0, 0.0, 0.0, 0.0, 0.0

@@ -8,20 +8,35 @@
 // with no ranking, no similarity, and no insight into the caller's intent.
 // Everything similarity-related lives above it in the AIMQ layers.
 //
-// The engine maintains hash indexes on every attribute (exact-match lookup)
-// and sorted projections on numeric attributes (range lookup), and picks the
-// most selective indexed predicate as the access path. It also keeps
-// execution statistics so the experiment harness can report how many queries
-// and tuples each relaxation strategy costs (paper §6.3's Work/RelevantTuple
-// metric counts extracted tuples).
+// Two execution paths share the public API:
+//
+//   - The columnar path (New, the default) evaluates queries over an
+//     internal/column store: every `=`/range predicate becomes a bitmap per
+//     chunk — categorical equality is a zero-scan posting-bitmap fetch, a
+//     dictionary miss short-circuits the whole conjunction, numeric ranges
+//     use per-chunk min/max zone maps to skip or blanket-accept chunks —
+//     and conjunctions AND the bitmaps word-at-a-time. Chunk evaluation
+//     fans out over a worker pool for unlimited scans. Results are always
+//     in ascending position order.
+//   - The legacy row path (NewLegacy) keeps the original hash/sorted-index
+//     row-at-a-time evaluator, retained for differential testing — the
+//     randomized suite in differential_test.go asserts both paths return
+//     identical position sets.
+//
+// The engine also keeps execution statistics so the experiment harness can
+// report how many queries and tuples each relaxation strategy costs (paper
+// §6.3's Work/RelevantTuple metric counts extracted tuples).
 package engine
 
 import (
-	"sort"
+	"math/bits"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"aimq/internal/bitmap"
+	"aimq/internal/column"
 	"aimq/internal/query"
 	"aimq/internal/relation"
 )
@@ -29,10 +44,18 @@ import (
 // Stats accumulates execution counters. All fields are updated atomically;
 // an Engine is safe for concurrent queries.
 type Stats struct {
-	Queries        atomic.Int64 // queries executed
-	TuplesReturned atomic.Int64 // tuples returned across all queries
-	TuplesScanned  atomic.Int64 // tuples examined (post index lookup)
-	BusyNanos      atomic.Int64 // wall time spent inside Execute
+	Queries        atomic.Int64 // queries executed (Execute and Count)
+	TuplesReturned atomic.Int64 // tuples returned across all Execute calls
+	// TuplesScanned counts per-position work: candidates tested against
+	// residual predicates plus positions materialized straight from
+	// bitmaps. Pure bitmap-index work (posting fetch, AND, popcount)
+	// touches no individual tuples and adds nothing here.
+	TuplesScanned atomic.Int64
+	// TuplesCounted counts tuples tallied by Count queries — kept separate
+	// so cardinality probes don't inflate TuplesReturned, which prices the
+	// §6.3 extraction work.
+	TuplesCounted atomic.Int64
+	BusyNanos     atomic.Int64 // wall time spent inside Execute/Count
 }
 
 // Snapshot is a plain-value copy of Stats.
@@ -40,6 +63,7 @@ type Snapshot struct {
 	Queries        int64
 	TuplesReturned int64
 	TuplesScanned  int64
+	TuplesCounted  int64
 	BusyNanos      int64
 }
 
@@ -52,6 +76,7 @@ func (s *Stats) Snapshot() Snapshot {
 		Queries:        s.Queries.Load(),
 		TuplesReturned: s.TuplesReturned.Load(),
 		TuplesScanned:  s.TuplesScanned.Load(),
+		TuplesCounted:  s.TuplesCounted.Load(),
 		BusyNanos:      s.BusyNanos.Load(),
 	}
 }
@@ -61,27 +86,49 @@ func (s *Stats) Reset() {
 	s.Queries.Store(0)
 	s.TuplesReturned.Store(0)
 	s.TuplesScanned.Store(0)
+	s.TuplesCounted.Store(0)
 	s.BusyNanos.Store(0)
 }
 
 // Engine answers boolean conjunctive queries over a fixed relation.
 type Engine struct {
-	rel   *relation.Relation
-	stats Stats
+	rel     *relation.Relation
+	stats   Stats
+	legacy  bool
+	workers int // columnar chunk-eval workers; 0 = min(GOMAXPROCS, 8)
 
 	buildOnce sync.Once
-	// hash index: attribute -> value key -> tuple positions
-	hash []map[string][]int32
-	// sorted numeric projection: attribute -> positions sorted by value
-	// (only for numeric attributes; nil otherwise)
+	// columnar path
+	store *column.Store
+	// legacy row path: hash index attribute -> value key -> positions, and
+	// sorted numeric projections for range lookup
+	hash   []map[string][]int32
 	sorted [][]int32
 }
 
-// New creates an engine over the relation. Indexes are built lazily on the
-// first query so construction is free for relations only used as data.
+// New creates a columnar engine over the relation. The column store is
+// built lazily on the first query so construction is free for relations
+// only used as data.
 func New(rel *relation.Relation) *Engine {
 	return &Engine{rel: rel}
 }
+
+// NewLegacy creates an engine using the original row-at-a-time hash/sorted
+// index evaluator. Kept behind this constructor for differential testing
+// against the columnar path and as an escape hatch (-legacy-engine on the
+// serving commands).
+func NewLegacy(rel *relation.Relation) *Engine {
+	return &Engine{rel: rel, legacy: true}
+}
+
+// Legacy reports whether this engine runs the legacy row path.
+func (e *Engine) Legacy() bool { return e.legacy }
+
+// SetWorkers overrides the chunk-evaluation worker count for unlimited
+// columnar scans (0 restores the default min(GOMAXPROCS, 8); 1 forces the
+// serial path). Call before the first query; it is not synchronized with
+// concurrent execution.
+func (e *Engine) SetWorkers(n int) { e.workers = n }
 
 // Relation returns the underlying relation.
 func (e *Engine) Relation() *relation.Relation { return e.rel }
@@ -89,81 +136,50 @@ func (e *Engine) Relation() *relation.Relation { return e.rel }
 // Stats returns the engine's execution counters.
 func (e *Engine) Stats() *Stats { return &e.stats }
 
-func (e *Engine) buildIndexes() {
-	s := e.rel.Schema()
-	n := s.Arity()
-	e.hash = make([]map[string][]int32, n)
-	e.sorted = make([][]int32, n)
-	for a := 0; a < n; a++ {
-		e.hash[a] = make(map[string][]int32)
+// Store returns the columnar store (nil on the legacy path or before the
+// first query). Exposed for the bench harness's storage diagnostics.
+func (e *Engine) Store() *column.Store {
+	e.buildOnce.Do(e.build)
+	return e.store
+}
+
+func (e *Engine) build() {
+	if e.legacy {
+		e.buildIndexes()
+		return
 	}
-	for i, t := range e.rel.Tuples() {
-		for a := 0; a < n; a++ {
-			v := t[a]
-			if v.IsNull() {
-				continue
-			}
-			k := v.Key(s.Type(a))
-			e.hash[a][k] = append(e.hash[a][k], int32(i))
-		}
+	e.store = column.MustBuild(e.rel, 0)
+}
+
+func (e *Engine) effWorkers() int {
+	if e.workers > 0 {
+		return e.workers
 	}
-	tuples := e.rel.Tuples()
-	for _, a := range s.NumericAttrs() {
-		idx := make([]int32, 0, len(tuples))
-		for i, t := range tuples {
-			if !t[a].IsNull() {
-				idx = append(idx, int32(i))
-			}
-		}
-		sort.Slice(idx, func(x, y int) bool {
-			return tuples[idx[x]][a].Num < tuples[idx[y]][a].Num
-		})
-		e.sorted[a] = idx
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
 	}
+	return w
 }
 
 // Execute runs a conjunctive query and returns the positions of all
-// satisfying tuples, up to limit (limit <= 0 means unlimited). Results are
-// in relation order for full scans and access-path order otherwise; callers
-// that need determinism across access paths should sort.
+// satisfying tuples, up to limit (limit <= 0 means unlimited). Columnar
+// results are in ascending relation order; the legacy path returns
+// access-path order. Callers that need determinism across engines and
+// access paths should sort (the columnar order is already sorted).
 //
 // Imprecise (like) predicates are evaluated as equality: the boolean model
 // cannot do anything else, which is the premise of the paper.
 func (e *Engine) Execute(q *query.Query, limit int) []int {
-	e.buildOnce.Do(e.buildIndexes)
+	e.buildOnce.Do(e.build)
 	e.stats.Queries.Add(1)
 	start := time.Now()
 	defer func() { e.stats.BusyNanos.Add(time.Since(start).Nanoseconds()) }()
 
-	candidates, residual := e.accessPath(q)
-	var out []int
-	scanned := int64(0)
-	emit := func(pos int32, preds []query.Predicate) bool {
-		scanned++
-		t := e.rel.Tuple(int(pos))
-		for _, p := range preds {
-			if !p.Matches(t, q.Schema) {
-				return false
-			}
-		}
-		out = append(out, int(pos))
-		return limit > 0 && len(out) >= limit
+	if e.legacy {
+		return e.executeLegacy(q, limit)
 	}
-
-	if candidates == nil {
-		// Full scan.
-		for i := 0; i < e.rel.Size(); i++ {
-			if emit(int32(i), q.Preds) {
-				break
-			}
-		}
-	} else {
-		for _, pos := range candidates {
-			if emit(pos, residual) {
-				break
-			}
-		}
-	}
+	out, _, scanned := e.runColumnar(q, limit, false)
 	e.stats.TuplesScanned.Add(scanned)
 	e.stats.TuplesReturned.Add(int64(len(out)))
 	return out
@@ -179,155 +195,498 @@ func (e *Engine) ExecuteTuples(q *query.Query, limit int) []relation.Tuple {
 	return out
 }
 
-// Count returns the number of tuples satisfying the query.
+// Count returns the number of tuples satisfying the query. On the columnar
+// path the result bitmap is popcounted without materializing a position
+// slice, and the tally lands in Stats.TuplesCounted rather than inflating
+// TuplesReturned. The legacy path counts by materializing, as it always
+// did.
 func (e *Engine) Count(q *query.Query) int {
-	return len(e.Execute(q, 0))
+	if e.legacy {
+		return len(e.Execute(q, 0))
+	}
+	e.buildOnce.Do(e.build)
+	e.stats.Queries.Add(1)
+	start := time.Now()
+	defer func() { e.stats.BusyNanos.Add(time.Since(start).Nanoseconds()) }()
+
+	_, n, scanned := e.runColumnar(q, 0, true)
+	e.stats.TuplesScanned.Add(scanned)
+	e.stats.TuplesCounted.Add(int64(n))
+	return n
 }
 
-// accessPath picks the most selective indexed predicate as the driver and
-// returns its candidate positions plus the residual predicates to check.
-// When a second indexed equality predicate exists and the driver list is
-// long, the two posting lists are intersected first (both are in ascending
-// tuple order by construction), which turns wide conjunctive lookups from a
-// scan of the smaller list into a merge. A nil candidate slice means no
-// usable index: full scan with all predicates.
-func (e *Engine) accessPath(q *query.Query) (candidates []int32, residual []query.Predicate) {
-	s := q.Schema
-	type indexed struct {
-		pred int
-		cand []int32
-		eq   bool
-	}
-	var lookups []indexed
-	for i, p := range q.Preds {
-		var cand []int32
-		eq := false
-		switch p.Op {
-		case query.OpEq, query.OpLike:
-			cand = e.hash[p.Attr][p.Value.Key(s.Type(p.Attr))]
-			eq = true
-		case query.OpIn:
-			// Union of the alternatives' posting lists, re-sorted into
-			// ascending position order so it stays merge-intersectable.
-			for _, alt := range p.Values {
-				cand = append(cand, e.hash[p.Attr][alt.Key(s.Type(p.Attr))]...)
-			}
-			sort.Slice(cand, func(x, y int) bool { return cand[x] < cand[y] })
-			eq = true
-		case query.OpLess:
-			cand = e.rangeLookup(p.Attr, negInf, p.Value.Num, false)
-		case query.OpGreater:
-			cand = e.rangeLookup(p.Attr, p.Value.Num, posInf, true)
-		case query.OpRange:
-			cand = e.rangeLookup(p.Attr, p.Value.Num, p.Hi.Num, false)
-		default:
-			continue
-		}
-		lookups = append(lookups, indexed{pred: i, cand: cand, eq: eq})
-	}
-	if len(lookups) == 0 {
-		return nil, q.Preds
-	}
-	best := 0
-	for i := range lookups {
-		if len(lookups[i].cand) < len(lookups[best].cand) {
-			best = i
-		}
-	}
-	bestCand := lookups[best].cand
-	drop := map[int]bool{lookups[best].pred: true}
-	// Intersect with the smallest *other* equality posting list when the
-	// driver is long enough for the merge to pay for itself. Only equality
-	// lists are safe to merge: hash posting lists are in ascending tuple
-	// order by construction, range lookups are in value order.
-	if lookups[best].eq && len(bestCand) > 64 {
-		second := -1
-		for i := range lookups {
-			if i == best || !lookups[i].eq {
-				continue
-			}
-			if second == -1 || len(lookups[i].cand) < len(lookups[second].cand) {
-				second = i
-			}
-		}
-		if second != -1 {
-			bestCand = intersectSorted(bestCand, lookups[second].cand)
-			drop[lookups[second].pred] = true
-		}
-	}
-	residual = make([]query.Predicate, 0, len(q.Preds)-1)
-	for i, p := range q.Preds {
-		if !drop[i] {
-			residual = append(residual, p)
-		}
-	}
-	// bestCand may legitimately be empty (no matches); distinguish that from
-	// "no index" by returning a non-nil empty slice.
-	if bestCand == nil {
-		bestCand = []int32{}
-	}
-	return bestCand, residual
-}
-
-// intersectSorted merges two ascending position lists.
-func intersectSorted(a, b []int32) []int32 {
-	out := make([]int32, 0, min(len(a), len(b)))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] == b[j]:
-			out = append(out, a[i])
-			i++
-			j++
-		case a[i] < b[j]:
-			i++
-		default:
-			j++
-		}
-	}
-	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
+// scanKind classifies a residual (non-posting) predicate.
+type scanKind uint8
 
 const (
-	negInf = -1.7976931348623157e308
-	posInf = 1.7976931348623157e308
+	kLess    scanKind = iota // numeric v < hi
+	kGreater                 // numeric v > lo
+	kRange                   // numeric lo <= v <= hi
+	kEqNum                   // numeric v == lo
+	kInNum                   // numeric v ∈ nums
+	kEqCode                  // categorical code == code (no postings)
+	kInCode                  // categorical code ∈ codes (no postings)
 )
 
-// rangeLookup returns positions whose attr value lies in [lo, hi]
-// (exclusive of the bound used as sentinel: OpLess excludes hi via strict
-// comparison below, OpGreater excludes lo).
-func (e *Engine) rangeLookup(attr int, lo, hi float64, exclusiveLo bool) []int32 {
-	idx := e.sorted[attr]
-	if idx == nil {
-		return nil
-	}
-	tuples := e.rel.Tuples()
-	val := func(i int) float64 { return tuples[idx[i]][attr].Num }
-	// first position with val >= lo (or > lo when exclusive)
-	start := sort.Search(len(idx), func(i int) bool {
-		if exclusiveLo {
-			return val(i) > lo
-		}
-		return val(i) >= lo
-	})
-	// first position with val > hi; for OpLess (hi exclusive) the caller
-	// passes hi as the strict bound, so use >= there. We detect OpLess by
-	// hi being the predicate bound and lo the sentinel.
-	var end int
-	if lo == negInf { // OpLess: [min, hi)
-		end = sort.Search(len(idx), func(i int) bool { return val(i) >= hi })
-	} else { // OpRange or OpGreater: [..., hi]
-		end = sort.Search(len(idx), func(i int) bool { return val(i) > hi })
-	}
-	if start >= end {
-		return []int32{}
-	}
-	return idx[start:end]
+// scanPred is one compiled residual predicate.
+type scanPred struct {
+	attr   int
+	kind   scanKind
+	lo, hi float64
+	code   uint32
+	codes  []uint32
+	nums   []float64
 }
+
+// colPlan is a compiled columnar query: posting bitmaps to AND, in-list
+// posting groups to OR-then-AND, and residual scan predicates.
+type colPlan struct {
+	empty bool
+	ands  []*bitmap.Bitmap
+	ors   [][]*bitmap.Bitmap
+	scans []scanPred
+}
+
+// compile turns the query into a columnar plan. A dictionary miss on an
+// equality predicate (or an in-list with no present alternative) marks the
+// plan empty — the short-circuit that makes absent-value probes free.
+func (e *Engine) compile(q *query.Query) colPlan {
+	var p colPlan
+	s := q.Schema
+	for _, pr := range q.Preds {
+		cat := s.Type(pr.Attr) == relation.Categorical
+		switch pr.Op {
+		case query.OpEq, query.OpLike:
+			if pr.Value.IsNull() {
+				// An explicit NULL binding matches nothing: non-null tuple
+				// values never Equal a null, and null tuple values fail
+				// every predicate.
+				p.empty = true
+				return p
+			}
+			if cat {
+				code, ok := e.store.Code(pr.Attr, pr.Value.Str)
+				if !ok {
+					p.empty = true
+					return p
+				}
+				if b := e.store.Posting(pr.Attr, code); b != nil {
+					p.ands = append(p.ands, b)
+				} else {
+					p.scans = append(p.scans, scanPred{attr: pr.Attr, kind: kEqCode, code: code})
+				}
+			} else {
+				p.scans = append(p.scans, scanPred{attr: pr.Attr, kind: kEqNum, lo: pr.Value.Num})
+			}
+		case query.OpIn:
+			if cat {
+				var group []*bitmap.Bitmap
+				var codes []uint32
+				scan := !e.store.HasPostings(pr.Attr)
+				for _, alt := range pr.Values {
+					if alt.IsNull() {
+						continue
+					}
+					code, ok := e.store.Code(pr.Attr, alt.Str)
+					if !ok {
+						continue // absent alternative contributes nothing
+					}
+					if scan {
+						codes = append(codes, code)
+					} else {
+						group = append(group, e.store.Posting(pr.Attr, code))
+					}
+				}
+				switch {
+				case scan && len(codes) > 0:
+					p.scans = append(p.scans, scanPred{attr: pr.Attr, kind: kInCode, codes: codes})
+				case !scan && len(group) > 0:
+					p.ors = append(p.ors, group)
+				default: // no alternative occurs in the column
+					p.empty = true
+					return p
+				}
+			} else {
+				var nums []float64
+				for _, alt := range pr.Values {
+					if !alt.IsNull() {
+						nums = append(nums, alt.Num)
+					}
+				}
+				if len(nums) == 0 {
+					p.empty = true
+					return p
+				}
+				p.scans = append(p.scans, scanPred{attr: pr.Attr, kind: kInNum, nums: nums})
+			}
+		case query.OpLess:
+			if cat {
+				p.empty = true // comparisons never match categorical attributes
+				return p
+			}
+			p.scans = append(p.scans, scanPred{attr: pr.Attr, kind: kLess, hi: pr.Value.Num})
+		case query.OpGreater:
+			if cat {
+				p.empty = true
+				return p
+			}
+			p.scans = append(p.scans, scanPred{attr: pr.Attr, kind: kGreater, lo: pr.Value.Num})
+		case query.OpRange:
+			if cat {
+				p.empty = true
+				return p
+			}
+			p.scans = append(p.scans, scanPred{attr: pr.Attr, kind: kRange, lo: pr.Value.Num, hi: pr.Hi.Num})
+		default:
+			// Unknown operator: Predicate.Matches returns false for it, so
+			// the conjunction is empty.
+			p.empty = true
+			return p
+		}
+	}
+	return p
+}
+
+// runColumnar evaluates q over the column store. countOnly popcounts the
+// result instead of materializing positions. Returns the positions (nil
+// when counting), the count (counting mode only) and the per-position scan
+// work performed.
+func (e *Engine) runColumnar(q *query.Query, limit int, countOnly bool) (out []int, count int, scanned int64) {
+	n := e.store.Len()
+	if len(q.Preds) == 0 {
+		// Full scan of the empty conjunction: every tuple matches.
+		if countOnly {
+			return nil, n, int64(n)
+		}
+		m := n
+		if limit > 0 && limit < m {
+			m = limit
+		}
+		out = make([]int, m)
+		for i := range out {
+			out[i] = i
+		}
+		return out, 0, int64(m)
+	}
+	p := e.compile(q)
+	if p.empty || n == 0 {
+		return nil, 0, 0
+	}
+
+	chunks := e.store.NumChunks()
+	workers := e.effWorkers()
+	if limit > 0 || workers == 1 || chunks < 2*workers {
+		return e.runChunks(&p, 0, chunks, limit, countOnly)
+	}
+
+	// Worker pool: contiguous chunk ranges, one shard per worker, results
+	// concatenated in chunk order so the output stays position-sorted and
+	// deterministic at any worker count.
+	type shard struct {
+		out     []int
+		count   int
+		scanned int64
+	}
+	if workers > chunks {
+		workers = chunks
+	}
+	shards := make([]shard, workers)
+	per := (chunks + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > chunks {
+			hi = chunks
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			o, c, s := e.runChunks(&p, lo, hi, 0, countOnly)
+			shards[w] = shard{out: o, count: c, scanned: s}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for i := range shards {
+		total += len(shards[i].out)
+		count += shards[i].count
+		scanned += shards[i].scanned
+	}
+	if !countOnly {
+		out = make([]int, 0, total)
+		for i := range shards {
+			out = append(out, shards[i].out...)
+		}
+	}
+	return out, count, scanned
+}
+
+// runChunks evaluates the plan over chunks [c0, c1), honoring limit (> 0)
+// by stopping once enough positions are collected.
+func (e *Engine) runChunks(p *colPlan, c0, c1, limit int, countOnly bool) (out []int, count int, scanned int64) {
+	nw := e.store.ChunkSize() / bitmap.WordBits
+	acc := make([]uint64, nw)
+	var tmp []uint64 // lazily sized; only in-list posting groups need it
+	for c := c0; c < c1; c++ {
+		words, visited, perPos := e.evalChunk(p, c, acc, &tmp)
+		scanned += visited
+		if words == nil {
+			continue
+		}
+		lo, _ := e.store.ChunkBounds(c)
+		if countOnly {
+			count += bitmap.CountWords(words)
+			continue
+		}
+		max := 0
+		if limit > 0 {
+			max = limit - len(out)
+		}
+		before := len(out)
+		out = appendLimited(out, words, lo, max)
+		if !perPos {
+			// No residual predicate visited individual positions in this
+			// chunk; the materialized positions are the tuples touched.
+			scanned += int64(len(out) - before)
+		}
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out, count, scanned
+}
+
+// evalChunk evaluates the plan over one chunk into acc. It returns the
+// result words (nil when the chunk contributes nothing), the number of
+// positions individually visited, and whether any per-position residual
+// work happened (for scan accounting).
+func (e *Engine) evalChunk(p *colPlan, c int, acc []uint64, tmp *[]uint64) (words []uint64, visited int64, perPos bool) {
+	lo, hi := e.store.ChunkBounds(c)
+	nbits := hi - lo
+	nw := bitmap.WordsFor(nbits)
+	acc = acc[:nw]
+
+	full := false
+	if len(p.ands) > 0 {
+		copy(acc, p.ands[0].WordRange(lo, hi))
+		for _, b := range p.ands[1:] {
+			bitmap.AndWords(acc, b.WordRange(lo, hi))
+		}
+	} else {
+		bitmap.FillWords(acc, nbits)
+		full = len(p.ors) == 0
+	}
+	for _, group := range p.ors {
+		if cap(*tmp) < nw {
+			*tmp = make([]uint64, nw)
+		}
+		t := (*tmp)[:nw]
+		bitmap.ZeroWords(t)
+		for _, b := range group {
+			bitmap.OrWords(t, b.WordRange(lo, hi))
+		}
+		bitmap.AndWords(acc, t)
+	}
+	if !bitmap.AnyWord(acc) {
+		return nil, 0, false
+	}
+
+	for si := range p.scans {
+		sp := &p.scans[si]
+		switch e.zoneState(sp, c, nbits) {
+		case zoneNone:
+			return nil, visited, perPos
+		case zoneAll:
+			continue
+		}
+		if full {
+			// First residual over an untouched chunk: dense kernel over the
+			// whole column chunk beats per-bit iteration.
+			bitmap.ZeroWords(acc)
+			e.denseScan(sp, lo, hi, acc)
+			visited += int64(nbits)
+			full, perPos = false, true
+		} else {
+			visited += e.sparseFilter(sp, lo, acc)
+			perPos = true
+		}
+		if !bitmap.AnyWord(acc) {
+			return nil, visited, perPos
+		}
+	}
+	return acc, visited, perPos
+}
+
+// Zone tri-state for a residual predicate over one chunk.
+const (
+	zonePartial = iota // evaluate per position
+	zoneNone           // no position in the chunk can match
+	zoneAll            // every position in the chunk matches
+)
+
+// zoneState consults the chunk's zone map: numeric predicates can skip a
+// chunk wholesale (all values outside the bound, or all NULL) or accept it
+// wholesale (all values inside and no NULLs).
+func (e *Engine) zoneState(sp *scanPred, c, nbits int) int {
+	switch sp.kind {
+	case kEqCode, kInCode:
+		return zonePartial
+	}
+	z := e.store.Zone(sp.attr, c)
+	if z.NonNull == 0 {
+		return zoneNone
+	}
+	noNulls := z.NonNull == nbits
+	switch sp.kind {
+	case kLess:
+		if z.Min >= sp.hi {
+			return zoneNone
+		}
+		if noNulls && z.Max < sp.hi {
+			return zoneAll
+		}
+	case kGreater:
+		if z.Max <= sp.lo {
+			return zoneNone
+		}
+		if noNulls && z.Min > sp.lo {
+			return zoneAll
+		}
+	case kRange:
+		if z.Min > sp.hi || z.Max < sp.lo {
+			return zoneNone
+		}
+		if noNulls && z.Min >= sp.lo && z.Max <= sp.hi {
+			return zoneAll
+		}
+	case kEqNum:
+		if sp.lo < z.Min || sp.lo > z.Max {
+			return zoneNone
+		}
+		if noNulls && z.Min == z.Max && z.Min == sp.lo {
+			return zoneAll
+		}
+	case kInNum:
+		for _, x := range sp.nums {
+			if x >= z.Min && x <= z.Max {
+				return zonePartial
+			}
+		}
+		return zoneNone
+	}
+	return zonePartial
+}
+
+// denseScan runs the tight per-row kernel for one predicate over chunk
+// rows [lo, hi), setting bits (chunk-local) in out.
+func (e *Engine) denseScan(sp *scanPred, lo, hi int, out []uint64) {
+	switch sp.kind {
+	case kLess:
+		column.ScanLess(e.store.Floats(sp.attr)[lo:hi], sp.hi, out)
+	case kGreater:
+		column.ScanGreater(e.store.Floats(sp.attr)[lo:hi], sp.lo, out)
+	case kRange:
+		column.ScanRange(e.store.Floats(sp.attr)[lo:hi], sp.lo, sp.hi, out)
+	case kEqNum:
+		column.ScanEqNum(e.store.Floats(sp.attr)[lo:hi], sp.lo, out)
+	case kInNum:
+		vals := e.store.Floats(sp.attr)[lo:hi]
+		for _, x := range sp.nums {
+			column.ScanEqNum(vals, x, out) // kernels only set bits: union
+		}
+	case kEqCode:
+		column.ScanEqCode(e.store.Codes(sp.attr)[lo:hi], sp.code, out)
+	case kInCode:
+		codes := e.store.Codes(sp.attr)[lo:hi]
+		for _, code := range sp.codes {
+			column.ScanEqCode(codes, code, out)
+		}
+	}
+}
+
+// sparseFilter tests the predicate at each set position of acc (chunk base
+// lo), clearing the bits that fail, and returns the number of positions
+// visited.
+func (e *Engine) sparseFilter(sp *scanPred, lo int, acc []uint64) int64 {
+	var test func(i int) bool
+	switch sp.kind {
+	case kLess:
+		vals, x := e.store.Floats(sp.attr), sp.hi
+		test = func(i int) bool { return vals[i] < x }
+	case kGreater:
+		vals, x := e.store.Floats(sp.attr), sp.lo
+		test = func(i int) bool { return vals[i] > x }
+	case kRange:
+		vals, l, h := e.store.Floats(sp.attr), sp.lo, sp.hi
+		test = func(i int) bool { return vals[i] >= l && vals[i] <= h }
+	case kEqNum:
+		vals, x := e.store.Floats(sp.attr), sp.lo
+		test = func(i int) bool { return vals[i] == x }
+	case kInNum:
+		vals, nums := e.store.Floats(sp.attr), sp.nums
+		test = func(i int) bool {
+			for _, x := range nums {
+				if vals[i] == x {
+					return true
+				}
+			}
+			return false
+		}
+	case kEqCode:
+		codes, code := e.store.Codes(sp.attr), sp.code
+		test = func(i int) bool { return codes[i] == code }
+	case kInCode:
+		codes, set := e.store.Codes(sp.attr), sp.codes
+		test = func(i int) bool {
+			for _, code := range set {
+				if codes[i] == code {
+					return true
+				}
+			}
+			return false
+		}
+	}
+	var visited int64
+	for wi := range acc {
+		w := acc[wi]
+		if w == 0 {
+			continue
+		}
+		base := lo + wi*bitmap.WordBits
+		for w != 0 {
+			bit := trailingZeros(w)
+			visited++
+			if !test(base + bit) {
+				acc[wi] &^= 1 << uint(bit)
+			}
+			w &= w - 1
+		}
+	}
+	return visited
+}
+
+// appendLimited appends base+bit for every set bit (ascending) to dst,
+// stopping after max appends when max > 0.
+func appendLimited(dst []int, words []uint64, base, max int) []int {
+	if max <= 0 {
+		return bitmap.AppendWordPositions(dst, words, base)
+	}
+	for wi, w := range words {
+		wbase := base + wi*bitmap.WordBits
+		for w != 0 {
+			dst = append(dst, wbase+trailingZeros(w))
+			if max--; max == 0 {
+				return dst
+			}
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// trailingZeros aliases math/bits.TrailingZeros64 for the hot loops.
+func trailingZeros(w uint64) int { return bits.TrailingZeros64(w) }

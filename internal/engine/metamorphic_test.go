@@ -21,7 +21,7 @@ func randomQuery(rng *rand.Rand, s *relation.Schema) *query.Query {
 	q := query.New(s)
 	n := 1 + rng.Intn(4)
 	for i := 0; i < n; i++ {
-		switch rng.Intn(4) {
+		switch rng.Intn(6) {
 		case 0:
 			q.Where("Make", query.OpEq, relation.Cat(makes[rng.Intn(len(makes))]))
 		case 1:
@@ -29,6 +29,12 @@ func randomQuery(rng *rand.Rand, s *relation.Schema) *query.Query {
 		case 2:
 			lo := 1988 + rng.Float64()*16
 			q.WhereRange("Year", lo, lo+rng.Float64()*8)
+		case 3:
+			q.WhereIn("Make",
+				relation.Cat(makes[rng.Intn(len(makes))]),
+				relation.Cat(makes[rng.Intn(len(makes))]))
+		case 4:
+			q.Where("Year", query.OpEq, relation.Numv(float64(1990+rng.Intn(17))))
 		default:
 			q.Where("Price", query.OpLess, relation.Numv(float64(2000+rng.Intn(28000))))
 		}
@@ -124,6 +130,25 @@ func TestMetamorphicDuplicateQueryIdempotent(t *testing.T) {
 			if first[i] != second[i] {
 				t.Fatalf("trial %d: re-execution order differs at %d", trial, i)
 			}
+		}
+	}
+}
+
+// TestMetamorphicEnginesAgree: every metamorphic query stream produces the
+// same position set on the columnar and legacy engines, and Count agrees
+// with materialization on both.
+func TestMetamorphicEnginesAgree(t *testing.T) {
+	rel := randomRel(1500, 81)
+	col, leg := New(rel), NewLegacy(rel)
+	rng := rand.New(rand.NewSource(82))
+	for trial := 0; trial < 150; trial++ {
+		q := randomQuery(rng, rel.Schema())
+		a, b := col.Execute(q, 0), leg.Execute(q, 0)
+		if !equalIntSets(a, b) {
+			t.Fatalf("trial %d: columnar %d vs legacy %d results for %s", trial, len(a), len(b), q)
+		}
+		if ca, cb := col.Count(q), leg.Count(q); ca != len(a) || cb != len(a) {
+			t.Fatalf("trial %d: counts %d/%d, want %d for %s", trial, ca, cb, len(a), q)
 		}
 	}
 }

@@ -43,6 +43,12 @@ func New(s *Schema) *Relation {
 	return &Relation{schema: s}
 }
 
+// NewWithCapacity creates an empty relation with room for n tuples, so bulk
+// builders (datagen's million-tuple sets) append without regrowing.
+func NewWithCapacity(s *Schema, n int) *Relation {
+	return &Relation{schema: s, tuples: make([]Tuple, 0, n)}
+}
+
 // FromTuples creates a relation holding the given tuples (not copied).
 // Every tuple must match the schema arity.
 func FromTuples(s *Schema, tuples []Tuple) (*Relation, error) {

@@ -113,7 +113,7 @@ func BuildModel(src webdb.Source, lc LearnConfig) (*afd.Ordering, *similarity.Es
 
 	begin = time.Now()
 	idx := supertuple.Builder{Buckets: lc.Buckets, Workers: lc.Workers}.Build(sample)
-	est := similarity.New(idx, ord, similarity.Config{})
+	est := similarity.New(idx, ord, similarity.Config{SweepWorkers: lc.Workers})
 	stage("supertuple", begin)
 	stats.TotalMs = float64(time.Since(start).Nanoseconds()) / 1e6
 	return ord, est, stats, nil

@@ -16,6 +16,7 @@ package similarity
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -41,6 +42,8 @@ type Estimator struct {
 	// the matrix (they read back as 0). Keeps the matrices sparse.
 	MinSim float64
 
+	sweepWorkers int
+
 	// matrices[attr][v1][v2] = VSim(v1, v2), v1 != v2, symmetric storage.
 	matrices map[int]map[string]map[string]float64
 }
@@ -50,6 +53,13 @@ type Config struct {
 	// MinSim drops precomputed similarities below this value. Default 0
 	// (keep all nonzero).
 	MinSim float64
+
+	// SweepWorkers chunks each attribute's O(k²) pair sweep across this
+	// many goroutines (k = distinct values of the attribute). 0 uses
+	// GOMAXPROCS; 1 forces the serial sweep. Every pair is computed
+	// independently from the same flattened bags, so the resulting matrix
+	// is bit-identical at any worker count.
+	SweepWorkers int
 }
 
 // New builds an estimator from a supertuple index and an attribute
@@ -58,11 +68,12 @@ type Config struct {
 // (this is the offline "similarity estimation" phase of Table 2).
 func New(idx *supertuple.Index, ord *afd.Ordering, cfg Config) *Estimator {
 	e := &Estimator{
-		Schema:   idx.Schema,
-		Ordering: ord,
-		Index:    idx,
-		MinSim:   cfg.MinSim,
-		matrices: make(map[int]map[string]map[string]float64),
+		Schema:       idx.Schema,
+		Ordering:     ord,
+		Index:        idx,
+		MinSim:       cfg.MinSim,
+		sweepWorkers: cfg.SweepWorkers,
+		matrices:     make(map[int]map[string]map[string]float64),
 	}
 	cats := e.Schema.Categorical()
 	results := make([]map[string]map[string]float64, len(cats))
@@ -125,17 +136,76 @@ func (e *Estimator) computeMatrix(attr int) map[string]map[string]float64 {
 		}
 		row[b] = sim
 	}
-	for i := 0; i < len(values); i++ {
-		for j := i + 1; j < len(values); j++ {
+	for _, p := range e.sweepPairs(values, flats, wflat) {
+		put(values[p.i], values[p.j], p.sim)
+		put(values[p.j], values[p.i], p.sim)
+	}
+	return m
+}
+
+// pairSim is one surviving (above-threshold) pair of the sweep.
+type pairSim struct {
+	i, j int
+	sim  float64
+}
+
+// sweepPairs runs the O(k²) pair sweep, chunked across sweepWorkers
+// goroutines. Rows are dealt round-robin (worker w takes rows w, w+n,
+// w+2n, …) so the triangular workload stays balanced without estimating
+// per-row cost. Each pair reads only the shared immutable flats, so the
+// partitioning cannot change any computed similarity: the matrix is
+// bit-identical at every worker count (asserted by TestSweepBitIdentity).
+func (e *Estimator) sweepPairs(values []string, flats [][][]bag.Entry, wflat []float64) []pairSim {
+	k := len(values)
+	sweepRow := func(i int, out []pairSim) []pairSim {
+		for j := i + 1; j < k; j++ {
 			sim := vsim(flats[i], flats[j], wflat)
 			if sim <= 0 || sim < e.MinSim {
 				continue
 			}
-			put(values[i], values[j], sim)
-			put(values[j], values[i], sim)
+			out = append(out, pairSim{i: i, j: j, sim: sim})
 		}
+		return out
 	}
-	return m
+
+	workers := e.sweepWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > k/2 {
+		workers = k / 2 // too few rows to be worth splitting further
+	}
+	if workers <= 1 {
+		var out []pairSim
+		for i := 0; i < k; i++ {
+			out = sweepRow(i, out)
+		}
+		return out
+	}
+
+	parts := make([][]pairSim, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var out []pairSim
+			for i := w; i < k; i += workers {
+				out = sweepRow(i, out)
+			}
+			parts[w] = out
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	out := make([]pairSim, 0, total)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
 }
 
 // vsim is VSim(C1, C2) = Σ W_imp(A_i) × SimJ(C1.A_i, C2.A_i) over the

@@ -1,6 +1,7 @@
 package similarity
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -285,5 +286,63 @@ func TestSimInPredicate(t *testing.T) {
 	qn := query.New(s).WhereIn("Price", relation.Numv(10000), relation.Numv(20000))
 	if got := e.Sim(qn, camry); math.Abs(got-1) > 1e-9 {
 		t.Errorf("numeric in Sim = %v", got)
+	}
+}
+
+// wideRel plants ~30 distinct Model values so the chunked pair sweep
+// actually splits across several workers (workers are capped at k/2).
+func wideRel() *relation.Relation {
+	r := relation.New(carSchema())
+	makes := []string{"Toyota", "Honda", "Ford", "Dodge", "Nissan"}
+	classes := []string{"sedan", "truck", "coupe"}
+	for m := 0; m < 30; m++ {
+		mk := makes[m%len(makes)]
+		cl := classes[m%len(classes)]
+		price := 9000 + 700*float64(m)
+		for i := 0; i < 4; i++ {
+			r.Append(relation.Tuple{
+				relation.Cat(mk),
+				relation.Cat(fmt.Sprintf("model-%02d", m)),
+				relation.Cat(cl),
+				relation.Numv(price + float64(i)),
+			})
+		}
+	}
+	return r
+}
+
+// TestSweepBitIdentity: the chunked pair sweep must produce a matrix
+// bit-identical to the serial sweep at every worker count — float
+// accumulation happens entirely inside vsim per pair, so partitioning can
+// never change a single ulp.
+func TestSweepBitIdentity(t *testing.T) {
+	rel := wideRel()
+	res := tane.Miner{Terr: 0.4, MaxLHS: 2}.Mine(rel)
+	ord, err := afd.Order(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := supertuple.Builder{Buckets: 8}.Build(rel)
+	serial := New(idx, ord, Config{SweepWorkers: 1})
+	for _, workers := range []int{0, 2, 3, 7, 64} {
+		par := New(idx, ord, Config{SweepWorkers: workers})
+		for _, attr := range rel.Schema().Categorical() {
+			a, b := serial.Matrix(attr), par.Matrix(attr)
+			if len(a) != len(b) {
+				t.Fatalf("workers=%d attr %d: %d rows vs %d", workers, attr, len(b), len(a))
+			}
+			for v1, row := range a {
+				prow := b[v1]
+				if len(prow) != len(row) {
+					t.Fatalf("workers=%d attr %d row %q: %d entries vs %d", workers, attr, v1, len(prow), len(row))
+				}
+				for v2, sim := range row {
+					if psim, ok := prow[v2]; !ok || psim != sim {
+						t.Fatalf("workers=%d attr %d: VSim(%q,%q) = %v, serial %v (must be bit-identical)",
+							workers, attr, v1, v2, psim, sim)
+					}
+				}
+			}
+		}
 	}
 }

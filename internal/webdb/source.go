@@ -109,9 +109,17 @@ type Local struct {
 	eng *engine.Engine
 }
 
-// NewLocal wraps a relation in a local source.
+// NewLocal wraps a relation in a local source backed by the columnar
+// bitmap engine.
 func NewLocal(rel *relation.Relation) *Local {
 	return &Local{eng: engine.New(rel)}
+}
+
+// NewLocalLegacy wraps a relation in a local source backed by the legacy
+// row-at-a-time engine — the escape hatch behind aimq-serve's
+// -legacy-engine flag, and the oracle half of differential comparisons.
+func NewLocalLegacy(rel *relation.Relation) *Local {
+	return &Local{eng: engine.NewLegacy(rel)}
 }
 
 // Schema implements Source.
