@@ -28,7 +28,45 @@ import (
 	"time"
 
 	"aimq/internal/bench"
+	"aimq/internal/obs"
 )
+
+// slowReq remembers one slow request so the report can name the trace to
+// pull from the service's /debug/traces (the generator sends a traceparent
+// with every request, so the service-side trace carries this exact ID).
+type slowReq struct {
+	traceID string
+	query   string
+	elapsed time.Duration
+}
+
+// slowTracker keeps the n slowest requests seen, guarded by its own mutex
+// (contention is negligible: insertion only happens when a request beats the
+// current floor).
+type slowTracker struct {
+	mu   sync.Mutex
+	n    int
+	reqs []slowReq
+}
+
+func (st *slowTracker) observe(r slowReq) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if len(st.reqs) < st.n {
+		st.reqs = append(st.reqs, r)
+	} else if r.elapsed > st.reqs[len(st.reqs)-1].elapsed {
+		st.reqs[len(st.reqs)-1] = r
+	} else {
+		return
+	}
+	sort.Slice(st.reqs, func(i, j int) bool { return st.reqs[i].elapsed > st.reqs[j].elapsed })
+}
+
+func (st *slowTracker) snapshot() []slowReq {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return append([]slowReq(nil), st.reqs...)
+}
 
 func main() {
 	base := flag.String("url", "http://127.0.0.1:8090", "aimq-serve base URL")
@@ -76,6 +114,7 @@ func run(base, queries string, conc, total int, dur time.Duration, k int, timeou
 		lats     bench.Sketch
 		wg       sync.WaitGroup
 		deadline = time.Now().Add(dur)
+		slow     = slowTracker{n: 5}
 	)
 	for wk := 0; wk < conc; wk++ {
 		wg.Add(1)
@@ -97,8 +136,18 @@ func run(base, queries string, conc, total int, dur time.Duration, k int, timeou
 				target := base + "/answer?" + url.Values{
 					"q": {q}, "k": {strconv.Itoa(k)},
 				}.Encode()
+				req, err := http.NewRequest(http.MethodGet, target, nil)
+				if err != nil {
+					cnt.errs.Add(1)
+					continue
+				}
+				// Every request opens its own distributed trace: the service
+				// joins it (so its /debug/traces entries carry this trace ID),
+				// and the slow-request report below names the IDs to look up.
+				tc := obs.NewTraceContext()
+				req.Header.Set(obs.TraceparentHeader, tc.Header())
 				start := time.Now()
-				resp, err := client.Get(target)
+				resp, err := client.Do(req)
 				elapsed := time.Since(start)
 				if err != nil {
 					cnt.errs.Add(1)
@@ -118,6 +167,9 @@ func run(base, queries string, conc, total int, dur time.Duration, k int, timeou
 						cnt.cached.Add(1)
 					}
 					local.ObserveDuration(elapsed)
+					if !body.Cached {
+						slow.observe(slowReq{traceID: tc.TraceID, query: q, elapsed: elapsed})
+					}
 				case resp.StatusCode == http.StatusGatewayTimeout:
 					cnt.timeouts.Add(1)
 				default:
@@ -164,6 +216,12 @@ func run(base, queries string, conc, total int, dur time.Duration, k int, timeou
 	}
 	fmt.Fprintf(w, "client-observed cache hits: %d/%d (%.1f%%)\n",
 		cnt.cached.Load(), ok, 100*float64(cnt.cached.Load())/float64(ok))
+	if slowest := slow.snapshot(); len(slowest) > 0 {
+		fmt.Fprintf(w, "slowest computed answers (trace IDs resolvable at %s/debug/traces):\n", base)
+		for _, r := range slowest {
+			fmt.Fprintf(w, "  %s  trace=%s  %q\n", r.elapsed.Round(time.Microsecond), r.traceID, r.query)
+		}
+	}
 	if scrapeErr == nil {
 		hits, misses := after.hits-before.hits, after.misses-before.misses
 		lookups := hits + misses

@@ -86,6 +86,9 @@ func main() {
 	keyPruneErr := flag.Float64("key-prune-max-error", 0, "also skip relaxation queries that keep the mined best key bound, when the key's g3 error is at or below this (0 = exact keys only)")
 	cacheSnapshot := flag.String("cache-snapshot", "", "path for the hot-query cache snapshot: warmed from at startup, rewritten at shutdown ('' = disabled)")
 	traceRing := flag.Int("trace-ring", 64, "traces kept by /debug/traces (recent and slowest each; negative disables)")
+	traceSample := flag.Int("trace-sample", 0, "head-sample 1 in N computed answers into the trace ring (<2 = every one)")
+	flightThreshold := flag.Duration("flight-threshold", 0, "tail-latency flight recorder: retain any computed answer slower than this, regardless of sampling (0 = off)")
+	flightRing := flag.Int("flight-ring", 32, "traces kept by the flight recorder (recent and slowest each)")
 	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "log answers slower than this at WARN (negative disables)")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	showVersion := flag.Bool("version", false, "print version and exit")
@@ -111,7 +114,9 @@ func main() {
 		timeout:  *timeout, drain: *drain, maxQPB: *maxQPB,
 		sampleSize: *sampleSize, terr: *terr, seed: *seed, probeWorkers: *probeWorkers,
 		prune: *prune, keyPruneErr: *keyPruneErr, cacheSnapshot: *cacheSnapshot,
-		traceRing: *traceRing, slowQuery: *slowQuery,
+		traceRing: *traceRing, traceSample: *traceSample,
+		flightThreshold: *flightThreshold, flightRing: *flightRing,
+		slowQuery: *slowQuery,
 		resilient: *resilient, retryAttempts: *retryAttempts, retryBase: *retryBase,
 		breakerFailures: *breakerFailures, breakerOpen: *breakerOpen,
 		failDegrade:  *failDegrade,
@@ -131,6 +136,9 @@ type config struct {
 	sampleSize, probeWorkers   int
 	seed                       int64
 	traceRing                  int
+	traceSample                int
+	flightThreshold            time.Duration
+	flightRing                 int
 	slowQuery                  time.Duration
 	cacheTTL                   time.Duration
 	resilient                  bool
@@ -224,13 +232,16 @@ func run(c config, logger *slog.Logger) error {
 			DisablePruning:    !c.prune,
 			KeyPruneMaxError:  c.keyPruneErr,
 		},
-		CacheSize:      c.cacheSize,
-		CacheTTL:       c.cacheTTL,
-		RequestTimeout: c.timeout,
-		MaxK:           c.maxK,
-		TraceRing:      c.traceRing,
-		SlowQuery:      c.slowQuery,
-		Logger:         logger,
+		CacheSize:       c.cacheSize,
+		CacheTTL:        c.cacheTTL,
+		RequestTimeout:  c.timeout,
+		MaxK:            c.maxK,
+		TraceRing:       c.traceRing,
+		TraceSample:     c.traceSample,
+		FlightThreshold: c.flightThreshold,
+		FlightRing:      c.flightRing,
+		SlowQuery:       c.slowQuery,
+		Logger:          logger,
 	})
 	svc.SetLearnStats(learnStats)
 
@@ -269,7 +280,8 @@ func run(c config, logger *slog.Logger) error {
 	}
 
 	logger.Info("answering", "addr", c.addr, "cache_entries", c.cacheSize,
-		"timeout", c.timeout, "trace_ring", c.traceRing, "slow_query", c.slowQuery)
+		"timeout", c.timeout, "trace_ring", c.traceRing, "trace_sample", c.traceSample,
+		"flight_threshold", c.flightThreshold, "slow_query", c.slowQuery)
 	err = svc.Run(ctx, c.addr, c.drain)
 	if err == nil {
 		logger.Info("drained and stopped")

@@ -20,6 +20,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -41,6 +42,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	idleTimeout := flag.Duration("idle-timeout", 120*time.Second, "keep-alive idle connection timeout")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain budget")
+	traceRing := flag.Int("trace-ring", 64, "query traces kept by /debug/traces (recent and slowest each; <=0 disables tracing)")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -56,13 +58,13 @@ func main() {
 	}
 	slog.SetDefault(slog.New(handler))
 
-	if err := run(*data, *addr, *idleTimeout, *drain); err != nil {
+	if err := run(*data, *addr, *idleTimeout, *drain, *traceRing); err != nil {
 		fmt.Fprintln(os.Stderr, "aimqd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(data, addr string, idleTimeout, drain time.Duration) error {
+func run(data, addr string, idleTimeout, drain time.Duration, traceRing int) error {
 	if data == "" {
 		return fmt.Errorf("need -data")
 	}
@@ -71,9 +73,44 @@ func run(data, addr string, idleTimeout, drain time.Duration) error {
 		return err
 	}
 	src := &webdb.ProbeCounter{Src: webdb.NewLocal(rel)}
+	server := webdb.NewServer(src)
+	var root http.Handler = server
+	if traceRing > 0 {
+		// Tracing on: every /query runs under a recorder that joins the
+		// caller's traceparent (a mediator's relaxation trace continues here),
+		// and the finished traces — engine EXPLAIN included — are retained
+		// for /debug/traces and the Perfetto export.
+		ring := obs.NewRing(traceRing)
+		server.EnableTracing(ring)
+		mux := http.NewServeMux()
+		mux.Handle("/", server)
+		mux.HandleFunc("GET /debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+			recent, slowest := ring.Snapshot()
+			writeJSON(w, map[string]any{
+				"retained": len(recent),
+				"recent":   recent,
+				"slowest":  slowest,
+			})
+		})
+		mux.HandleFunc("GET /debug/traces/export", func(w http.ResponseWriter, _ *http.Request) {
+			recent, slowest := ring.Snapshot()
+			seen := map[string]bool{}
+			var traces []obs.Trace
+			for _, t := range append(recent, slowest...) {
+				if seen[t.ID] {
+					continue
+				}
+				seen[t.ID] = true
+				traces = append(traces, t)
+			}
+			w.Header().Set("Content-Type", "application/json")
+			_ = obs.WriteChromeTrace(w, traces)
+		})
+		root = mux
+	}
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           logRequests(webdb.NewServer(src)),
+		Handler:           logRequests(root),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -109,16 +146,27 @@ func run(data, addr string, idleTimeout, drain time.Duration) error {
 // logRequests emits one structured line per request, tagged with a request
 // ID that is echoed back as X-Request-ID (the caller's own ID is kept when
 // it forwards one, so a mediator's trace and the source's log correlate).
+// When tracing is on, the line also carries the trace ID the query joined —
+// the same ID the mediator's own trace shows for its source_http span.
 func logRequests(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		id := r.Header.Get("X-Request-ID")
+		id := r.Header.Get(obs.RequestIDHeader)
 		if id == "" {
 			id = obs.NewRequestID()
 		}
-		w.Header().Set("X-Request-ID", id)
+		w.Header().Set(obs.RequestIDHeader, id)
 		start := time.Now()
 		next.ServeHTTP(w, r)
-		slog.Info("request", "request_id", id, "method", r.Method,
-			"url", r.URL.String(), "elapsed", time.Since(start).Round(time.Microsecond))
+		attrs := []any{"request_id", id, "method", r.Method,
+			"url", r.URL.String(), "elapsed", time.Since(start).Round(time.Microsecond)}
+		if tid := w.Header().Get("X-Trace-ID"); tid != "" {
+			attrs = append(attrs, "trace_id", tid)
+		}
+		slog.Info("request", attrs...)
 	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
 }

@@ -146,6 +146,7 @@ func Scenarios() []Scenario {
 		{"guided-census", "GuidedRelax answering over the 13-attribute CensusDB", runCensus},
 		{"serve-cold", "HTTP service answering with an empty cache (every request relaxes)", runServeCold},
 		{"serve-warm", "HTTP service answering from a primed cache", runServeWarm},
+		{"serve-explain", "EXPLAIN ANALYZE pricing: traced explain answers vs plain cold answers", runServeExplain},
 		{"serve-contention", "concurrent identical queries sharing one relaxation (single-flight)", runServeContention},
 		{"chaos-guided", "GuidedRelax through ~10% injected faults behind retry+breaker (zero hard aborts)", runChaosGuided},
 		{"serve-chaos", "serve-stale degradation: breaker open, expired cache entries served stale", runServeChaos},
@@ -513,6 +514,55 @@ func runServeWarm(o Options, env *Env) (Result, error) {
 	})
 	if err != nil {
 		return res, err
+	}
+	attachServeCounters(&res, svc)
+	return res, nil
+}
+
+// runServeExplain prices EXPLAIN ANALYZE: every measured request asks for
+// explain=true, which bypasses the cache, runs a full relaxation, and
+// carries the complete span tree — per-step engine plans, chunk counters,
+// source timings — back in the response body. A hand-timed explain-off pass
+// over a disjoint query pool (same cold-compute path, no trace assembly or
+// serialization) gives the baseline; the reported overhead ratio is the
+// price of turning the recorder on, which ISSUE 7's design keeps a
+// diagnostic-mode cost rather than a per-request tax.
+func runServeExplain(o Options, env *Env) (Result, error) {
+	svc, car, err := newBenchService(o, env)
+	if err != nil {
+		return Result{}, err
+	}
+	iters, warmup := o.scale(10, 30), 2
+	// Disjoint pools: the off pass must not prime cache entries the explain
+	// pass could observe, and vice versa — both sides pay a cold relaxation.
+	pool := serveQueries(car, 2*(iters+warmup), o.Seed+74)
+	offPool, onPool := pool[:iters+warmup], pool[iters+warmup:]
+
+	var off Sketch
+	for i, q := range offPool {
+		t0 := time.Now()
+		if err := get(svc, answerTarget(q)); err != nil {
+			return Result{}, err
+		}
+		if i >= warmup {
+			off.ObserveDuration(time.Since(t0))
+		}
+	}
+	offP50 := off.Quantile(0.5)
+
+	params := map[string]float64{
+		"db_tuples":        float64(car.Rel.Size()),
+		"distinct_queries": float64(iters),
+	}
+	res, err := measure("serve-explain", o.Quick, params, warmup, iters, func(i int, m *Measurement) error {
+		return get(svc, answerTarget(onPool[i])+"&explain=true")
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Extra = map[string]float64{"explain_off_p50_seconds": offP50}
+	if offP50 > 0 {
+		res.Extra["explain_overhead_ratio"] = res.Latency.P50 / offP50
 	}
 	attachServeCounters(&res, svc)
 	return res, nil

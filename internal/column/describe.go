@@ -1,0 +1,46 @@
+package column
+
+import "aimq/internal/relation"
+
+// ColumnInfo describes how one attribute is physically stored — the
+// storage-level half of an engine EXPLAIN: whether an equality predicate on
+// the attribute can ride posting bitmaps or must fall back to code/float
+// scans, and how selective the zone maps can be.
+type ColumnInfo struct {
+	Name string `json:"name"`
+	// Kind is "categorical" or "numeric".
+	Kind string `json:"kind"`
+	// Cardinality is the distinct non-null value count (categoricals).
+	Cardinality int `json:"cardinality,omitempty"`
+	// Postings reports whether per-value posting bitmaps exist
+	// (cardinality ≤ MaxPostingValues).
+	Postings bool `json:"postings,omitempty"`
+	// Zones is the number of min/max zone-map entries (numerics).
+	Zones   int `json:"zones,omitempty"`
+	NonNull int `json:"non_null"`
+	Nulls   int `json:"nulls,omitempty"`
+}
+
+// Describe returns the physical storage descriptor of every column, in
+// schema order.
+func (s *Store) Describe() []ColumnInfo {
+	out := make([]ColumnInfo, len(s.cols))
+	for a := range s.cols {
+		c := &s.cols[a]
+		info := ColumnInfo{
+			Name:    s.schema.Attr(a).Name,
+			NonNull: c.nonNulls,
+			Nulls:   s.n - c.nonNulls,
+		}
+		if s.schema.Type(a) == relation.Categorical {
+			info.Kind = "categorical"
+			info.Cardinality = len(c.values)
+			info.Postings = c.postings != nil
+		} else {
+			info.Kind = "numeric"
+			info.Zones = len(c.zones)
+		}
+		out[a] = info
+	}
+	return out
+}

@@ -56,6 +56,16 @@ type Stats struct {
 	// §6.3 extraction work.
 	TuplesCounted atomic.Int64
 	BusyNanos     atomic.Int64 // wall time spent inside Execute/Count
+
+	// Columnar execution telemetry, folded in once per query (always on —
+	// the per-chunk accumulation is plain integer adds).
+	ChunksVisited   atomic.Int64 // chunks evaluated
+	ZoneKilled      atomic.Int64 // chunks eliminated wholesale by zone maps
+	ZoneSkipped     atomic.Int64 // residual checks skipped by blanket accepts
+	PostingEmpty    atomic.Int64 // chunks whose posting AND/OR emptied early
+	DenseRows       atomic.Int64 // rows swept by dense residual kernels
+	SparseChecks    atomic.Int64 // positions tested by sparse filters
+	ParallelQueries atomic.Int64 // queries the chunk worker pool ran
 }
 
 // Snapshot is a plain-value copy of Stats.
@@ -65,6 +75,14 @@ type Snapshot struct {
 	TuplesScanned  int64
 	TuplesCounted  int64
 	BusyNanos      int64
+
+	ChunksVisited   int64
+	ZoneKilled      int64
+	ZoneSkipped     int64
+	PostingEmpty    int64
+	DenseRows       int64
+	SparseChecks    int64
+	ParallelQueries int64
 }
 
 // Busy is the cumulative wall time spent executing queries.
@@ -78,6 +96,14 @@ func (s *Stats) Snapshot() Snapshot {
 		TuplesScanned:  s.TuplesScanned.Load(),
 		TuplesCounted:  s.TuplesCounted.Load(),
 		BusyNanos:      s.BusyNanos.Load(),
+
+		ChunksVisited:   s.ChunksVisited.Load(),
+		ZoneKilled:      s.ZoneKilled.Load(),
+		ZoneSkipped:     s.ZoneSkipped.Load(),
+		PostingEmpty:    s.PostingEmpty.Load(),
+		DenseRows:       s.DenseRows.Load(),
+		SparseChecks:    s.SparseChecks.Load(),
+		ParallelQueries: s.ParallelQueries.Load(),
 	}
 }
 
@@ -88,6 +114,13 @@ func (s *Stats) Reset() {
 	s.TuplesScanned.Store(0)
 	s.TuplesCounted.Store(0)
 	s.BusyNanos.Store(0)
+	s.ChunksVisited.Store(0)
+	s.ZoneKilled.Store(0)
+	s.ZoneSkipped.Store(0)
+	s.PostingEmpty.Store(0)
+	s.DenseRows.Store(0)
+	s.SparseChecks.Store(0)
+	s.ParallelQueries.Store(0)
 }
 
 // Engine answers boolean conjunctive queries over a fixed relation.
@@ -179,9 +212,10 @@ func (e *Engine) Execute(q *query.Query, limit int) []int {
 	if e.legacy {
 		return e.executeLegacy(q, limit)
 	}
-	out, _, scanned := e.runColumnar(q, limit, false)
+	out, _, scanned, ec := e.runColumnar(q, limit, false, nil)
 	e.stats.TuplesScanned.Add(scanned)
 	e.stats.TuplesReturned.Add(int64(len(out)))
+	e.foldExec(&ec)
 	return out
 }
 
@@ -209,9 +243,10 @@ func (e *Engine) Count(q *query.Query) int {
 	start := time.Now()
 	defer func() { e.stats.BusyNanos.Add(time.Since(start).Nanoseconds()) }()
 
-	_, n, scanned := e.runColumnar(q, 0, true)
+	_, n, scanned, ec := e.runColumnar(q, 0, true, nil)
 	e.stats.TuplesScanned.Add(scanned)
 	e.stats.TuplesCounted.Add(int64(n))
+	e.foldExec(&ec)
 	return n
 }
 
@@ -247,10 +282,25 @@ type colPlan struct {
 	scans []scanPred
 }
 
+// planTerm records one compiled predicate in the EXPLAIN plan. No-op when
+// no EXPLAIN was requested — the hot path passes ex == nil.
+func planTerm(ex *QueryExplain, s *relation.Schema, attr int, op query.Op, access string, alts int) {
+	if ex == nil {
+		return
+	}
+	ex.Plan = append(ex.Plan, PlanTerm{
+		Attr:         s.Attr(attr).Name,
+		Op:           op.String(),
+		Access:       access,
+		Alternatives: alts,
+	})
+}
+
 // compile turns the query into a columnar plan. A dictionary miss on an
 // equality predicate (or an in-list with no present alternative) marks the
-// plan empty — the short-circuit that makes absent-value probes free.
-func (e *Engine) compile(q *query.Query) colPlan {
+// plan empty — the short-circuit that makes absent-value probes free. When
+// ex is non-nil the chosen access path of every predicate is recorded.
+func (e *Engine) compile(q *query.Query, ex *QueryExplain) colPlan {
 	var p colPlan
 	s := q.Schema
 	for _, pr := range q.Preds {
@@ -272,11 +322,14 @@ func (e *Engine) compile(q *query.Query) colPlan {
 				}
 				if b := e.store.Posting(pr.Attr, code); b != nil {
 					p.ands = append(p.ands, b)
+					planTerm(ex, s, pr.Attr, pr.Op, AccessPosting, 0)
 				} else {
 					p.scans = append(p.scans, scanPred{attr: pr.Attr, kind: kEqCode, code: code})
+					planTerm(ex, s, pr.Attr, pr.Op, AccessScan, 0)
 				}
 			} else {
 				p.scans = append(p.scans, scanPred{attr: pr.Attr, kind: kEqNum, lo: pr.Value.Num})
+				planTerm(ex, s, pr.Attr, pr.Op, AccessScan, 0)
 			}
 		case query.OpIn:
 			if cat {
@@ -300,8 +353,10 @@ func (e *Engine) compile(q *query.Query) colPlan {
 				switch {
 				case scan && len(codes) > 0:
 					p.scans = append(p.scans, scanPred{attr: pr.Attr, kind: kInCode, codes: codes})
+					planTerm(ex, s, pr.Attr, pr.Op, AccessScan, len(codes))
 				case !scan && len(group) > 0:
 					p.ors = append(p.ors, group)
+					planTerm(ex, s, pr.Attr, pr.Op, AccessOrPostings, len(group))
 				default: // no alternative occurs in the column
 					p.empty = true
 					return p
@@ -318,6 +373,7 @@ func (e *Engine) compile(q *query.Query) colPlan {
 					return p
 				}
 				p.scans = append(p.scans, scanPred{attr: pr.Attr, kind: kInNum, nums: nums})
+				planTerm(ex, s, pr.Attr, pr.Op, AccessScan, len(nums))
 			}
 		case query.OpLess:
 			if cat {
@@ -325,18 +381,21 @@ func (e *Engine) compile(q *query.Query) colPlan {
 				return p
 			}
 			p.scans = append(p.scans, scanPred{attr: pr.Attr, kind: kLess, hi: pr.Value.Num})
+			planTerm(ex, s, pr.Attr, pr.Op, AccessScan, 0)
 		case query.OpGreater:
 			if cat {
 				p.empty = true
 				return p
 			}
 			p.scans = append(p.scans, scanPred{attr: pr.Attr, kind: kGreater, lo: pr.Value.Num})
+			planTerm(ex, s, pr.Attr, pr.Op, AccessScan, 0)
 		case query.OpRange:
 			if cat {
 				p.empty = true
 				return p
 			}
 			p.scans = append(p.scans, scanPred{attr: pr.Attr, kind: kRange, lo: pr.Value.Num, hi: pr.Hi.Num})
+			planTerm(ex, s, pr.Attr, pr.Op, AccessScan, 0)
 		default:
 			// Unknown operator: Predicate.Matches returns false for it, so
 			// the conjunction is empty.
@@ -349,14 +408,18 @@ func (e *Engine) compile(q *query.Query) colPlan {
 
 // runColumnar evaluates q over the column store. countOnly popcounts the
 // result instead of materializing positions. Returns the positions (nil
-// when counting), the count (counting mode only) and the per-position scan
-// work performed.
-func (e *Engine) runColumnar(q *query.Query, limit int, countOnly bool) (out []int, count int, scanned int64) {
+// when counting), the count (counting mode only), the per-position scan
+// work performed, and the chunk-level execution counters. ex, when non-nil,
+// receives the compiled plan (the counters are filled by the caller).
+func (e *Engine) runColumnar(q *query.Query, limit int, countOnly bool, ex *QueryExplain) (out []int, count int, scanned int64, ec execCounters) {
 	n := e.store.Len()
 	if len(q.Preds) == 0 {
 		// Full scan of the empty conjunction: every tuple matches.
+		if ex != nil {
+			ex.FullScan = true
+		}
 		if countOnly {
-			return nil, n, int64(n)
+			return nil, n, int64(n), ec
 		}
 		m := n
 		if limit > 0 && limit < m {
@@ -366,11 +429,14 @@ func (e *Engine) runColumnar(q *query.Query, limit int, countOnly bool) (out []i
 		for i := range out {
 			out[i] = i
 		}
-		return out, 0, int64(m)
+		return out, 0, int64(m), ec
 	}
-	p := e.compile(q)
+	p := e.compile(q, ex)
+	if ex != nil {
+		ex.Empty = p.empty
+	}
 	if p.empty || n == 0 {
-		return nil, 0, 0
+		return nil, 0, 0, ec
 	}
 
 	chunks := e.store.NumChunks()
@@ -386,6 +452,7 @@ func (e *Engine) runColumnar(q *query.Query, limit int, countOnly bool) (out []i
 		out     []int
 		count   int
 		scanned int64
+		ec      execCounters
 	}
 	if workers > chunks {
 		workers = chunks
@@ -405,16 +472,18 @@ func (e *Engine) runColumnar(q *query.Query, limit int, countOnly bool) (out []i
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			o, c, s := e.runChunks(&p, lo, hi, 0, countOnly)
-			shards[w] = shard{out: o, count: c, scanned: s}
+			o, c, s, sec := e.runChunks(&p, lo, hi, 0, countOnly)
+			shards[w] = shard{out: o, count: c, scanned: s, ec: sec}
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	ec.parallel = true
 	total := 0
 	for i := range shards {
 		total += len(shards[i].out)
 		count += shards[i].count
 		scanned += shards[i].scanned
+		ec.merge(shards[i].ec)
 	}
 	if !countOnly {
 		out = make([]int, 0, total)
@@ -422,17 +491,17 @@ func (e *Engine) runColumnar(q *query.Query, limit int, countOnly bool) (out []i
 			out = append(out, shards[i].out...)
 		}
 	}
-	return out, count, scanned
+	return out, count, scanned, ec
 }
 
 // runChunks evaluates the plan over chunks [c0, c1), honoring limit (> 0)
 // by stopping once enough positions are collected.
-func (e *Engine) runChunks(p *colPlan, c0, c1, limit int, countOnly bool) (out []int, count int, scanned int64) {
+func (e *Engine) runChunks(p *colPlan, c0, c1, limit int, countOnly bool) (out []int, count int, scanned int64, ec execCounters) {
 	nw := e.store.ChunkSize() / bitmap.WordBits
 	acc := make([]uint64, nw)
 	var tmp []uint64 // lazily sized; only in-list posting groups need it
 	for c := c0; c < c1; c++ {
-		words, visited, perPos := e.evalChunk(p, c, acc, &tmp)
+		words, visited, perPos := e.evalChunk(p, c, acc, &tmp, &ec)
 		scanned += visited
 		if words == nil {
 			continue
@@ -457,18 +526,20 @@ func (e *Engine) runChunks(p *colPlan, c0, c1, limit int, countOnly bool) (out [
 			break
 		}
 	}
-	return out, count, scanned
+	return out, count, scanned, ec
 }
 
 // evalChunk evaluates the plan over one chunk into acc. It returns the
 // result words (nil when the chunk contributes nothing), the number of
 // positions individually visited, and whether any per-position residual
-// work happened (for scan accounting).
-func (e *Engine) evalChunk(p *colPlan, c int, acc []uint64, tmp *[]uint64) (words []uint64, visited int64, perPos bool) {
+// work happened (for scan accounting). Execution telemetry lands in ec as
+// plain integer adds.
+func (e *Engine) evalChunk(p *colPlan, c int, acc []uint64, tmp *[]uint64, ec *execCounters) (words []uint64, visited int64, perPos bool) {
 	lo, hi := e.store.ChunkBounds(c)
 	nbits := hi - lo
 	nw := bitmap.WordsFor(nbits)
 	acc = acc[:nw]
+	ec.chunksVisited++
 
 	full := false
 	if len(p.ands) > 0 {
@@ -492,6 +563,7 @@ func (e *Engine) evalChunk(p *colPlan, c int, acc []uint64, tmp *[]uint64) (word
 		bitmap.AndWords(acc, t)
 	}
 	if !bitmap.AnyWord(acc) {
+		ec.postingEmpty++
 		return nil, 0, false
 	}
 
@@ -499,8 +571,10 @@ func (e *Engine) evalChunk(p *colPlan, c int, acc []uint64, tmp *[]uint64) (word
 		sp := &p.scans[si]
 		switch e.zoneState(sp, c, nbits) {
 		case zoneNone:
+			ec.zoneKilled++
 			return nil, visited, perPos
 		case zoneAll:
+			ec.zoneSkipped++
 			continue
 		}
 		if full {
@@ -509,9 +583,12 @@ func (e *Engine) evalChunk(p *colPlan, c int, acc []uint64, tmp *[]uint64) (word
 			bitmap.ZeroWords(acc)
 			e.denseScan(sp, lo, hi, acc)
 			visited += int64(nbits)
+			ec.denseRows += int64(nbits)
 			full, perPos = false, true
 		} else {
-			visited += e.sparseFilter(sp, lo, acc)
+			v := e.sparseFilter(sp, lo, acc)
+			visited += v
+			ec.sparseChecks += v
 			perPos = true
 		}
 		if !bitmap.AnyWord(acc) {

@@ -1,0 +1,147 @@
+package engine
+
+import (
+	"time"
+
+	"aimq/internal/query"
+	"aimq/internal/relation"
+)
+
+// Access paths a compiled predicate can take in the columnar plan.
+const (
+	// AccessPosting: equality resolved to a per-value posting bitmap —
+	// zero-scan, word-ANDed into the accumulator.
+	AccessPosting = "posting"
+	// AccessOrPostings: in-list whose alternatives all carry postings —
+	// ORed into a temporary, then ANDed.
+	AccessOrPostings = "or-postings"
+	// AccessScan: residual predicate evaluated per chunk, after zone-map
+	// consultation, by dense or sparse kernels.
+	AccessScan = "scan"
+)
+
+// PlanTerm describes one compiled predicate: which attribute and operator,
+// and which access path compile() chose for it.
+type PlanTerm struct {
+	Attr   string
+	Op     string
+	Access string
+	// Alternatives counts the in-list values that resolved (or-postings and
+	// in-list scans only).
+	Alternatives int
+}
+
+// QueryExplain is the EXPLAIN ANALYZE record of one engine execution: the
+// compiled plan plus per-chunk execution counters. Pass a zero value to
+// ExecuteExplained; everything is filled in.
+type QueryExplain struct {
+	Empty    bool // plan short-circuited: dict miss, NULL binding, unknown op
+	FullScan bool // empty conjunction — every tuple matches, no chunk work
+	Legacy   bool // legacy row engine: plan and chunk counters unavailable
+
+	Plan []PlanTerm
+
+	Chunks        int   // chunks in the store
+	ChunksVisited int   // chunks actually evaluated
+	ZoneKilled    int   // chunks eliminated wholesale by a zone map
+	ZoneSkipped   int   // residual checks skipped by a zone blanket-accept
+	PostingEmpty  int   // chunks whose posting AND/OR emptied before residuals
+	DenseRows     int64 // rows swept by dense first-residual kernels
+	SparseChecks  int64 // candidate positions tested by sparse filters
+
+	Scanned  int64 // per-position work (mirrors Stats.TuplesScanned)
+	Matched  int   // positions returned (or counted)
+	Parallel bool  // the chunk worker pool engaged
+
+	Elapsed time.Duration
+}
+
+// execCounters accumulates per-chunk execution telemetry. It is threaded
+// through every columnar evaluation as plain integer adds — no allocation,
+// no branches on a recorder — and folded into the Stats atomics once per
+// query, so the always-on cost is a handful of register increments.
+type execCounters struct {
+	chunksVisited int
+	zoneKilled    int
+	zoneSkipped   int
+	postingEmpty  int
+	denseRows     int64
+	sparseChecks  int64
+	parallel      bool
+}
+
+func (ec *execCounters) merge(o execCounters) {
+	ec.chunksVisited += o.chunksVisited
+	ec.zoneKilled += o.zoneKilled
+	ec.zoneSkipped += o.zoneSkipped
+	ec.postingEmpty += o.postingEmpty
+	ec.denseRows += o.denseRows
+	ec.sparseChecks += o.sparseChecks
+}
+
+// foldExec lands one query's execution counters in the engine-wide stats.
+func (e *Engine) foldExec(ec *execCounters) {
+	e.stats.ChunksVisited.Add(int64(ec.chunksVisited))
+	e.stats.ZoneKilled.Add(int64(ec.zoneKilled))
+	e.stats.ZoneSkipped.Add(int64(ec.zoneSkipped))
+	e.stats.PostingEmpty.Add(int64(ec.postingEmpty))
+	e.stats.DenseRows.Add(ec.denseRows)
+	e.stats.SparseChecks.Add(ec.sparseChecks)
+	if ec.parallel {
+		e.stats.ParallelQueries.Add(1)
+	}
+}
+
+// fillExec copies one query's counters into its EXPLAIN record.
+func (ex *QueryExplain) fillExec(ec *execCounters) {
+	ex.ChunksVisited = ec.chunksVisited
+	ex.ZoneKilled = ec.zoneKilled
+	ex.ZoneSkipped = ec.zoneSkipped
+	ex.PostingEmpty = ec.postingEmpty
+	ex.DenseRows = ec.denseRows
+	ex.SparseChecks = ec.sparseChecks
+	ex.Parallel = ec.parallel
+}
+
+// ExecuteExplained is Execute that also fills ex with the compiled plan and
+// the per-chunk execution counters — the engine's EXPLAIN ANALYZE. A nil ex
+// degrades to plain Execute.
+func (e *Engine) ExecuteExplained(q *query.Query, limit int, ex *QueryExplain) []int {
+	if ex == nil {
+		return e.Execute(q, limit)
+	}
+	e.buildOnce.Do(e.build)
+	e.stats.Queries.Add(1)
+	start := time.Now()
+
+	if e.legacy {
+		out := e.executeLegacy(q, limit)
+		ex.Legacy = true
+		ex.Matched = len(out)
+		ex.Elapsed = time.Since(start)
+		e.stats.BusyNanos.Add(ex.Elapsed.Nanoseconds())
+		return out
+	}
+	out, _, scanned, ec := e.runColumnar(q, limit, false, ex)
+	e.stats.TuplesScanned.Add(scanned)
+	e.stats.TuplesReturned.Add(int64(len(out)))
+	e.foldExec(&ec)
+	ex.fillExec(&ec)
+	ex.Chunks = e.store.NumChunks()
+	ex.Scanned = scanned
+	ex.Matched = len(out)
+	ex.Elapsed = time.Since(start)
+	e.stats.BusyNanos.Add(ex.Elapsed.Nanoseconds())
+	return out
+}
+
+// ExecuteTuplesExplained is ExecuteTuples with an EXPLAIN record (see
+// ExecuteExplained).
+func (e *Engine) ExecuteTuplesExplained(q *query.Query, limit int, ex *QueryExplain) []relation.Tuple {
+	pos := e.ExecuteExplained(q, limit, ex)
+	out := make([]relation.Tuple, len(pos))
+	for i, p := range pos {
+		out[i] = e.rel.Tuple(p)
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Flight is the tail-based flight recorder: it inspects every finished
+// trace — after the latency is known, which head sampling cannot do — and
+// retains only those breaching a threshold. Head sampling keeps a
+// representative 1-in-N picture; the flight recorder guarantees the p99.9
+// outlier you are hunting is captured even if it is 1-in-a-million.
+//
+// A nil Flight drops everything, so call sites thread it unconditionally.
+type Flight struct {
+	threshold float64 // ms
+	ring      *Ring
+	seen      atomic.Int64
+	kept      atomic.Int64
+}
+
+// NewFlight creates a flight recorder retaining up to n traces slower than
+// threshold. n <= 0 or threshold <= 0 disables it (returns nil).
+func NewFlight(n int, threshold time.Duration) *Flight {
+	if n <= 0 || threshold <= 0 {
+		return nil
+	}
+	return &Flight{threshold: ms(threshold), ring: NewRing(n)}
+}
+
+// Threshold returns the retention threshold; zero on nil.
+func (f *Flight) Threshold() time.Duration {
+	if f == nil {
+		return 0
+	}
+	return time.Duration(f.threshold * float64(time.Millisecond))
+}
+
+// Offer inspects a finished trace and retains it when it breached the
+// threshold. Reports whether the trace was kept.
+func (f *Flight) Offer(t Trace) bool {
+	if f == nil {
+		return false
+	}
+	f.seen.Add(1)
+	if t.ElapsedMs < f.threshold {
+		return false
+	}
+	f.kept.Add(1)
+	f.ring.Add(t)
+	return true
+}
+
+// Snapshot returns the retained traces (newest-first, slowest-first).
+func (f *Flight) Snapshot() (recent, slowest []Trace) {
+	if f == nil {
+		return nil, nil
+	}
+	return f.ring.Snapshot()
+}
+
+// Stats reports how many traces were offered and how many retained.
+func (f *Flight) Stats() (seen, kept int64) {
+	if f == nil {
+		return 0, 0
+	}
+	return f.seen.Load(), f.kept.Load()
+}

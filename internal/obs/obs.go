@@ -48,9 +48,14 @@ func FromContext(ctx context.Context) *Recorder {
 	return rec
 }
 
-// Span is one timed pipeline stage within a trace.
+// Span is one timed pipeline stage within a trace. Spans form a tree: each
+// carries its own ID and the ID of the span that was innermost-open when it
+// started (the trace's root span ID for top-level stages). LearnStats
+// reuses the type for flat stage timings, where ID/Parent stay empty.
 type Span struct {
 	Name    string  `json:"name"`
+	ID      string  `json:"id,omitempty"`
+	Parent  string  `json:"parent,omitempty"`
 	StartMs float64 `json:"start_ms"` // offset from trace start
 	DurMs   float64 `json:"dur_ms"`
 }
@@ -62,6 +67,9 @@ type BaseProbe struct {
 	Query  string `json:"query"`
 	Tuples int    `json:"tuples"`
 	Failed bool   `json:"failed,omitempty"`
+	// Engine is the EXPLAIN ANALYZE of the boolean-engine execution behind
+	// this probe, when the source is engine-backed and tracing reached it.
+	Engine *EngineExec `json:"engine,omitempty"`
 }
 
 // DroppedAttr names one attribute relaxed by a step, with its mined
@@ -86,6 +94,51 @@ type RelaxStep struct {
 	// has, and the step shows up here so explain output tells the truth).
 	Shed      bool    `json:"shed,omitempty"`
 	ElapsedMs float64 `json:"elapsed_ms"`
+	// Engine is the EXPLAIN ANALYZE of the boolean-engine execution behind
+	// this step's source query (see BaseProbe.Engine).
+	Engine *EngineExec `json:"engine,omitempty"`
+}
+
+// EnginePlanTerm is one compiled predicate in a columnar engine plan: which
+// attribute, which operator, and which access path the compiler chose for
+// it.
+type EnginePlanTerm struct {
+	Attr string `json:"attr"`
+	Op   string `json:"op"`
+	// Access is "posting" (zero-scan bitmap AND), "or-postings" (in-list
+	// posting group ORed then ANDed), or "scan" (residual predicate
+	// evaluated per chunk with zone maps + dense/sparse kernels).
+	Access string `json:"access"`
+	// Alternatives counts the in-list values that resolved to postings or
+	// scan codes (or-postings and in-scan terms only).
+	Alternatives int `json:"alternatives,omitempty"`
+}
+
+// EngineExec is the EXPLAIN ANALYZE record of one boolean-engine query: the
+// plan compile() chose plus the per-chunk execution counters — zone-map
+// kills and blanket accepts, chunks whose posting AND came up empty, dense
+// kernel rows vs sparse residual checks, and whether the chunk worker pool
+// engaged.
+type EngineExec struct {
+	Empty    bool `json:"empty,omitempty"`     // plan short-circuited (dict miss, null binding, …)
+	FullScan bool `json:"full_scan,omitempty"` // empty conjunction: every tuple matches
+	Legacy   bool `json:"legacy,omitempty"`    // legacy row engine: no columnar counters
+
+	Plan []EnginePlanTerm `json:"plan,omitempty"`
+
+	Chunks        int   `json:"chunks,omitempty"`         // chunks in the store
+	ChunksVisited int   `json:"chunks_visited,omitempty"` // chunks actually evaluated
+	ZoneKilled    int   `json:"zone_killed,omitempty"`    // chunks eliminated by a zone map
+	ZoneSkipped   int   `json:"zone_skipped,omitempty"`   // residual checks skipped (zone blanket-accept)
+	PostingEmpty  int   `json:"posting_empty,omitempty"`  // chunks whose posting AND was already empty
+	DenseRows     int64 `json:"dense_rows,omitempty"`     // rows swept by dense first-residual kernels
+	SparseChecks  int64 `json:"sparse_checks,omitempty"`  // candidate positions tested by sparse filters
+
+	Scanned  int64 `json:"tuples_scanned,omitempty"`
+	Matched  int   `json:"tuples_matched"`
+	Parallel bool  `json:"parallel,omitempty"` // chunk worker pool engaged
+
+	ElapsedUs float64 `json:"elapsed_us"`
 }
 
 // SourceEvent records one noteworthy source access observed by the
@@ -149,19 +202,27 @@ type LearnStats struct {
 }
 
 // Trace is the finished record of one answered query (or one learning run).
+//
+// TraceID/SpanID place the trace in a distributed trace: TraceID is shared
+// by every process that handled the request (propagated via the W3C
+// traceparent header), SpanID is this process's root span, and ParentSpan —
+// when non-empty — is the remote span that called us.
 type Trace struct {
-	ID        string          `json:"id"`
-	Query     string          `json:"query,omitempty"`
-	Start     time.Time       `json:"start"`
-	ElapsedMs float64         `json:"elapsed_ms"`
-	Spans     []Span          `json:"spans,omitempty"`
-	BaseProbe []BaseProbe     `json:"base_probes,omitempty"`
-	BaseQuery string          `json:"base_query,omitempty"`
-	BaseCount int             `json:"base_count,omitempty"`
-	Steps     []RelaxStep     `json:"relax_steps,omitempty"`
-	Source    []SourceEvent   `json:"source_events,omitempty"`
-	Answers   []AnswerExplain `json:"answers,omitempty"`
-	Err       string          `json:"error,omitempty"`
+	ID         string          `json:"id"`
+	TraceID    string          `json:"trace_id,omitempty"`
+	SpanID     string          `json:"span_id,omitempty"`
+	ParentSpan string          `json:"parent_span,omitempty"`
+	Query      string          `json:"query,omitempty"`
+	Start      time.Time       `json:"start"`
+	ElapsedMs  float64         `json:"elapsed_ms"`
+	Spans      []Span          `json:"spans,omitempty"`
+	BaseProbe  []BaseProbe     `json:"base_probes,omitempty"`
+	BaseQuery  string          `json:"base_query,omitempty"`
+	BaseCount  int             `json:"base_count,omitempty"`
+	Steps      []RelaxStep     `json:"relax_steps,omitempty"`
+	Source     []SourceEvent   `json:"source_events,omitempty"`
+	Answers    []AnswerExplain `json:"answers,omitempty"`
+	Err        string          `json:"error,omitempty"`
 }
 
 // Recorder accumulates one trace. The zero value is not used directly:
@@ -170,12 +231,70 @@ type Recorder struct {
 	mu    sync.Mutex
 	tr    Trace
 	start time.Time // monotonic anchor for span offsets
+	// cur is the ID of the innermost open span (the trace root when no
+	// stage span is open); new spans parent under it, and it is what a
+	// Traceparent() header names. Correct for the sequential answer
+	// pipeline; concurrent sibling spans all parent under whichever span
+	// was open when they started.
+	cur string
+	// pending is an engine EXPLAIN waiting to be attached to the next
+	// BaseProbe/AddStep (recorded by the source mid-query; the pipeline
+	// logs the probe or step right after the query returns, in the same
+	// goroutine).
+	pending *EngineExec
 }
 
-// NewRecorder starts a trace for one request.
+// NewRecorder starts a trace for one request, minting a fresh trace ID.
 func NewRecorder(id, query string) *Recorder {
+	return NewRecorderWith(id, query, NewTraceContext())
+}
+
+// NewRecorderWith starts a trace adopting tc — the position in a
+// distributed trace parsed from an incoming traceparent header. The
+// recorder mints its own root span under tc.SpanID and keeps tc.TraceID,
+// so spans recorded here join the caller's trace. An invalid tc falls back
+// to a fresh trace context.
+func NewRecorderWith(id, query string, tc TraceContext) *Recorder {
 	now := time.Now()
-	return &Recorder{tr: Trace{ID: id, Query: query, Start: now}, start: now}
+	root := newSpanID()
+	parent := ""
+	if tc.Valid() {
+		parent = tc.SpanID
+	} else {
+		tc = NewTraceContext()
+	}
+	return &Recorder{
+		tr: Trace{
+			ID:         id,
+			TraceID:    tc.TraceID,
+			SpanID:     root,
+			ParentSpan: parent,
+			Query:      query,
+			Start:      now,
+		},
+		start: now,
+		cur:   root,
+	}
+}
+
+// TraceID returns the distributed trace ID; empty on nil.
+func (r *Recorder) TraceID() string {
+	if r == nil {
+		return ""
+	}
+	return r.tr.TraceID // immutable after construction; no lock needed
+}
+
+// Traceparent returns the W3C traceparent header value naming the innermost
+// open span, for propagation to downstream services. Empty on nil.
+func (r *Recorder) Traceparent() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	tc := TraceContext{TraceID: r.tr.TraceID, SpanID: r.cur, Sampled: true}
+	r.mu.Unlock()
+	return tc.Header()
 }
 
 // Active reports whether events are being recorded. It is the guard for
@@ -197,23 +316,29 @@ type ActiveSpan struct {
 	rec   *Recorder
 	idx   int
 	begin time.Time
+	id    string
+	prev  string // innermost open span before this one; restored on End
 }
 
-// StartSpan opens a named stage. Spans may nest or interleave; each End
-// stamps its own duration.
+// StartSpan opens a named stage parented under the innermost open span.
+// Spans may nest or interleave; each End stamps its own duration.
 func (r *Recorder) StartSpan(name string) *ActiveSpan {
 	if r == nil {
 		return nil
 	}
 	begin := time.Now()
+	id := newSpanID()
 	r.mu.Lock()
 	idx := len(r.tr.Spans)
-	r.tr.Spans = append(r.tr.Spans, Span{Name: name, StartMs: ms(begin.Sub(r.start))})
+	prev := r.cur
+	r.tr.Spans = append(r.tr.Spans, Span{Name: name, ID: id, Parent: prev, StartMs: ms(begin.Sub(r.start))})
+	r.cur = id
 	r.mu.Unlock()
-	return &ActiveSpan{rec: r, idx: idx, begin: begin}
+	return &ActiveSpan{rec: r, idx: idx, begin: begin, id: id, prev: prev}
 }
 
-// End closes the span.
+// End closes the span and restores its parent as the innermost open span
+// (only if this span still is — out-of-order Ends keep the deepest open).
 func (s *ActiveSpan) End() {
 	if s == nil {
 		return
@@ -221,16 +346,30 @@ func (s *ActiveSpan) End() {
 	dur := time.Since(s.begin)
 	s.rec.mu.Lock()
 	s.rec.tr.Spans[s.idx].DurMs = ms(dur)
+	if s.rec.cur == s.id {
+		s.rec.cur = s.prev
+	}
 	s.rec.mu.Unlock()
 }
 
-// BaseProbe records one base-query attempt.
+// ID returns the span's ID; empty on nil.
+func (s *ActiveSpan) ID() string {
+	if s == nil {
+		return ""
+	}
+	return s.id
+}
+
+// BaseProbe records one base-query attempt, attaching any pending engine
+// EXPLAIN recorded during the probe.
 func (r *Recorder) BaseProbe(query string, tuples int, failed bool) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	r.tr.BaseProbe = append(r.tr.BaseProbe, BaseProbe{Query: query, Tuples: tuples, Failed: failed})
+	bp := BaseProbe{Query: query, Tuples: tuples, Failed: failed, Engine: r.pending}
+	r.pending = nil
+	r.tr.BaseProbe = append(r.tr.BaseProbe, bp)
 	r.mu.Unlock()
 }
 
@@ -246,17 +385,37 @@ func (r *Recorder) SetBase(query string, count int) {
 }
 
 // AddStep appends one relaxation step and returns its index (Step is filled
-// in by the recorder). Returns -1 on nil.
+// in by the recorder). Any pending engine EXPLAIN recorded during the
+// step's source query is attached. Returns -1 on nil.
 func (r *Recorder) AddStep(step RelaxStep) int {
 	if r == nil {
 		return -1
 	}
 	r.mu.Lock()
 	step.Step = len(r.tr.Steps)
+	if step.Engine == nil {
+		step.Engine = r.pending
+	}
+	r.pending = nil
 	r.tr.Steps = append(r.tr.Steps, step)
 	idx := step.Step
 	r.mu.Unlock()
 	return idx
+}
+
+// AddEngineExec records the engine-side EXPLAIN of the source query
+// currently in flight. It is held pending and attached to the next
+// BaseProbe or AddStep call — the pipeline logs the probe/step immediately
+// after the query returns, in the same goroutine, so the pairing is
+// deterministic. A later AddEngineExec before either call replaces the
+// pending record; an unconsumed record is dropped at Finish.
+func (r *Recorder) AddEngineExec(ex EngineExec) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.pending = &ex
+	r.mu.Unlock()
 }
 
 // AddSourceEvent appends one resilience-layer source event.

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"aimq/internal/engine"
+	"aimq/internal/webdb"
 )
 
 // engineBacked is satisfied by sources that expose their boolean engine
@@ -17,11 +18,24 @@ type engineBacked interface {
 	Engine() *engine.Engine
 }
 
+// engine returns the boolean engine backing the source, unwrapping any
+// middleware chain (ProbeCounter, Resilient) first; nil when the source is
+// remote and the engine lives in another process.
+func (s *Service) engine() *engine.Engine {
+	if eb, ok := webdb.Innermost(s.src).(engineBacked); ok {
+		return eb.Engine()
+	}
+	return nil
+}
+
 // DebugHandler returns the diagnostics surface, meant to be served on a
 // separate (private) listener — the -debug-addr flag of the binaries:
 //
 //	/debug/          index of everything below
-//	/debug/traces    the trace ring (recent + slowest answer traces)
+//	/debug/traces    the trace ring (recent + slowest answer traces) and
+//	                 the tail-latency flight recorder, when armed
+//	/debug/traces/export   the same traces as Chrome trace-event JSON,
+//	                 loadable in Perfetto / chrome://tracing
 //	/debug/learn     offline-phase profile of the served model
 //	/debug/source    boolean-engine execution counters
 //	/debug/vars      expvar (memstats, cmdline)
@@ -32,6 +46,7 @@ type engineBacked interface {
 func (s *Service) DebugHandler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	mux.HandleFunc("GET /debug/traces/export", s.handleTracesExport)
 	mux.HandleFunc("GET /debug/learn", s.handleLearn)
 	mux.HandleFunc("GET /debug/source", s.handleSource)
 	mux.Handle("GET /debug/vars", expvar.Handler())
@@ -50,7 +65,8 @@ func (s *Service) DebugHandler() http.Handler {
 func (s *Service) handleDebugIndex(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "aimq debug surface (uptime %s)\n\n", time.Since(s.start).Round(time.Second))
-	fmt.Fprintln(w, "/debug/traces   recent and slowest answer traces")
+	fmt.Fprintln(w, "/debug/traces   recent and slowest answer traces (+ flight recorder)")
+	fmt.Fprintln(w, "/debug/traces/export   retained traces as Chrome trace-event JSON (Perfetto)")
 	fmt.Fprintln(w, "/debug/learn    offline learning-phase profile")
 	fmt.Fprintln(w, "/debug/source   boolean-engine execution counters")
 	fmt.Fprintln(w, "/debug/vars     expvar")
@@ -73,22 +89,35 @@ func (s *Service) handleLearn(w http.ResponseWriter, _ *http.Request) {
 // process's memory footprint — enough to answer "is the source the
 // bottleneck" without attaching pprof.
 func (s *Service) handleSource(w http.ResponseWriter, _ *http.Request) {
-	eb, ok := s.src.(engineBacked)
-	if !ok {
+	eng := s.engine()
+	if eng == nil {
 		writeJSON(w, http.StatusNotFound,
 			errorResponse{Error: fmt.Sprintf("source %T does not expose engine statistics", s.src)})
 		return
 	}
-	snap := eb.Engine().Stats().Snapshot()
+	snap := eng.Stats().Snapshot()
 	var mem runtime.MemStats
 	runtime.ReadMemStats(&mem)
-	writeJSON(w, http.StatusOK, map[string]any{
-		"queries":         snap.Queries,
-		"tuples_returned": snap.TuplesReturned,
-		"tuples_scanned":  snap.TuplesScanned,
-		"busy_seconds":    snap.Busy().Seconds(),
-		"relation_size":   eb.Engine().Relation().Size(),
-		"heap_bytes":      mem.HeapAlloc,
-		"goroutines":      runtime.NumGoroutine(),
-	})
+	out := map[string]any{
+		"queries":          snap.Queries,
+		"tuples_returned":  snap.TuplesReturned,
+		"tuples_scanned":   snap.TuplesScanned,
+		"busy_seconds":     snap.Busy().Seconds(),
+		"relation_size":    eng.Relation().Size(),
+		"heap_bytes":       mem.HeapAlloc,
+		"goroutines":       runtime.NumGoroutine(),
+		"chunks_visited":   snap.ChunksVisited,
+		"zone_killed":      snap.ZoneKilled,
+		"zone_skipped":     snap.ZoneSkipped,
+		"posting_empty":    snap.PostingEmpty,
+		"dense_rows":       snap.DenseRows,
+		"sparse_checks":    snap.SparseChecks,
+		"parallel_queries": snap.ParallelQueries,
+	}
+	if st := eng.Store(); st != nil {
+		// The physical layout half of an EXPLAIN: which predicates can ride
+		// posting bitmaps, and how many zone-map entries guard each numeric.
+		out["columns"] = st.Describe()
+	}
+	writeJSON(w, http.StatusOK, out)
 }

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"aimq/internal/engine"
 	"aimq/internal/obs"
 	"aimq/internal/version"
 	"aimq/internal/webdb"
@@ -217,10 +218,11 @@ func writeHistogram(w io.Writer, name, labels string, h *histogram) {
 }
 
 // render writes the metrics in Prometheus text format. cacheEntries is the
-// current answer-cache population and res the resilience-layer snapshot
-// (nil when the source has no resilience wrapper); both are owned elsewhere,
-// so their values are passed in at scrape time.
-func (m *serviceMetrics) render(w io.Writer, cacheEntries int, res *webdb.ResilienceStats) {
+// current answer-cache population, res the resilience-layer snapshot (nil
+// when the source has no resilience wrapper) and eng the boolean engine's
+// counter snapshot (nil for remote sources); all are owned elsewhere, so
+// their values are passed in at scrape time.
+func (m *serviceMetrics) render(w io.Writer, cacheEntries int, res *webdb.ResilienceStats, eng *engine.Snapshot) {
 	m.initQuality()
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -274,6 +276,38 @@ func (m *serviceMetrics) render(w io.Writer, cacheEntries int, res *webdb.Resili
 		fmt.Fprintf(w, "aimq_source_breaker_transitions_total{to=\"open\"} %d\n", res.Opens)
 		fmt.Fprintf(w, "aimq_source_breaker_transitions_total{to=\"half_open\"} %d\n", res.HalfOpens)
 		fmt.Fprintf(w, "aimq_source_breaker_transitions_total{to=\"closed\"} %d\n", res.Closes)
+	}
+
+	if eng != nil {
+		// Boolean-engine execution counters (satellite of /debug/source):
+		// how much physical work the columnar engine did for the relaxation
+		// queries above, scraped alongside the service series so "queries
+		// issued" and "chunks touched" share one dashboard.
+		counter("aimq_engine_queries_total",
+			"Boolean queries executed by the in-process engine.", eng.Queries)
+		counter("aimq_engine_tuples_returned_total",
+			"Tuples materialized by engine Execute calls.", eng.TuplesReturned)
+		counter("aimq_engine_tuples_scanned_total",
+			"Tuples individually inspected by residual scans.", eng.TuplesScanned)
+		counter("aimq_engine_tuples_counted_total",
+			"Tuples tallied by engine Count calls.", eng.TuplesCounted)
+		fmt.Fprintf(w, "# HELP aimq_engine_busy_seconds_total Wall time spent inside engine Execute/Count.\n")
+		fmt.Fprintf(w, "# TYPE aimq_engine_busy_seconds_total counter\n")
+		fmt.Fprintf(w, "aimq_engine_busy_seconds_total %g\n", float64(eng.BusyNanos)/1e9)
+		counter("aimq_engine_chunks_visited_total",
+			"Column chunks evaluated (after posting-AND pruning).", eng.ChunksVisited)
+		counter("aimq_engine_zone_killed_total",
+			"Chunk evaluations eliminated entirely by a zone map.", eng.ZoneKilled)
+		counter("aimq_engine_zone_skipped_total",
+			"Residual predicates satisfied chunk-wide by a zone map (scan skipped).", eng.ZoneSkipped)
+		counter("aimq_engine_posting_empty_total",
+			"Chunk evaluations cut short by an empty posting intersection.", eng.PostingEmpty)
+		counter("aimq_engine_dense_rows_total",
+			"Rows swept by dense residual scans.", eng.DenseRows)
+		counter("aimq_engine_sparse_checks_total",
+			"Surviving rows probed by sparse residual checks.", eng.SparseChecks)
+		counter("aimq_engine_parallel_queries_total",
+			"Queries executed on the parallel chunk-sharded path.", eng.ParallelQueries)
 	}
 
 	gauge("aimq_service_inflight_requests",

@@ -444,7 +444,8 @@ func scrubVolatile(v any) {
 	case map[string]any:
 		for k, val := range x {
 			switch k {
-			case "elapsed_ms", "start_ms", "dur_ms", "start", "id":
+			case "elapsed_ms", "start_ms", "dur_ms", "start", "id",
+				"trace_id", "span_id", "parent_span", "parent", "elapsed_us":
 				x[k] = nil
 			default:
 				scrubVolatile(val)

@@ -44,9 +44,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aimq/internal/core"
+	"aimq/internal/engine"
 	"aimq/internal/obs"
 	"aimq/internal/query"
 	"aimq/internal/similarity"
@@ -76,6 +78,19 @@ type Config struct {
 	// of non-explain requests entirely (explain=true still traces, since the
 	// trace is the response).
 	TraceRing int
+	// TraceSample head-samples computed (uncached) requests into the trace
+	// ring: 1 in every TraceSample runs is traced. Default (and anything
+	// below 2) traces every computed request, matching historical behavior.
+	// Explain requests are always traced, and the flight recorder sees every
+	// run regardless of sampling, so tail latencies cannot be sampled away.
+	TraceSample int
+	// FlightThreshold arms the tail-latency flight recorder: any computed
+	// answer slower than this is retained in a dedicated ring, even when head
+	// sampling skipped it. 0 disables the recorder.
+	FlightThreshold time.Duration
+	// FlightRing is the flight recorder's capacity per list (recent/slowest).
+	// Default 32 when FlightThreshold is set.
+	FlightRing int
 	// SlowQuery is the computation-time threshold above which an answer is
 	// logged at WARN and counted in aimq_service_slow_queries_total.
 	// Default 500ms; negative disables the slow-query log.
@@ -100,6 +115,9 @@ func (c Config) withDefaults() Config {
 	if c.SlowQuery == 0 {
 		c.SlowQuery = 500 * time.Millisecond
 	}
+	if c.FlightRing == 0 {
+		c.FlightRing = 32
+	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
@@ -121,7 +139,13 @@ type Service struct {
 	mux    *http.ServeMux
 	start  time.Time
 	ring   *obs.Ring
-	log    *slog.Logger
+	// fdr is the tail-latency flight recorder (nil when FlightThreshold is
+	// unset): it sees every computed run and retains the ones breaching the
+	// threshold, independent of head sampling.
+	fdr *obs.Flight
+	// sampleSeq drives 1-in-TraceSample head sampling of ring traces.
+	sampleSeq atomic.Uint64
+	log       *slog.Logger
 	// res is non-nil when the source is wrapped in resilience middleware
 	// (webdb.Resilient or anything exposing its Stats): /healthz degrades on
 	// an open breaker, /metrics exports the counters, and /answer serves
@@ -155,6 +179,7 @@ func New(src webdb.Source, est *similarity.Estimator, relaxer core.Relaxer, cfg 
 		ringCap = 0
 	}
 	s.ring = obs.NewRing(ringCap)
+	s.fdr = obs.NewFlight(s.cfg.FlightRing, s.cfg.FlightThreshold)
 	s.log = s.cfg.Logger
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /answer", s.handleAnswer)
@@ -162,6 +187,7 @@ func New(src webdb.Source, est *similarity.Estimator, relaxer core.Relaxer, cfg 
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /debug/traces/export", s.handleTracesExport)
 	return s
 }
 
@@ -194,14 +220,23 @@ func (s *Service) degraded() bool {
 	return s.res != nil && s.res.Stats().State == webdb.BreakerOpen
 }
 
-// reqIDKey carries the request ID through the request context.
-type reqIDKey struct{}
-
 // requestID extracts the request ID minted by ServeHTTP; empty when the
-// handler runs outside the service's middleware (direct tests).
+// handler runs outside the service's middleware (direct tests). The ID lives
+// under the obs package's context key so the webdb client forwards it to
+// remote sources as X-Request-ID.
 func requestID(ctx context.Context) string {
-	id, _ := ctx.Value(reqIDKey{}).(string)
-	return id
+	return obs.RequestIDFrom(ctx)
+}
+
+// traceCtxKey carries the caller's parsed traceparent through the request
+// context, so compute's recorder can join the caller's distributed trace.
+type traceCtxKey struct{}
+
+// callerTrace extracts the caller's trace context; the zero value (invalid)
+// means the caller sent none and a fresh trace should be minted.
+func callerTrace(ctx context.Context) obs.TraceContext {
+	tc, _ := ctx.Value(traceCtxKey{}).(obs.TraceContext)
+	return tc
 }
 
 // ServeHTTP implements http.Handler. Every request gets an ID — the caller's
@@ -214,12 +249,16 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if r.Method == http.MethodGet && r.URL.Path == "/answer" && s.tryFastAnswer(w, r) {
 		return
 	}
-	id := r.Header.Get("X-Request-ID")
+	id := r.Header.Get(obs.RequestIDHeader)
 	if id == "" {
 		id = obs.NewRequestID()
 	}
-	w.Header().Set("X-Request-ID", id)
-	s.mux.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), reqIDKey{}, id)))
+	w.Header().Set(obs.RequestIDHeader, id)
+	ctx := obs.WithRequestID(r.Context(), id)
+	if tc, ok := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader)); ok {
+		ctx = context.WithValue(ctx, traceCtxKey{}, tc)
+	}
+	s.mux.ServeHTTP(w, r.WithContext(ctx))
 }
 
 // tryFastAnswer serves a GET /answer whose exact raw query string was
@@ -586,11 +625,15 @@ func (s *Service) compute(ctx context.Context, q *query.Query, k int, tsim float
 	cfg.K = k
 	cfg.Tsim = tsim
 	var rec *obs.Recorder
-	if explain || s.ring != nil {
+	sampled := s.ring != nil && s.sampleHit()
+	if explain || sampled || s.fdr != nil {
 		if traceID == "" {
 			traceID = obs.NewRequestID()
 		}
-		rec = obs.NewRecorder(traceID, q.String())
+		// The recorder adopts the caller's traceparent when one arrived, so
+		// this run — and every source probe it issues — joins the caller's
+		// distributed trace.
+		rec = obs.NewRecorderWith(traceID, q.String(), callerTrace(ctx))
 		ctx = obs.WithRecorder(ctx, rec)
 	}
 	eng := core.New(s.src, s.est, s.relaxer, cfg)
@@ -603,7 +646,12 @@ func (s *Service) compute(ctx context.Context, q *query.Query, k int, tsim float
 	if rec != nil {
 		t := rec.Finish()
 		tr = &t
-		s.ring.Add(t)
+		if explain || sampled {
+			s.ring.Add(t)
+		}
+		// The flight recorder sees every traced run; it retains only the
+		// tail-latency breaches (nil-safe no-op when disabled).
+		s.fdr.Offer(t)
 		s.met.observeQuality(&t)
 		for name, d := range rec.SpanDurations() {
 			s.met.stages.Observe(name, d.Seconds())
@@ -690,22 +738,78 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		st := s.res.Stats()
 		res = &st
 	}
-	s.met.render(w, s.cache.Len(), res)
+	var engSnap *engine.Snapshot
+	if eng := s.engine(); eng != nil {
+		snap := eng.Stats().Snapshot()
+		engSnap = &snap
+	}
+	s.met.render(w, s.cache.Len(), res, engSnap)
+}
+
+// sampleHit reports whether this computed run falls in the head sample:
+// every run when TraceSample < 2, 1 in every TraceSample runs otherwise.
+func (s *Service) sampleHit() bool {
+	n := uint64(s.cfg.TraceSample)
+	if n < 2 {
+		return true
+	}
+	return s.sampleSeq.Add(1)%n == 1
 }
 
 // handleTraces serves the trace ring: the most recent traces (newest first)
-// and the slowest ever retained (slowest first).
+// and the slowest ever retained (slowest first), plus — when the flight
+// recorder is armed — the retained tail-latency breaches and their hit rate.
 func (s *Service) handleTraces(w http.ResponseWriter, _ *http.Request) {
-	if s.ring == nil {
+	if s.ring == nil && s.fdr == nil {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: "tracing disabled (Config.TraceRing < 0)"})
 		return
 	}
 	recent, slowest := s.ring.Snapshot()
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"retained": len(recent),
 		"recent":   recent,
 		"slowest":  slowest,
-	})
+	}
+	if s.fdr != nil {
+		frecent, fslowest := s.fdr.Snapshot()
+		seen, kept := s.fdr.Stats()
+		out["flight"] = map[string]any{
+			"threshold_ms": float64(s.fdr.Threshold()) / float64(time.Millisecond),
+			"seen":         seen,
+			"kept":         kept,
+			"recent":       frecent,
+			"slowest":      fslowest,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTracesExport emits the retained traces — ring and flight recorder,
+// deduplicated — as Chrome trace-event JSON, loadable in Perfetto or
+// chrome://tracing: each trace becomes a named track, spans nest by wall
+// time, and the per-span args carry the IDs linking back to /debug/traces.
+func (s *Service) handleTracesExport(w http.ResponseWriter, _ *http.Request) {
+	if s.ring == nil && s.fdr == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "tracing disabled (Config.TraceRing < 0)"})
+		return
+	}
+	recent, slowest := s.ring.Snapshot()
+	frecent, fslowest := s.fdr.Snapshot()
+	var traces []obs.Trace
+	seen := map[string]bool{}
+	for _, group := range [][]obs.Trace{recent, slowest, frecent, fslowest} {
+		for _, t := range group {
+			key := t.TraceID + "|" + t.ID
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			traces = append(traces, t)
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="aimq-traces.json"`)
+	_ = obs.WriteChromeTrace(w, traces)
 }
 
 func (s *Service) observe(start time.Time) {

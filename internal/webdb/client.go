@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"aimq/internal/obs"
 	"aimq/internal/query"
 	"aimq/internal/relation"
 )
@@ -200,11 +201,22 @@ func (c *Client) retryPolicy() RetryPolicy {
 	}
 }
 
-// getOnce performs a single HTTP attempt.
+// getOnce performs a single HTTP attempt. The request carries the caller's
+// X-Request-ID, and — when a trace recorder is active — a source_http span
+// plus a traceparent header naming it, so the remote source's own traces
+// join this trace (each retry attempt is its own span).
 func (c *Client) getOnce(ctx context.Context, u string) ([]byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, err
+	}
+	if id := obs.RequestIDFrom(ctx); id != "" {
+		req.Header.Set(obs.RequestIDHeader, id)
+	}
+	if rec := obs.FromContext(ctx); rec.Active() {
+		sp := rec.StartSpan("source_http")
+		defer sp.End()
+		req.Header.Set(obs.TraceparentHeader, rec.Traceparent())
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {

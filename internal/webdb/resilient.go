@@ -427,6 +427,9 @@ func NewResilient(src Source, cfg ResilientConfig) *Resilient {
 // Schema implements Source.
 func (r *Resilient) Schema() *relation.Schema { return r.src.Schema() }
 
+// Unwrap returns the wrapped source (see Innermost).
+func (r *Resilient) Unwrap() Source { return r.src }
+
 // Query implements Source.
 func (r *Resilient) Query(q *query.Query, limit int) ([]relation.Tuple, error) {
 	return r.QueryContext(context.Background(), q, limit)

@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 
+	"aimq/internal/obs"
 	"aimq/internal/query"
 	"aimq/internal/relation"
 )
@@ -35,9 +36,22 @@ import (
 // client walks pages transparently. Tuples are serialized as string arrays
 // (a Web form returns text); the client re-parses them under the schema.
 type Server struct {
-	src Source
-	mux *http.ServeMux
+	src  Source
+	mux  *http.ServeMux
+	ring *obs.Ring // non-nil once EnableTracing is called
 }
+
+// EnableTracing makes the server a distributed-tracing participant: every
+// /query request runs under a trace recorder that adopts the caller's
+// traceparent header (or starts a fresh trace), records the engine's
+// EXPLAIN ANALYZE when the source is engine-backed, and lands the finished
+// trace in ring. Responses echo X-Request-ID and carry X-Trace-ID so both
+// sides of the hop can be correlated from logs alone.
+func (s *Server) EnableTracing(ring *obs.Ring) { s.ring = ring }
+
+// Ring returns the trace ring installed by EnableTracing (nil when tracing
+// is off).
+func (s *Server) Ring() *obs.Ring { return s.ring }
 
 // NewServer builds the HTTP façade over src. When src is (or wraps) a
 // ProbeCounter, a GET /stats endpoint reports the cumulative query and
@@ -100,6 +114,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorJSON{Error: err.Error()})
 		return
 	}
+	ctx := r.Context()
+	var rec *obs.Recorder
+	if s.ring != nil {
+		id := r.Header.Get(obs.RequestIDHeader)
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		tc, _ := obs.ParseTraceparent(r.Header.Get(obs.TraceparentHeader))
+		rec = obs.NewRecorderWith(id, q.String(), tc)
+		ctx = obs.WithRecorder(obs.WithRequestID(ctx, id), rec)
+		w.Header().Set(obs.RequestIDHeader, id)
+		w.Header().Set("X-Trace-ID", rec.TraceID())
+	}
 	// Paging: fetch offset+limit (one extra row detects truncation) and
 	// slice the page out. The engine's result order is deterministic per
 	// query, so consecutive pages do not overlap.
@@ -107,7 +134,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if limit > 0 {
 		fetch = offset + limit + 1
 	}
-	tuples, err := s.src.Query(q, fetch)
+	tuples, err := QueryContext(ctx, s.src, q, fetch)
+	if rec.Active() {
+		// The probe record adopts any engine EXPLAIN the source recorded.
+		rec.BaseProbe(q.String(), len(tuples), err != nil)
+		rec.SetError(err)
+		defer func() { s.ring.Add(rec.Finish()) }()
+	}
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, errorJSON{Error: err.Error()})
 		return

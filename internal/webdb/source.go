@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"aimq/internal/engine"
+	"aimq/internal/obs"
 	"aimq/internal/query"
 	"aimq/internal/relation"
 )
@@ -90,6 +91,27 @@ func (p *ProbeCounter) QueryContext(ctx context.Context, q *query.Query, limit i
 	return ts, err
 }
 
+// Unwrap returns the wrapped source, so callers can walk a middleware
+// chain (ProbeCounter, Resilient, …) down to capability interfaces like the
+// engine-backed Local.
+func (p *ProbeCounter) Unwrap() Source { return p.Src }
+
+// Unwrapper is implemented by middleware sources that wrap another Source.
+type Unwrapper interface {
+	Unwrap() Source
+}
+
+// Innermost walks Unwrap chains to the base source.
+func Innermost(src Source) Source {
+	for {
+		u, ok := src.(Unwrapper)
+		if !ok {
+			return src
+		}
+		src = u.Unwrap()
+	}
+}
+
 // Queries returns the number of queries issued so far.
 func (p *ProbeCounter) Queries() int64 { return p.queries.Load() }
 
@@ -127,13 +149,74 @@ func (l *Local) Schema() *relation.Schema { return l.eng.Relation().Schema() }
 
 // Query implements Source.
 func (l *Local) Query(q *query.Query, limit int) ([]relation.Tuple, error) {
+	if err := l.checkSchema(q); err != nil {
+		return nil, err
+	}
+	return l.eng.ExecuteTuples(q, limit), nil
+}
+
+// QueryContext implements ContextSource. Local execution cannot be aborted
+// mid-query (it is a few microseconds of bitmap work), but the context
+// carries the trace recorder: when one is active the engine runs in EXPLAIN
+// ANALYZE mode and the compiled plan + chunk counters are recorded for the
+// relaxation step (or base probe) this query belongs to.
+func (l *Local) QueryContext(ctx context.Context, q *query.Query, limit int) ([]relation.Tuple, error) {
+	rec := obs.FromContext(ctx)
+	if !rec.Active() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return l.Query(q, limit)
+	}
+	if err := l.checkSchema(q); err != nil {
+		return nil, err
+	}
+	var ex engine.QueryExplain
+	tuples := l.eng.ExecuteTuplesExplained(q, limit, &ex)
+	rec.AddEngineExec(engineExecRecord(&ex))
+	return tuples, nil
+}
+
+func (l *Local) checkSchema(q *query.Query) error {
 	if q.Schema != l.Schema() {
 		// Accept structurally identical schemas (e.g. a client-side copy).
 		if q.Schema.String() != l.Schema().String() {
-			return nil, fmt.Errorf("webdb: query schema %s does not match source schema %s", q.Schema, l.Schema())
+			return fmt.Errorf("webdb: query schema %s does not match source schema %s", q.Schema, l.Schema())
 		}
 	}
-	return l.eng.ExecuteTuples(q, limit), nil
+	return nil
+}
+
+// engineExecRecord converts the engine's EXPLAIN into its trace wire form.
+func engineExecRecord(ex *engine.QueryExplain) obs.EngineExec {
+	ee := obs.EngineExec{
+		Empty:         ex.Empty,
+		FullScan:      ex.FullScan,
+		Legacy:        ex.Legacy,
+		Chunks:        ex.Chunks,
+		ChunksVisited: ex.ChunksVisited,
+		ZoneKilled:    ex.ZoneKilled,
+		ZoneSkipped:   ex.ZoneSkipped,
+		PostingEmpty:  ex.PostingEmpty,
+		DenseRows:     ex.DenseRows,
+		SparseChecks:  ex.SparseChecks,
+		Scanned:       ex.Scanned,
+		Matched:       ex.Matched,
+		Parallel:      ex.Parallel,
+		ElapsedUs:     float64(ex.Elapsed.Nanoseconds()) / 1e3,
+	}
+	if len(ex.Plan) > 0 {
+		ee.Plan = make([]obs.EnginePlanTerm, len(ex.Plan))
+		for i, t := range ex.Plan {
+			ee.Plan[i] = obs.EnginePlanTerm{
+				Attr:         t.Attr,
+				Op:           t.Op,
+				Access:       t.Access,
+				Alternatives: t.Alternatives,
+			}
+		}
+	}
+	return ee
 }
 
 // Engine exposes the underlying engine (for stats in tests and benches).
