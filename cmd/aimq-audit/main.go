@@ -1,0 +1,244 @@
+// Command aimq-audit is the offline auditor over the durable query log that
+// aimq-serve -audit-log writes: one JSONL wide-event per computed answer.
+//
+// Summarize a log (answer quality, latency, relaxation depth):
+//
+//	aimq-audit report audit.jsonl audit.jsonl.*
+//
+// Replay the recorded queries against a live service and diff the answer
+// sets and Sim scores against the recorded baseline:
+//
+//	aimq-audit replay -url http://127.0.0.1:8090 audit.jsonl
+//
+// Replay in-process against a source and saved model — no service needed;
+// on an unchanged model and source the replay reproduces the recorded
+// answers bit-identically, so any diff is a real quality delta:
+//
+//	aimq-audit replay -data cardb.csv -model cardb.model.json audit.jsonl
+//
+// Exit status: 0 when replay found no diffs (or for report), 1 on usage or
+// I/O errors, 2 when replay found changed or errored queries — so a CI job
+// can gate a model refresh on last week's production traffic.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"aimq/internal/audit"
+	"aimq/internal/core"
+	"aimq/internal/model"
+	"aimq/internal/relation"
+	"aimq/internal/version"
+	"aimq/internal/webdb"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(1)
+	}
+	var err error
+	switch os.Args[1] {
+	case "report":
+		err = runReport(os.Args[2:])
+	case "replay":
+		err = runReplay(os.Args[2:])
+	case "version", "-version", "--version":
+		fmt.Printf("aimq-audit %s (%s)\n", version.Version, version.GoVersion())
+	default:
+		usage()
+		os.Exit(1)
+	}
+	if err != nil {
+		var ec exitCode
+		if errorsAs(err, &ec) {
+			os.Exit(int(ec))
+		}
+		fmt.Fprintln(os.Stderr, "aimq-audit:", err)
+		os.Exit(1)
+	}
+}
+
+// exitCode is an error that only carries a process exit status (the message
+// was already printed as part of the report).
+type exitCode int
+
+func (e exitCode) Error() string { return fmt.Sprintf("exit %d", int(e)) }
+
+func errorsAs(err error, target *exitCode) bool {
+	if ec, ok := err.(exitCode); ok {
+		*target = ec
+		return true
+	}
+	return false
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  aimq-audit report  [-json] <log-file>...
+  aimq-audit replay  [-json] (-url BASE | -data CSV -model SNAPSHOT) <log-file>...`)
+}
+
+func runReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the summary as JSON")
+	_ = fs.Parse(args)
+	lg, err := readLogs(fs.Args())
+	if err != nil {
+		return err
+	}
+	sum := audit.Summarize(lg.Events)
+	if *asJSON {
+		return printJSON(map[string]any{"header": lg.Header, "summary": sum, "truncated": lg.Truncated})
+	}
+	printHeader(lg)
+	fmt.Printf("events            %d\n", sum.Events)
+	fmt.Printf("zero-answer rate  %.3f (%d queries)\n", sum.ZeroAnswerRate, sum.ZeroAnswer)
+	fmt.Printf("answers/query     %.2f\n", sum.AnswersPerQuery)
+	fmt.Printf("mean top sim      %.4f\n", sum.MeanTopSim)
+	fmt.Printf("mean sim          %.4f\n", sum.MeanSim)
+	fmt.Printf("latency mean/max  %.2fms / %.2fms\n", sum.MeanLatencyMs, sum.MaxLatencyMs)
+	fmt.Printf("source queries    %d (%d tuples extracted)\n", sum.QueriesIssued, sum.TuplesExtracted)
+	if sum.Degraded > 0 || sum.Partial > 0 {
+		fmt.Printf("degraded/partial  %d / %d\n", sum.Degraded, sum.Partial)
+	}
+	if len(sum.DepthDist) > 0 {
+		fmt.Printf("relaxation depth  ")
+		for i, d := range sum.Depths() {
+			if i > 0 {
+				fmt.Printf("  ")
+			}
+			fmt.Printf("%d:%d", d, sum.DepthDist[d])
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func runReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the diff report as JSON")
+	baseURL := fs.String("url", "", "replay against a live service at this base URL")
+	data := fs.String("data", "", "replay in-process over this CSV source")
+	modelPath := fs.String("model", "", "model snapshot for in-process replay")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-query replay deadline")
+	maxDiffs := fs.Int("max-diffs", 10, "changed queries to print (text output)")
+	_ = fs.Parse(args)
+	lg, err := readLogs(fs.Args())
+	if err != nil {
+		return err
+	}
+	if len(lg.Events) == 0 {
+		return fmt.Errorf("no answer events in log")
+	}
+
+	var target audit.Target
+	modelMatch := true
+	switch {
+	case *baseURL != "":
+		target = &audit.HTTPTarget{Base: *baseURL}
+	case *data != "" && *modelPath != "":
+		rel, err := relation.LoadCSV(*data)
+		if err != nil {
+			return err
+		}
+		src := webdb.NewLocal(rel)
+		snap, err := model.Load(*modelPath)
+		if err != nil {
+			return err
+		}
+		ord, est, err := snap.Restore(src.Schema())
+		if err != nil {
+			return err
+		}
+		et := &audit.EngineTarget{
+			Src: src, Est: est, Relaxer: &core.Guided{Ord: ord}, Timeout: *timeout,
+		}
+		if lg.Header != nil {
+			et.Engine = lg.Header.Engine.CoreConfig()
+			if lg.Header.ModelFingerprint != "" {
+				modelMatch = lg.Header.ModelFingerprint == snap.Fingerprint()
+			}
+		}
+		target = et
+	default:
+		return fmt.Errorf("replay needs -url, or -data with -model")
+	}
+
+	rep := audit.Replay(lg.Events, target)
+	rep.ModelMatch = modelMatch
+	if *asJSON {
+		if err := printJSON(rep); err != nil {
+			return err
+		}
+	} else {
+		printHeader(lg)
+		if !modelMatch {
+			fmt.Println("MODEL CHANGED: target model fingerprint differs from the log header;")
+			fmt.Println("diffs below measure the model change, not a regression.")
+		}
+		fmt.Printf("events            %d\n", rep.Events)
+		fmt.Printf("replayed          %d (%d errors)\n", rep.Replayed, rep.Errors)
+		fmt.Printf("identical         %d\n", rep.Identical)
+		fmt.Printf("changed           %d\n", rep.Changed)
+		fmt.Printf("zero-answer rate  recorded %.3f → replayed %.3f\n",
+			rep.ZeroAnswerRateRecorded, rep.ZeroAnswerRateReplayed)
+		fmt.Printf("answers/query     recorded %.2f → replayed %.2f\n",
+			rep.AnswersPerQueryRec, rep.AnswersPerQueryRep)
+		fmt.Printf("sim shift         max %.6f mean %.6f\n", rep.SimShiftMax, rep.SimShiftMean)
+		for i, d := range rep.Diffs {
+			if i >= *maxDiffs {
+				fmt.Printf("… and %d more diffs (raise -max-diffs or use -json)\n", len(rep.Diffs)-i)
+				break
+			}
+			if d.Err != "" {
+				fmt.Printf("ERROR  %-40q %s\n", d.Query, d.Err)
+				continue
+			}
+			fmt.Printf("DIFF   %-40q rows %d→%d (%d changed), sim shift %.6f\n",
+				d.Query, d.Recorded, d.Replayed, d.RowsChanged, d.SimShiftMax)
+		}
+	}
+	if rep.Changed > 0 || rep.Errors > 0 {
+		return exitCode(2)
+	}
+	return nil
+}
+
+func readLogs(paths []string) (*audit.Log, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no log files given")
+	}
+	return audit.ReadLogFiles(paths)
+}
+
+func printHeader(lg *audit.Log) {
+	if lg.Header != nil {
+		h := lg.Header
+		fmt.Printf("log header        service=%s model=%s", orDash(h.Service), orDash(h.ModelFingerprint))
+		if h.SampleRate > 1 {
+			fmt.Printf(" sample=1/%d", h.SampleRate)
+		}
+		fmt.Println()
+	}
+	if lg.Truncated > 0 {
+		fmt.Printf("truncated lines   %d (crash-cut tail tolerated)\n", lg.Truncated)
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+func printJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}

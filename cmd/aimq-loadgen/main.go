@@ -86,7 +86,7 @@ func main() {
 }
 
 type counters struct {
-	ok, errs, cached, timeouts, answers atomic.Int64
+	ok, errs, cached, timeouts, answers, zeroAnswer atomic.Int64
 }
 
 func run(base, queries string, conc, total int, dur time.Duration, k int, timeout time.Duration, seed int64, w io.Writer) error {
@@ -163,6 +163,9 @@ func run(base, queries string, conc, total int, dur time.Duration, k int, timeou
 				case resp.StatusCode == http.StatusOK:
 					cnt.ok.Add(1)
 					cnt.answers.Add(int64(len(body.Answers)))
+					if len(body.Answers) == 0 {
+						cnt.zeroAnswer.Add(1)
+					}
 					if body.Cached {
 						cnt.cached.Add(1)
 					}
@@ -216,6 +219,12 @@ func run(base, queries string, conc, total int, dur time.Duration, k int, timeou
 	}
 	fmt.Fprintf(w, "client-observed cache hits: %d/%d (%.1f%%)\n",
 		cnt.cached.Load(), ok, 100*float64(cnt.cached.Load())/float64(ok))
+	// The longitudinal answer-quality view the audit log tracks server-side,
+	// observed from the client: how often an imprecise query came back empty,
+	// and how many ranked answers a query yielded on average.
+	fmt.Fprintf(w, "answer quality: %.2f answers/query, zero-answer rate %.1f%% (%d/%d)\n",
+		float64(cnt.answers.Load())/float64(ok),
+		100*float64(cnt.zeroAnswer.Load())/float64(ok), cnt.zeroAnswer.Load(), ok)
 	if slowest := slow.snapshot(); len(slowest) > 0 {
 		fmt.Fprintf(w, "slowest computed answers (trace IDs resolvable at %s/debug/traces):\n", base)
 		for _, r := range slowest {

@@ -50,7 +50,10 @@ import (
 	"syscall"
 	"time"
 
+	"aimq/internal/audit"
 	"aimq/internal/core"
+	"aimq/internal/drift"
+	"aimq/internal/model"
 	"aimq/internal/relation"
 	"aimq/internal/service"
 	"aimq/internal/version"
@@ -90,8 +93,16 @@ func main() {
 	flightThreshold := flag.Duration("flight-threshold", 0, "tail-latency flight recorder: retain any computed answer slower than this, regardless of sampling (0 = off)")
 	flightRing := flag.Int("flight-ring", 32, "traces kept by the flight recorder (recent and slowest each)")
 	slowQuery := flag.Duration("slow-query", 500*time.Millisecond, "log answers slower than this at WARN (negative disables)")
+	auditLog := flag.String("audit-log", "", "durable query audit log path (JSONL wide events; '' = disabled)")
+	auditSample := flag.Int("audit-sample", 0, "audit 1 in N computed answers (<2 = every one)")
+	auditMaxBytes := flag.Int64("audit-max-bytes", 64<<20, "rotate the audit log when it reaches this size")
+	auditMaxAge := flag.Duration("audit-max-age", 0, "rotate the audit log after this age (0 = size-only rotation)")
+	driftInterval := flag.Duration("drift-interval", 0, "re-probe the source and compare against the model's drift baseline at this interval (0 = disabled)")
+	driftSample := flag.Int("drift-sample", 2000, "fresh-sample cap per drift re-probe")
+	driftPSIWarn := flag.Float64("drift-psi-warn", 0.25, "per-attribute PSI at or above which a drift tick is a breach")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	showVersion := flag.Bool("version", false, "print version and exit")
+	modelInfo := flag.Bool("model-info", false, "print the model's fingerprint, learn timestamp and age, then exit (loads or learns the model first)")
 	flag.Parse()
 
 	if *showVersion {
@@ -121,6 +132,11 @@ func main() {
 		breakerFailures: *breakerFailures, breakerOpen: *breakerOpen,
 		failDegrade:  *failDegrade,
 		legacyEngine: *legacyEngine,
+		auditLog:     *auditLog, auditSample: *auditSample,
+		auditMaxBytes: *auditMaxBytes, auditMaxAge: *auditMaxAge,
+		driftInterval: *driftInterval, driftSample: *driftSample,
+		driftPSIWarn: *driftPSIWarn,
+		modelInfo:    *modelInfo,
 	}, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "aimq-serve:", err)
 		os.Exit(1)
@@ -151,10 +167,38 @@ type config struct {
 	keyPruneErr                float64
 	cacheSnapshot              string
 	legacyEngine               bool
+	auditLog                   string
+	auditSample                int
+	auditMaxBytes              int64
+	auditMaxAge                time.Duration
+	driftInterval              time.Duration
+	driftSample                int
+	driftPSIWarn               float64
+	modelInfo                  bool
 }
 
 func run(c config, logger *slog.Logger) error {
 	logger.Info("aimq-serve starting", "version", version.Version, "go", version.GoVersion())
+
+	// -model-info over a saved snapshot needs no source at all; only fall
+	// through to the full learn path when asked to build one.
+	if c.modelInfo && c.data == "" && c.source == "" {
+		if c.model == "" {
+			return fmt.Errorf("-model-info needs -model (or -data/-source to learn one)")
+		}
+		snap, err := model.Load(c.model)
+		if err != nil {
+			return err
+		}
+		printModelInfo(service.ModelInfo{
+			Fingerprint:   snap.Fingerprint(),
+			LearnedAtUnix: snap.LearnedAtUnix,
+			SampleSize:    snap.SampleSize,
+			Pivot:         snap.Pivot,
+		})
+		return nil
+	}
+
 	var src webdb.Source
 	switch {
 	case c.data != "":
@@ -199,7 +243,7 @@ func run(c config, logger *slog.Logger) error {
 	}
 
 	start := time.Now()
-	ord, est, learnStats, built, err := service.LoadOrBuildModel(c.model, src, service.LearnConfig{
+	m, err := service.LoadOrBuildModel(c.model, src, service.LearnConfig{
 		Seed:       c.seed,
 		SampleSize: c.sampleSize,
 		Terr:       c.terr,
@@ -208,22 +252,67 @@ func run(c config, logger *slog.Logger) error {
 	if err != nil {
 		return err
 	}
-	if built {
+	info := m.Info()
+	if c.modelInfo {
+		printModelInfo(info)
+		return nil
+	}
+	learnStats := m.Stats
+	if m.Built {
 		logger.Info("learned model", "elapsed", time.Since(start).Round(time.Millisecond),
 			"probed_tuples", learnStats.ProbedTuples, "sample", learnStats.SampleSize,
-			"afds", learnStats.AFDs, "akeys", learnStats.AKeys)
+			"afds", learnStats.AFDs, "akeys", learnStats.AKeys,
+			"fingerprint", info.Fingerprint)
 		if c.model != "" {
 			logger.Info("model saved", "path", c.model)
 		}
 	} else {
-		logger.Info("model loaded", "path", c.model, "elapsed", time.Since(start).Round(time.Millisecond))
+		logger.Info("model loaded", "path", c.model,
+			"elapsed", time.Since(start).Round(time.Millisecond),
+			"fingerprint", info.Fingerprint)
+	}
+
+	var auditW *audit.Writer
+	if c.auditLog != "" {
+		auditW, err = audit.NewWriter(audit.Config{
+			Path:       c.auditLog,
+			SampleRate: c.auditSample,
+			MaxBytes:   c.auditMaxBytes,
+			MaxAge:     c.auditMaxAge,
+			Header: audit.Header{
+				Service:            version.Version,
+				ModelFingerprint:   info.Fingerprint,
+				ModelLearnedAtUnix: info.LearnedAtUnix,
+				Engine: audit.EngineConfig{
+					K:                 c.k,
+					Tsim:              c.tsim,
+					MaxQueriesPerBase: c.maxQPB,
+					DisablePruning:    !c.prune,
+					KeyPruneMaxError:  c.keyPruneErr,
+					FailDegrade:       c.failDegrade,
+				},
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("audit log: %w", err)
+		}
+		defer func() {
+			if cerr := auditW.Close(); cerr != nil {
+				logger.Warn("audit log close failed", "error", cerr)
+			}
+			st := auditW.Stats()
+			logger.Info("audit log closed", "path", c.auditLog,
+				"written", st.Written, "dropped", st.Dropped, "rotations", st.Rotations)
+		}()
+		logger.Info("audit log on", "path", c.auditLog,
+			"sample", c.auditSample, "max_bytes", c.auditMaxBytes, "max_age", c.auditMaxAge)
 	}
 
 	onFailure := core.FailAbort
 	if c.failDegrade {
 		onFailure = core.FailDegrade
 	}
-	svc := service.New(src, est, &core.Guided{Ord: ord}, service.Config{
+	svc := service.New(src, m.Est, &core.Guided{Ord: m.Ord}, service.Config{
 		Engine: core.Config{
 			K:                 c.k,
 			Tsim:              c.tsim,
@@ -242,11 +331,31 @@ func run(c config, logger *slog.Logger) error {
 		FlightRing:      c.flightRing,
 		SlowQuery:       c.slowQuery,
 		Logger:          logger,
+		Audit:           auditW,
 	})
 	svc.SetLearnStats(learnStats)
+	svc.SetModelInfo(info)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if c.driftInterval > 0 {
+		if m.Snap == nil || m.Snap.Drift == nil {
+			logger.Warn("drift monitoring requested but the model has no drift baseline (snapshot predates drift profiles); re-learn to enable")
+		} else {
+			mon := drift.NewMonitor(src, m.Snap.Drift, drift.MonitorConfig{
+				Interval:     c.driftInterval,
+				SampleLimit:  c.driftSample,
+				PSIWarn:      c.driftPSIWarn,
+				Seed:         c.seed,
+				ProbeWorkers: c.probeWorkers,
+			})
+			svc.AttachDriftMonitor(mon)
+			go mon.Run(ctx)
+			logger.Info("drift monitor on", "interval", c.driftInterval,
+				"sample", c.driftSample, "psi_warn", c.driftPSIWarn)
+		}
+	}
 
 	if c.cacheSnapshot != "" {
 		if snap, err := service.LoadCacheSnapshot(c.cacheSnapshot); err == nil {
@@ -295,4 +404,20 @@ func run(c config, logger *slog.Logger) error {
 		}
 	}
 	return err
+}
+
+// printModelInfo renders the -model-info identity card.
+func printModelInfo(info service.ModelInfo) {
+	fmt.Printf("fingerprint  %s\n", info.Fingerprint)
+	if !info.LearnedAt().IsZero() {
+		fmt.Printf("learned_at   %s\n", info.LearnedAt().UTC().Format(time.RFC3339))
+		fmt.Printf("age          %s\n", time.Since(info.LearnedAt()).Round(time.Second))
+	}
+	if info.SampleSize != 0 {
+		fmt.Printf("sample_size  %d\n", info.SampleSize)
+	}
+	if info.Pivot != "" {
+		fmt.Printf("pivot        %s\n", info.Pivot)
+	}
+	fmt.Printf("built        %t\n", info.Built)
 }

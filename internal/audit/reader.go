@@ -1,0 +1,108 @@
+package audit
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Log is a decoded audit log: the file header (nil when the file predates
+// headers or starts mid-stream after concatenation) and the answer events.
+type Log struct {
+	Header *Header
+	Events []Event
+	// Truncated counts undecodable trailing lines that were tolerated — a
+	// crash mid-write leaves at most one partial final line, which must not
+	// poison replay of everything before it.
+	Truncated int
+}
+
+// ReadLog decodes a JSONL audit log. A malformed FINAL line is tolerated
+// (counted in Truncated); malformed lines mid-file are an error, because
+// they mean corruption rather than a crash-truncated tail.
+func ReadLog(r io.Reader) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	log := &Log{}
+	lineNo := 0
+	var pendingErr error
+	var pendingLine int
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// The bad line was not the last one: real corruption.
+			return nil, fmt.Errorf("audit: line %d: %w", pendingLine, pendingErr)
+		}
+		var probe struct {
+			Record string `json:"record"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			pendingErr, pendingLine = err, lineNo
+			continue
+		}
+		switch probe.Record {
+		case RecordHeader:
+			var h Header
+			if err := json.Unmarshal(line, &h); err != nil {
+				pendingErr, pendingLine = err, lineNo
+				continue
+			}
+			// Concatenated rotations contain multiple headers; the first
+			// wins (replay context is taken from where recording started).
+			if log.Header == nil {
+				log.Header = &h
+			}
+		case RecordAnswer:
+			var e Event
+			if err := json.Unmarshal(line, &e); err != nil {
+				pendingErr, pendingLine = err, lineNo
+				continue
+			}
+			log.Events = append(log.Events, e)
+		default:
+			// Unknown record types from a future format version are skipped,
+			// not fatal: old auditors stay usable on new logs.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("audit: read: %w", err)
+	}
+	if pendingErr != nil {
+		log.Truncated++
+	}
+	return log, nil
+}
+
+// ReadLogFile decodes one audit log file.
+func ReadLogFile(path string) (*Log, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("audit: %w", err)
+	}
+	defer f.Close()
+	return ReadLog(f)
+}
+
+// ReadLogFiles decodes and merges several files (e.g. rotated generations
+// in chronological order). The first header seen wins; events concatenate.
+func ReadLogFiles(paths []string) (*Log, error) {
+	merged := &Log{}
+	for _, p := range paths {
+		log, err := ReadLogFile(p)
+		if err != nil {
+			return nil, err
+		}
+		if merged.Header == nil {
+			merged.Header = log.Header
+		}
+		merged.Events = append(merged.Events, log.Events...)
+		merged.Truncated += log.Truncated
+	}
+	return merged, nil
+}

@@ -1,0 +1,319 @@
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes the audit writer. Exactly one of Path or Sink selects the
+// destination; Sink (tests, benchmarks) disables rotation.
+type Config struct {
+	// Path is the current log file; rotated generations get a numeric
+	// suffix (path.<unix-nanos>).
+	Path string
+	// Sink overrides Path with a plain writer — no rotation, no fsync
+	// semantics. The bench harness points this at io.Discard to price the
+	// event pipeline without filesystem noise.
+	Sink io.Writer
+	// SampleRate logs 1 in every SampleRate computed answers (0 or 1 =
+	// every one). Sampling happens in Record, before the ring, so skipped
+	// events cost one atomic increment.
+	SampleRate int
+	// Buffer is the async ring capacity in events. When the ring is full,
+	// Record drops the event and counts it — the serving path is never
+	// blocked on the log. Default 1024.
+	Buffer int
+	// MaxBytes rotates the file when its size would exceed this.
+	// Default 64 MiB.
+	MaxBytes int64
+	// MaxAge rotates the file when it has been open longer than this.
+	// 0 disables age rotation.
+	MaxAge time.Duration
+	// MaxFiles caps retained rotated generations (the active file is not
+	// counted); older generations are removed. Default 8; negative keeps
+	// everything.
+	MaxFiles int
+	// Header is written as the first record of every file (CreatedAtUnix
+	// and Version are stamped by the writer).
+	Header Header
+}
+
+func (c Config) withDefaults() Config {
+	if c.Buffer == 0 {
+		c.Buffer = 1024
+	}
+	if c.MaxBytes == 0 {
+		c.MaxBytes = 64 << 20
+	}
+	if c.MaxFiles == 0 {
+		c.MaxFiles = 8
+	}
+	return c
+}
+
+// Stats counts the writer's work. Dropped is the critical one: a non-zero
+// drop count means the log is incomplete (saturated ring), which the
+// /metrics surface exposes so capacity problems are visible instead of
+// silent.
+type Stats struct {
+	Written      int64 `json:"written"`
+	Dropped      int64 `json:"dropped"`
+	SampledOut   int64 `json:"sampled_out"`
+	Rotations    int64 `json:"rotations"`
+	BytesWritten int64 `json:"bytes_written"`
+	Errors       int64 `json:"errors"`
+}
+
+// Writer is the async audit log writer. Record is safe for concurrent use
+// and never blocks; one background goroutine encodes and writes.
+type Writer struct {
+	cfg Config
+
+	ch   chan *Event
+	done chan struct{}
+
+	written    atomic.Int64
+	dropped    atomic.Int64
+	sampledOut atomic.Int64
+	rotations  atomic.Int64
+	bytes      atomic.Int64
+	errs       atomic.Int64
+	seq        atomic.Uint64
+
+	closeOnce sync.Once
+
+	// Writer-goroutine state (no locking needed).
+	out      io.Writer
+	file     *os.File
+	size     int64
+	openedAt time.Time
+	enc      *json.Encoder
+}
+
+// NewWriter starts the writer. With Path set, the file is opened (and the
+// header written) immediately so configuration errors surface at startup,
+// not at the first event.
+func NewWriter(cfg Config) (*Writer, error) {
+	cfg = cfg.withDefaults()
+	w := &Writer{
+		cfg:  cfg,
+		ch:   make(chan *Event, cfg.Buffer),
+		done: make(chan struct{}),
+	}
+	if cfg.Sink != nil {
+		w.out = cfg.Sink
+		w.enc = json.NewEncoder(cfg.Sink)
+		if err := w.writeHeader(); err != nil {
+			return nil, err
+		}
+	} else if cfg.Path != "" {
+		if err := w.open(); err != nil {
+			return nil, err
+		}
+	} else {
+		return nil, fmt.Errorf("audit: need Path or Sink")
+	}
+	go w.loop()
+	return w, nil
+}
+
+// Record enqueues one event. Non-blocking: a full ring drops the event and
+// increments the drop counter. Sampling (1 in SampleRate) is applied here.
+func (w *Writer) Record(ev *Event) {
+	if n := uint64(w.cfg.SampleRate); n > 1 {
+		if w.seq.Add(1)%n != 1 {
+			w.sampledOut.Add(1)
+			return
+		}
+	}
+	select {
+	case w.ch <- ev:
+	default:
+		w.dropped.Add(1)
+	}
+}
+
+// Stats snapshots the counters.
+func (w *Writer) Stats() Stats {
+	return Stats{
+		Written:      w.written.Load(),
+		Dropped:      w.dropped.Load(),
+		SampledOut:   w.sampledOut.Load(),
+		Rotations:    w.rotations.Load(),
+		BytesWritten: w.bytes.Load(),
+		Errors:       w.errs.Load(),
+	}
+}
+
+// Close drains the ring, flushes and closes the file. Record calls after
+// Close drop (counted); Close is idempotent.
+func (w *Writer) Close() error {
+	w.closeOnce.Do(func() { close(w.ch) })
+	<-w.done
+	if w.file != nil {
+		return w.file.Close()
+	}
+	return nil
+}
+
+func (w *Writer) loop() {
+	defer close(w.done)
+	for ev := range w.ch {
+		w.write(ev)
+	}
+}
+
+func (w *Writer) write(ev *Event) {
+	if w.cfg.Sink == nil && w.needRotate() {
+		if err := w.rotate(); err != nil {
+			w.errs.Add(1)
+			return
+		}
+	}
+	before := w.size
+	if err := w.encode(ev); err != nil {
+		w.errs.Add(1)
+		return
+	}
+	w.written.Add(1)
+	w.bytes.Add(w.size - before)
+}
+
+// encode writes one record and tracks the file size. For file output the
+// encoder writes through a size-counting shim; Sink output skips size
+// accounting beyond the encoder's own byte count.
+func (w *Writer) encode(v any) error {
+	if cw, ok := w.out.(*countingWriter); ok {
+		err := w.enc.Encode(v)
+		w.size = cw.n
+		return err
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	n, err := w.out.Write(b)
+	w.size += int64(n)
+	return err
+}
+
+func (w *Writer) needRotate() bool {
+	if w.file == nil {
+		return false
+	}
+	if w.cfg.MaxBytes > 0 && w.size >= w.cfg.MaxBytes {
+		return true
+	}
+	if w.cfg.MaxAge > 0 && time.Since(w.openedAt) >= w.cfg.MaxAge {
+		return true
+	}
+	return false
+}
+
+func (w *Writer) rotate() error {
+	if err := w.file.Close(); err != nil {
+		w.errs.Add(1)
+	}
+	rotated := fmt.Sprintf("%s.%d", w.cfg.Path, time.Now().UnixNano())
+	if err := os.Rename(w.cfg.Path, rotated); err != nil {
+		return err
+	}
+	w.rotations.Add(1)
+	w.prune()
+	return w.open()
+}
+
+// prune removes rotated generations beyond MaxFiles, oldest first (the
+// numeric suffix is a timestamp, so lexicographic-by-length ordering is
+// chronological).
+func (w *Writer) prune() {
+	if w.cfg.MaxFiles < 0 {
+		return
+	}
+	matches, err := filepath.Glob(w.cfg.Path + ".*")
+	if err != nil || len(matches) <= w.cfg.MaxFiles {
+		return
+	}
+	var gens []string
+	for _, m := range matches {
+		if isGeneration(w.cfg.Path, m) {
+			gens = append(gens, m)
+		}
+	}
+	sort.Slice(gens, func(i, j int) bool {
+		if len(gens[i]) != len(gens[j]) {
+			return len(gens[i]) < len(gens[j])
+		}
+		return gens[i] < gens[j]
+	})
+	for len(gens) > w.cfg.MaxFiles {
+		_ = os.Remove(gens[0])
+		gens = gens[1:]
+	}
+}
+
+// isGeneration reports whether name is path + "." + digits.
+func isGeneration(path, name string) bool {
+	suffix := strings.TrimPrefix(name, path+".")
+	if suffix == name || suffix == "" {
+		return false
+	}
+	for _, r := range suffix {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return true
+}
+
+func (w *Writer) open() error {
+	f, err := os.OpenFile(w.cfg.Path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	w.file = f
+	cw := &countingWriter{w: f, n: info.Size()}
+	w.out = cw
+	w.size = info.Size()
+	w.openedAt = time.Now()
+	w.enc = json.NewEncoder(cw)
+	if info.Size() == 0 {
+		return w.writeHeader()
+	}
+	return nil
+}
+
+func (w *Writer) writeHeader() error {
+	h := w.cfg.Header
+	h.Record = RecordHeader
+	h.Version = FormatVersion
+	h.CreatedAtUnix = time.Now().Unix()
+	h.SampleRate = w.cfg.SampleRate
+	return w.encode(&h)
+}
+
+// countingWriter tracks bytes written so rotation checks don't stat.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"aimq/internal/audit"
 	"aimq/internal/core"
 	"aimq/internal/datagen"
 	"aimq/internal/experiments"
@@ -147,6 +148,7 @@ func Scenarios() []Scenario {
 		{"serve-cold", "HTTP service answering with an empty cache (every request relaxes)", runServeCold},
 		{"serve-warm", "HTTP service answering from a primed cache", runServeWarm},
 		{"serve-explain", "EXPLAIN ANALYZE pricing: traced explain answers vs plain cold answers", runServeExplain},
+		{"serve-audit", "audit-log pricing: cold answers with the wide-event writer on vs off", runServeAudit},
 		{"serve-contention", "concurrent identical queries sharing one relaxation (single-flight)", runServeContention},
 		{"chaos-guided", "GuidedRelax through ~10% injected faults behind retry+breaker (zero hard aborts)", runChaosGuided},
 		{"serve-chaos", "serve-stale degradation: breaker open, expired cache entries served stale", runServeChaos},
@@ -195,7 +197,7 @@ func runLearn(mult int) func(Options, *Env) (Result, error) {
 			"workers":     float64(o.LearnWorkers),
 		}
 		return measure(name, o.Quick, params, 1, iters, func(i int, m *Measurement) error {
-			_, _, stats, err := service.BuildModel(src, service.LearnConfig{
+			built, err := service.BuildModel(src, service.LearnConfig{
 				Seed:       o.Seed + int64(i),
 				SampleSize: sampleSize,
 				Workers:    o.LearnWorkers,
@@ -203,6 +205,7 @@ func runLearn(mult int) func(Options, *Env) (Result, error) {
 			if err != nil {
 				return err
 			}
+			stats := built.Stats
 			m.SetExtra("afds", float64(stats.AFDs))
 			m.SetExtra("akeys", float64(stats.AKeys))
 			m.SetExtra("probed_tuples", float64(stats.ProbedTuples))
@@ -375,11 +378,18 @@ func addAnswerWork(m *Measurement, res *core.Result) {
 // the real service handler over a local source and the mined model, logs
 // discarded, slow-query log off.
 func newBenchService(o Options, env *Env) (*service.Service, *datagen.CarDB, error) {
+	return newBenchServiceAudit(o, env, nil)
+}
+
+// newBenchServiceAudit is newBenchService with an optional audit writer
+// (nil = auditing off); the caller owns the writer's Close.
+func newBenchServiceAudit(o Options, env *Env, aw *audit.Writer) (*service.Service, *datagen.CarDB, error) {
 	pipe, car, err := env.carPipeline()
 	if err != nil {
 		return nil, nil, err
 	}
 	svc := service.New(webdb.NewLocal(car.Rel), pipe.Est, &core.Guided{Ord: pipe.Ord}, service.Config{
+		Audit: aw,
 		Engine: core.Config{
 			K:                 10,
 			Tsim:              0.5,
@@ -486,7 +496,15 @@ func (w *discardWriter) reset() { w.code, w.n = 0, 0 }
 // number the zero-allocation fast path is gated on (Makefile bench-check
 // fails it past 16).
 func runServeWarm(o Options, env *Env) (Result, error) {
-	svc, car, err := newBenchService(o, env)
+	// Audit stays ON here: cache hits are never logged, so the wide-event
+	// writer must not cost the warm path a single allocation — this scenario's
+	// alloc gate enforces that with the writer attached.
+	aw, err := audit.NewWriter(audit.Config{Sink: io.Discard})
+	if err != nil {
+		return Result{}, err
+	}
+	defer aw.Close()
+	svc, car, err := newBenchServiceAudit(o, env, aw)
 	if err != nil {
 		return Result{}, err
 	}
@@ -565,6 +583,85 @@ func runServeExplain(o Options, env *Env) (Result, error) {
 		res.Extra["explain_overhead_ratio"] = res.Latency.P50 / offP50
 	}
 	attachServeCounters(&res, svc)
+	return res, nil
+}
+
+// runServeAudit prices the durable query log: every measured request is a
+// cold compute through a service whose audit writer is on (events encoded
+// and handed to the async ring; the sink discards the bytes, so the number
+// is the serving-path cost, not the disk's). A hand-timed audit-off pass
+// over a disjoint pool on a separate service gives the baseline; the
+// overhead ratio is the per-computation price of always-on auditing, which
+// the async writer is designed to keep near 1.
+func runServeAudit(o Options, env *Env) (Result, error) {
+	svcOff, car, err := newBenchService(o, env)
+	if err != nil {
+		return Result{}, err
+	}
+	aw, err := audit.NewWriter(audit.Config{Sink: io.Discard})
+	if err != nil {
+		return Result{}, err
+	}
+	defer aw.Close()
+	svcOn, _, err := newBenchServiceAudit(o, env, aw)
+	if err != nil {
+		return Result{}, err
+	}
+	iters, warmup := o.scale(10, 30), 2
+	// The SAME pool runs through both services (each has its own cache, so
+	// both passes pay a cold relaxation per query): the only difference
+	// between the timed passes is the audit writer. An untimed scout pass
+	// through a third, throwaway service first touches all shared pipeline
+	// state for these exact queries, so neither timed pass gets a
+	// warmed-estimator advantage from running second.
+	pool := serveQueries(car, iters+warmup, o.Seed+76)
+	scout, _, err := newBenchService(o, env)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, q := range pool {
+		if err := get(scout, answerTarget(q)); err != nil {
+			return Result{}, err
+		}
+	}
+
+	var off Sketch
+	for i, q := range pool {
+		t0 := time.Now()
+		if err := get(svcOff, answerTarget(q)); err != nil {
+			return Result{}, err
+		}
+		if i >= warmup {
+			off.ObserveDuration(time.Since(t0))
+		}
+	}
+	offP50 := off.Quantile(0.5)
+
+	params := map[string]float64{
+		"db_tuples":        float64(car.Rel.Size()),
+		"distinct_queries": float64(iters),
+	}
+	res, err := measure("serve-audit", o.Quick, params, warmup, iters, func(i int, m *Measurement) error {
+		return get(svcOn, answerTarget(pool[i]))
+	})
+	if err != nil {
+		return res, err
+	}
+	// Close (idempotent; the deferred one becomes a no-op) so the ring drains
+	// and the counters cover every handed-off event.
+	if cerr := aw.Close(); cerr != nil {
+		return res, cerr
+	}
+	st := svcOn.AuditStats()
+	res.Extra = map[string]float64{
+		"audit_off_p50_seconds": offP50,
+		"audit_events_written":  float64(st.Written),
+		"audit_events_dropped":  float64(st.Dropped),
+	}
+	if offP50 > 0 {
+		res.Extra["audit_overhead_ratio"] = res.Latency.P50 / offP50
+	}
+	attachServeCounters(&res, svcOn)
 	return res, nil
 }
 

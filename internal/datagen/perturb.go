@@ -1,0 +1,84 @@
+package datagen
+
+import (
+	"math/rand"
+
+	"aimq/internal/relation"
+)
+
+// Perturbation mutates a relation's value distribution without touching its
+// schema — the controlled "source drifted away from the learned model"
+// scenarios the drift telemetry is tested against. Zero-valued fields leave
+// their dimension untouched.
+type Perturbation struct {
+	// ScaleNumeric multiplies every non-null value of the named numeric
+	// attributes (e.g. {"Price": 2} simulates market-wide price inflation).
+	ScaleNumeric map[string]float64
+	// DropCategory removes every tuple whose named attribute holds one of
+	// the listed values (e.g. {"Make": {"Toyota"}} simulates a manufacturer
+	// leaving the marketplace).
+	DropCategory map[string][]string
+	// NullRate nulls out the named attribute in this fraction of tuples,
+	// chosen by Seed (simulates a source that stopped populating a field).
+	NullRate map[string]float64
+	// Seed drives the NullRate selection. Default 1.
+	Seed int64
+}
+
+// Perturb applies the perturbation to a copy of rel; rel itself is not
+// modified. Unknown attribute names are ignored (the caller controls the
+// schema, so a typo shows up as "no drift detected" in the test using it).
+func Perturb(rel *relation.Relation, p Perturbation) *relation.Relation {
+	sc := rel.Schema()
+	seed := p.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	drop := map[int]map[string]bool{}
+	for name, values := range p.DropCategory {
+		if idx, ok := sc.Index(name); ok {
+			set := map[string]bool{}
+			for _, v := range values {
+				set[v] = true
+			}
+			drop[idx] = set
+		}
+	}
+	scale := map[int]float64{}
+	for name, f := range p.ScaleNumeric {
+		if idx, ok := sc.Index(name); ok && sc.Type(idx) == relation.Numeric {
+			scale[idx] = f
+		}
+	}
+	nullRate := map[int]float64{}
+	for name, r := range p.NullRate {
+		if idx, ok := sc.Index(name); ok {
+			nullRate[idx] = r
+		}
+	}
+
+	out := relation.NewWithCapacity(sc, rel.Size())
+tuples:
+	for _, t := range rel.Tuples() {
+		for idx, set := range drop {
+			if v := t[idx]; !v.IsNull() && set[v.Str] {
+				continue tuples
+			}
+		}
+		nt := t.Clone()
+		for idx, f := range scale {
+			if !nt[idx].IsNull() {
+				nt[idx] = relation.Numv(nt[idx].Num * f)
+			}
+		}
+		for idx, r := range nullRate {
+			if rng.Float64() < r {
+				nt[idx] = relation.Value{Null: true}
+			}
+		}
+		out.Append(nt)
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package datagen
+
+import (
+	"testing"
+)
+
+func TestPerturb(t *testing.T) {
+	rel := GenerateCarDB(500, 42).Rel
+	sc := rel.Schema()
+	priceIdx, _ := sc.Index("Price")
+	makeIdx, _ := sc.Index("Make")
+	colorIdx, _ := sc.Index("Color")
+
+	out := Perturb(rel, Perturbation{
+		ScaleNumeric: map[string]float64{"Price": 2},
+		DropCategory: map[string][]string{"Make": {"Toyota"}},
+		NullRate:     map[string]float64{"Color": 0.5},
+		Seed:         7,
+	})
+
+	if rel.Size() != 500 {
+		t.Fatalf("input mutated: size %d", rel.Size())
+	}
+	if out.Size() >= rel.Size() {
+		t.Fatalf("expected dropped tuples, got %d of %d", out.Size(), rel.Size())
+	}
+	nulls := 0
+	for _, tu := range out.Tuples() {
+		if tu[makeIdx].Str == "Toyota" {
+			t.Fatal("Toyota tuple survived DropCategory")
+		}
+		if tu[colorIdx].IsNull() {
+			nulls++
+		}
+	}
+	if nulls == 0 || nulls == out.Size() {
+		t.Fatalf("NullRate=0.5 produced %d/%d nulls", nulls, out.Size())
+	}
+
+	// Prices in out must be exactly 2x the corresponding surviving input
+	// tuples; verify via the first surviving tuple.
+	for _, tu := range rel.Tuples() {
+		if tu[makeIdx].Str == "Toyota" {
+			continue
+		}
+		got := out.Tuples()[0][priceIdx].Num
+		if want := tu[priceIdx].Num * 2; got != want {
+			t.Fatalf("price scale: got %v want %v", got, want)
+		}
+		break
+	}
+
+	// Input relation untouched.
+	for _, tu := range rel.Tuples() {
+		if tu[colorIdx].IsNull() {
+			t.Fatal("input relation gained a null Color")
+		}
+	}
+}
+
+func TestPerturbZeroValueIsIdentity(t *testing.T) {
+	rel := GenerateCarDB(100, 1).Rel
+	out := Perturb(rel, Perturbation{})
+	if out.Size() != rel.Size() {
+		t.Fatalf("identity perturb changed size: %d vs %d", out.Size(), rel.Size())
+	}
+	for i, tu := range rel.Tuples() {
+		for j, v := range tu {
+			if out.Tuples()[i][j] != v {
+				t.Fatalf("tuple %d attr %d changed", i, j)
+			}
+		}
+	}
+}

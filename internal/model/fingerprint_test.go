@@ -1,0 +1,64 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+
+	"aimq/internal/drift"
+)
+
+// TestFingerprintIgnoresProvenance pins the fingerprint contract: it hashes
+// the learned model function only, so stamping or changing provenance
+// (learn time, sample size, pivot, drift baseline) never changes the model
+// version, while any change to the learned artifacts does.
+func TestFingerprintIgnoresProvenance(t *testing.T) {
+	ord, est, _ := learned(t)
+	snap := Capture(ord, est)
+	base := snap.Fingerprint()
+	if base == "" || base == "unhashable" {
+		t.Fatalf("fingerprint = %q", base)
+	}
+
+	stamped := Capture(ord, est)
+	stamped.LearnedAtUnix = 1754000000
+	stamped.SampleSize = 4242
+	stamped.Pivot = "Make"
+	stamped.Drift = &drift.Profile{SampleSize: 4242}
+	if got := stamped.Fingerprint(); got != base {
+		t.Errorf("provenance changed the fingerprint: %s vs %s", got, base)
+	}
+
+	// Any learned-artifact change must move it.
+	mutated := Capture(ord, est)
+	mutated.BestKeyError += 0.001
+	if got := mutated.Fingerprint(); got == base {
+		t.Error("fingerprint unchanged after mutating a learned artifact")
+	}
+}
+
+// TestFingerprintSurvivesSerialization: the fingerprint of a snapshot read
+// back from its serialized form equals the original's — the model version
+// in an audit-log header written by one process matches what another
+// process computes after loading the same artifact.
+func TestFingerprintSurvivesSerialization(t *testing.T) {
+	ord, est, _ := learned(t)
+	snap := Capture(ord, est)
+	snap.LearnedAtUnix = 1754000000
+	snap.SampleSize = 99
+	snap.Pivot = "Make"
+
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := back.Fingerprint(), snap.Fingerprint(); got != want {
+		t.Errorf("fingerprint changed across serialization: %s vs %s", got, want)
+	}
+	if back.LearnedAtUnix != snap.LearnedAtUnix || back.SampleSize != 99 || back.Pivot != "Make" {
+		t.Errorf("provenance lost in round trip: %+v", back)
+	}
+}

@@ -11,10 +11,12 @@ package model
 import (
 	"encoding/json"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"os"
 
 	"aimq/internal/afd"
+	"aimq/internal/drift"
 	"aimq/internal/relation"
 	"aimq/internal/similarity"
 	"aimq/internal/tane"
@@ -39,6 +41,20 @@ type Snapshot struct {
 
 	// Matrices maps attribute name → value → value → similarity.
 	Matrices map[string]map[string]map[string]float64 `json:"matrices"`
+
+	// Provenance (optional; absent in snapshots written before drift
+	// telemetry existed, so all of it is omitempty and Restore ignores it).
+
+	// LearnedAtUnix is when the offline phase produced this model.
+	LearnedAtUnix int64 `json:"learned_at_unix,omitempty"`
+	// SampleSize is how many probed tuples the model was mined from.
+	SampleSize int `json:"sample_size,omitempty"`
+	// Pivot is the probing pivot the sample was collected with.
+	Pivot string `json:"pivot,omitempty"`
+	// Drift is the probe sample's distribution baseline, enabling a serving
+	// process to detect when the source has drifted away from the data the
+	// model was learned on (internal/drift).
+	Drift *drift.Profile `json:"drift,omitempty"`
 }
 
 // AttrJSON is one schema attribute.
@@ -144,6 +160,36 @@ func (s *Snapshot) checkSchema(sc *relation.Schema) error {
 		}
 	}
 	return nil
+}
+
+// Fingerprint is a stable short identity for the learned model function:
+// an FNV-64a hash over the JSON encoding of the core learned artifacts
+// (schema, best key, relaxation order, weights, similarity matrices) —
+// deliberately excluding the provenance fields, so re-learning the
+// identical model at a different time yields the identical fingerprint.
+// encoding/json sorts map keys, so the encoding — and the hash — is
+// deterministic. This is the "model version" surfaced in /healthz,
+// /metrics (aimq_model_version) and every audit-log event.
+func (s *Snapshot) Fingerprint() string {
+	core := Snapshot{
+		Version:      s.Version,
+		Schema:       s.Schema,
+		BestKeyAttrs: s.BestKeyAttrs,
+		BestKeyError: s.BestKeyError,
+		Relax:        s.Relax,
+		Wimp:         s.Wimp,
+		Dependent:    s.Dependent,
+		Deciding:     s.Deciding,
+		Matrices:     s.Matrices,
+	}
+	b, err := json.Marshal(&core)
+	if err != nil {
+		// Snapshot fields are all JSON-encodable; this cannot fail.
+		return "unhashable"
+	}
+	h := fnv.New64a()
+	_, _ = h.Write(b)
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // Write serializes the snapshot as indented JSON.

@@ -1,0 +1,180 @@
+package service
+
+import (
+	"bytes"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"aimq/internal/audit"
+	"aimq/internal/core"
+	"aimq/internal/webdb"
+)
+
+// newAuditedService wires a service over testDB with an audit writer logging
+// to an in-memory sink. The sink may only be read after aw.Close().
+func newAuditedService(t *testing.T, cfg audit.Config) (*Service, *audit.Writer, *bytes.Buffer) {
+	t.Helper()
+	rel := testDB(2000, 1)
+	var buf bytes.Buffer
+	cfg.Sink = &buf
+	aw, err := audit.NewWriter(cfg)
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	svc := newService(t, rel, nil, Config{Audit: aw})
+	return svc, aw, &buf
+}
+
+// TestAuditRecordsComputedAnswersOnly exercises the serving-path contract:
+// every computed answer yields exactly one wide event, cache hits yield
+// none, and the event carries the trace ID, the normalized key, the ranked
+// rows and the engine work counters.
+func TestAuditRecordsComputedAnswersOnly(t *testing.T) {
+	svc, aw, buf := newAuditedService(t, audit.Config{})
+
+	do(t, svc, "GET", "/answer?q=Model+like+Camry&k=3", "")
+	do(t, svc, "GET", "/answer?q=Model+like+Camry&k=3", "") // cache hit
+	do(t, svc, "GET", "/answer?q=Price+like+12000&k=2", "")
+	do(t, svc, "GET", "/answer?q=", "") // 400: never computed, never audited
+
+	if err := aw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	lg, err := audit.ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	if len(lg.Events) != 2 {
+		t.Fatalf("got %d events, want 2 (cache hit and 400 must not log): %+v", len(lg.Events), lg.Events)
+	}
+	ev := lg.Events[0]
+	if ev.Query != "Model like Camry" {
+		t.Errorf("event query = %q", ev.Query)
+	}
+	if ev.K != 3 {
+		t.Errorf("event k = %d, want 3", ev.K)
+	}
+	if ev.TraceID == "" {
+		t.Error("event lacks trace ID (audit must force the recorder)")
+	}
+	if ev.Key == "" {
+		t.Error("event lacks normalized cache key")
+	}
+	if len(ev.Rows) == 0 || ev.Answers != len(ev.Rows) {
+		t.Errorf("rows=%d answers=%d", len(ev.Rows), ev.Answers)
+	}
+	if ev.TopSim < ev.MinSim || ev.TopSim == 0 {
+		t.Errorf("sim stats: top=%v min=%v", ev.TopSim, ev.MinSim)
+	}
+	if ev.QueriesIssued == 0 || ev.TuplesExtracted == 0 {
+		t.Errorf("work counters empty: issued=%d extracted=%d", ev.QueriesIssued, ev.TuplesExtracted)
+	}
+	if ev.Partial || ev.Degraded {
+		t.Errorf("healthy computation flagged partial=%v degraded=%v", ev.Partial, ev.Degraded)
+	}
+}
+
+// TestAuditReplayBitIdentical is the acceptance test for the replay
+// auditor: events recorded through the serving path, replayed in-process
+// against the same source and model, must reproduce every answer set
+// bit-identically — same values, same Sim scores, zero diffs.
+func TestAuditReplayBitIdentical(t *testing.T) {
+	rel := testDB(2000, 1)
+	ord, est := learnFrom(t, rel)
+	var buf bytes.Buffer
+	aw, err := audit.NewWriter(audit.Config{Sink: &buf})
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	svc := New(webdb.NewLocal(rel), est, &core.Guided{Ord: ord}, Config{
+		Audit:  aw,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+
+	for _, q := range []string{
+		"/answer?q=Model+like+Camry&k=5&tsim=0.4",
+		"/answer?q=Price+like+12000&k=3",
+		"/answer?q=Model+like+Civic,+Year+like+2000&k=4&tsim=0.3",
+	} {
+		if code, out := do(t, svc, "GET", q, ""); code != 200 {
+			t.Fatalf("%s: status %d: %v", q, code, out)
+		}
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	lg, err := audit.ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	if len(lg.Events) != 3 {
+		t.Fatalf("recorded %d events, want 3", len(lg.Events))
+	}
+
+	target := &audit.EngineTarget{
+		Src:     webdb.NewLocal(rel),
+		Est:     est,
+		Relaxer: &core.Guided{Ord: ord},
+	}
+	rep := audit.Replay(lg.Events, target)
+	if rep.Errors != 0 {
+		t.Fatalf("replay errors: %+v", rep.Diffs)
+	}
+	if rep.Identical != len(lg.Events) {
+		t.Fatalf("replay not bit-identical: %d/%d identical, diffs: %+v",
+			rep.Identical, len(lg.Events), rep.Diffs)
+	}
+	if rep.SimShiftMax != 0 {
+		t.Errorf("sim shift on unchanged model: %g", rep.SimShiftMax)
+	}
+
+	// The HTTP target against the live service reproduces them too (the
+	// service serves the recorded computations straight from its cache, so
+	// this exercises the transport, not a recomputation).
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	rep = audit.Replay(lg.Events, &audit.HTTPTarget{Base: ts.URL})
+	if rep.Errors != 0 || rep.Identical != len(lg.Events) {
+		t.Fatalf("HTTP replay: %d/%d identical, %d errors, diffs: %+v",
+			rep.Identical, len(lg.Events), rep.Errors, rep.Diffs)
+	}
+}
+
+// TestAuditMetricsExposed scrapes /metrics with auditing enabled: the
+// aimq_audit_* counter families must appear, and the exposition must stay
+// strictly parseable.
+func TestAuditMetricsExposed(t *testing.T) {
+	svc, aw, _ := newAuditedService(t, audit.Config{})
+	defer aw.Close()
+	do(t, svc, "GET", "/answer?q=Model+like+Camry&k=3", "")
+
+	// The writer is async; wait for the event to land before scraping.
+	deadline := time.Now().Add(2 * time.Second)
+	for svc.AuditStats().Written < 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("audit event never drained: %+v", svc.AuditStats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	w := httptest.NewRecorder()
+	svc.ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	body := w.Body.String()
+	if err := parseExposition(body); err != nil {
+		t.Fatalf("scrape with audit telemetry rejected: %v\n%s", err, body)
+	}
+	for _, substr := range []string{
+		"aimq_audit_events_written_total 1",
+		"aimq_audit_events_dropped_total 0",
+		"aimq_audit_events_sampled_out_total 0",
+		"aimq_audit_errors_total 0",
+	} {
+		if !strings.Contains(body, substr) {
+			t.Errorf("scrape lacks %q", substr)
+		}
+	}
+}

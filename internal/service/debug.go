@@ -1,6 +1,7 @@
 package service
 
 import (
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"net/http"
@@ -48,6 +49,7 @@ func (s *Service) DebugHandler() http.Handler {
 	mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	mux.HandleFunc("GET /debug/traces/export", s.handleTracesExport)
 	mux.HandleFunc("GET /debug/learn", s.handleLearn)
+	mux.HandleFunc("GET /debug/drift", s.handleDrift)
 	mux.HandleFunc("GET /debug/source", s.handleSource)
 	mux.Handle("GET /debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -67,22 +69,51 @@ func (s *Service) handleDebugIndex(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "aimq debug surface (uptime %s)\n\n", time.Since(s.start).Round(time.Second))
 	fmt.Fprintln(w, "/debug/traces   recent and slowest answer traces (+ flight recorder)")
 	fmt.Fprintln(w, "/debug/traces/export   retained traces as Chrome trace-event JSON (Perfetto)")
-	fmt.Fprintln(w, "/debug/learn    offline learning-phase profile")
+	fmt.Fprintln(w, "/debug/learn    offline learning-phase profile + model identity")
+	fmt.Fprintln(w, "/debug/drift    model-drift monitor status (PSI per attribute)")
 	fmt.Fprintln(w, "/debug/source   boolean-engine execution counters")
 	fmt.Fprintln(w, "/debug/vars     expvar")
 	fmt.Fprintln(w, "/debug/pprof/   pprof profiles")
 }
 
-// handleLearn reports how the served model was built. 404 when the model was
-// loaded from a snapshot: the learning happened in some earlier process.
+// handleLearn reports how the served model was built — the learning profile
+// (when the model was learned in this process) with the model's identity
+// card merged in under "model". 404 only when neither is available.
 func (s *Service) handleLearn(w http.ResponseWriter, _ *http.Request) {
 	ls := s.LearnStats()
-	if ls == nil {
+	info, infoOK := s.ModelInfo()
+	if ls == nil && !infoOK {
 		writeJSON(w, http.StatusNotFound,
 			errorResponse{Error: "no learning profile: model loaded from snapshot or stats not attached"})
 		return
 	}
-	writeJSON(w, http.StatusOK, ls)
+	out := map[string]any{}
+	if ls != nil {
+		// Keep the LearnStats fields at the top level (the historical
+		// response shape) by round-tripping through JSON.
+		b, err := json.Marshal(ls)
+		if err == nil {
+			_ = json.Unmarshal(b, &out)
+		}
+	}
+	if infoOK {
+		mb := map[string]any{
+			"fingerprint": info.Fingerprint,
+			"built":       info.Built,
+		}
+		if info.LearnedAtUnix != 0 {
+			mb["learned_at"] = info.LearnedAt().UTC().Format(time.RFC3339)
+			mb["age_seconds"] = time.Since(info.LearnedAt()).Seconds()
+		}
+		if info.SampleSize != 0 {
+			mb["sample_size"] = info.SampleSize
+		}
+		if info.Pivot != "" {
+			mb["pivot"] = info.Pivot
+		}
+		out["model"] = mb
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // handleSource reports the underlying boolean engine's counters, plus the

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"aimq/internal/afd"
+	"aimq/internal/drift"
 	"aimq/internal/model"
 	"aimq/internal/obs"
 	"aimq/internal/probe"
@@ -43,11 +44,63 @@ func (lc LearnConfig) withDefaults() LearnConfig {
 	return lc
 }
 
+// Model bundles everything the offline phase produces: the learned
+// artifacts the engine needs (ordering + estimator), the snapshot they
+// serialize to (with provenance and the drift baseline), and — when the
+// model was built in this process — the learning profile.
+type Model struct {
+	Ord *afd.Ordering
+	Est *similarity.Estimator
+	// Stats profiles the offline run; nil when the model was restored from
+	// a snapshot (a restored model has no learning run to profile).
+	Stats *obs.LearnStats
+	// Snap is the serializable form, carrying provenance (learned-at,
+	// sample size, pivot) and the drift baseline profile.
+	Snap *model.Snapshot
+	// Built reports whether the model was learned in this process (true)
+	// or restored from a saved snapshot (false).
+	Built bool
+}
+
+// ModelInfo is the model's identity card, surfaced by /healthz,
+// /debug/learn, aimq_model_* metrics and every audit-log header.
+type ModelInfo struct {
+	Fingerprint   string `json:"fingerprint"`
+	LearnedAtUnix int64  `json:"learned_at_unix,omitempty"`
+	SampleSize    int    `json:"sample_size,omitempty"`
+	Pivot         string `json:"pivot,omitempty"`
+	Built         bool   `json:"built"`
+}
+
+// LearnedAt is the learn timestamp; zero when the snapshot predates
+// provenance stamping.
+func (i ModelInfo) LearnedAt() time.Time {
+	if i.LearnedAtUnix == 0 {
+		return time.Time{}
+	}
+	return time.Unix(i.LearnedAtUnix, 0)
+}
+
+// Info derives the identity card from the snapshot.
+func (m *Model) Info() ModelInfo {
+	info := ModelInfo{Built: m.Built}
+	if m.Snap == nil {
+		return info
+	}
+	info.Fingerprint = m.Snap.Fingerprint()
+	info.LearnedAtUnix = m.Snap.LearnedAtUnix
+	info.SampleSize = m.Snap.SampleSize
+	info.Pivot = m.Snap.Pivot
+	return info
+}
+
 // BuildModel runs AIMQ's offline phase against src: spanning-query probing,
 // TANE AFD/AKey mining, the Algorithm 2 attribute ordering, and supertuple
-// value-similarity estimation. The returned LearnStats profiles the run —
-// stage timings plus probing and mining volumes — for /debug/learn.
-func BuildModel(src webdb.Source, lc LearnConfig) (*afd.Ordering, *similarity.Estimator, *obs.LearnStats, error) {
+// value-similarity estimation. The returned Model carries the learned
+// artifacts, a provenance-stamped snapshot embedding the probe sample's
+// drift baseline (internal/drift), and the LearnStats profile for
+// /debug/learn.
+func BuildModel(src webdb.Source, lc LearnConfig) (*Model, error) {
 	lc = lc.withDefaults()
 	start := time.Now()
 	stats := &obs.LearnStats{}
@@ -66,7 +119,7 @@ func BuildModel(src webdb.Source, lc LearnConfig) (*afd.Ordering, *similarity.Es
 	if pivot == "" {
 		infos, err := probe.PivotCoverage(src, 2000)
 		if err != nil {
-			return nil, nil, nil, fmt.Errorf("service: pivot discovery failed: %w", err)
+			return nil, fmt.Errorf("service: pivot discovery failed: %w", err)
 		}
 		for _, info := range infos {
 			if info.DistinctInSeed >= 2 {
@@ -75,12 +128,12 @@ func BuildModel(src webdb.Source, lc LearnConfig) (*afd.Ordering, *similarity.Es
 			}
 		}
 		if pivot == "" {
-			return nil, nil, nil, errors.New("service: no usable probing pivot (source empty?)")
+			return nil, errors.New("service: no usable probing pivot (source empty?)")
 		}
 	}
 	sample, err := collector.Collect(pivot)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("service: probing failed: %w", err)
+		return nil, fmt.Errorf("service: probing failed: %w", err)
 	}
 	stage("probe", begin)
 	stats.Pivot = collector.Stats.Pivot
@@ -107,7 +160,7 @@ func BuildModel(src webdb.Source, lc LearnConfig) (*afd.Ordering, *similarity.Es
 	begin = time.Now()
 	ord, err := afd.Order(mined)
 	if err != nil {
-		return nil, nil, nil, fmt.Errorf("service: %w (raise Terr or enlarge the sample)", err)
+		return nil, fmt.Errorf("service: %w (raise Terr or enlarge the sample)", err)
 	}
 	stage("order", begin)
 
@@ -115,37 +168,50 @@ func BuildModel(src webdb.Source, lc LearnConfig) (*afd.Ordering, *similarity.Es
 	idx := supertuple.Builder{Buckets: lc.Buckets, Workers: lc.Workers}.Build(sample)
 	est := similarity.New(idx, ord, similarity.Config{SweepWorkers: lc.Workers})
 	stage("supertuple", begin)
+
+	// Snapshot with provenance and the drift baseline: the probe sample's
+	// distribution sketches travel inside the artifact, so any process
+	// serving this model can later ask whether the source still looks like
+	// the data the model was learned on.
+	begin = time.Now()
+	snap := model.Capture(ord, est)
+	snap.LearnedAtUnix = time.Now().Unix()
+	snap.SampleSize = sample.Size()
+	snap.Pivot = stats.Pivot
+	snap.Drift = drift.BuildProfile(sample, ord.BestKey.Attrs.Members(), drift.SketchConfig{})
+	snap.Drift.Pivot = stats.Pivot
+	stage("snapshot", begin)
 	stats.TotalMs = float64(time.Since(start).Nanoseconds()) / 1e6
-	return ord, est, stats, nil
+
+	return &Model{Ord: ord, Est: est, Stats: stats, Snap: snap, Built: true}, nil
 }
 
 // LoadOrBuildModel restores the model snapshot at path when one exists;
 // otherwise it runs BuildModel and, when path is non-empty, persists the
-// result there so the next start skips the offline phase. built reports
-// which branch was taken; stats is non-nil only when the model was built in
-// this process (a restored snapshot has no learning profile to report).
-func LoadOrBuildModel(path string, src webdb.Source, lc LearnConfig) (ord *afd.Ordering, est *similarity.Estimator, stats *obs.LearnStats, built bool, err error) {
+// result there so the next start skips the offline phase. The returned
+// Model's Built field reports which branch was taken.
+func LoadOrBuildModel(path string, src webdb.Source, lc LearnConfig) (*Model, error) {
 	if path != "" {
 		if _, statErr := os.Stat(path); statErr == nil {
 			snap, err := model.Load(path)
 			if err != nil {
-				return nil, nil, nil, false, err
+				return nil, err
 			}
 			ord, est, err := snap.Restore(src.Schema())
 			if err != nil {
-				return nil, nil, nil, false, fmt.Errorf("service: %w", err)
+				return nil, fmt.Errorf("service: %w", err)
 			}
-			return ord, est, nil, false, nil
+			return &Model{Ord: ord, Est: est, Snap: snap, Built: false}, nil
 		}
 	}
-	ord, est, stats, err = BuildModel(src, lc)
+	m, err := BuildModel(src, lc)
 	if err != nil {
-		return nil, nil, nil, false, err
+		return nil, err
 	}
 	if path != "" {
-		if err := model.Save(path, model.Capture(ord, est)); err != nil {
-			return nil, nil, stats, true, err
+		if err := model.Save(path, m.Snap); err != nil {
+			return m, err
 		}
 	}
-	return ord, est, stats, true, nil
+	return m, nil
 }

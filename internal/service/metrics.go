@@ -8,7 +8,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"aimq/internal/audit"
+	"aimq/internal/drift"
 	"aimq/internal/engine"
 	"aimq/internal/obs"
 	"aimq/internal/version"
@@ -217,12 +220,23 @@ func writeHistogram(w io.Writer, name, labels string, h *histogram) {
 	}
 }
 
+// modelTelemetry is the scrape-time view of the served model's identity,
+// the drift monitor and the audit writer — the longitudinal aimq_model_* /
+// aimq_audit_* families. Nil sub-fields (and a nil modelTelemetry) simply
+// skip their series, so a bare test service scrapes unchanged.
+type modelTelemetry struct {
+	info  ModelInfo
+	drift *drift.Status
+	audit *audit.Stats
+}
+
 // render writes the metrics in Prometheus text format. cacheEntries is the
 // current answer-cache population, res the resilience-layer snapshot (nil
-// when the source has no resilience wrapper) and eng the boolean engine's
-// counter snapshot (nil for remote sources); all are owned elsewhere, so
-// their values are passed in at scrape time.
-func (m *serviceMetrics) render(w io.Writer, cacheEntries int, res *webdb.ResilienceStats, eng *engine.Snapshot) {
+// when the source has no resilience wrapper), eng the boolean engine's
+// counter snapshot (nil for remote sources), and mt the model/drift/audit
+// telemetry (nil when none is attached); all are owned elsewhere, so their
+// values are passed in at scrape time.
+func (m *serviceMetrics) render(w io.Writer, cacheEntries int, res *webdb.ResilienceStats, eng *engine.Snapshot, mt *modelTelemetry) {
 	m.initQuality()
 	counter := func(name, help string, v int64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
@@ -308,6 +322,62 @@ func (m *serviceMetrics) render(w io.Writer, cacheEntries int, res *webdb.Resili
 			"Surviving rows probed by sparse residual checks.", eng.SparseChecks)
 		counter("aimq_engine_parallel_queries_total",
 			"Queries executed on the parallel chunk-sharded path.", eng.ParallelQueries)
+	}
+
+	if mt != nil {
+		if mt.info.Fingerprint != "" {
+			fmt.Fprintf(w, "# HELP aimq_model_version Served model identity; the version label is the model fingerprint, value is always 1.\n")
+			fmt.Fprintf(w, "# TYPE aimq_model_version gauge\n")
+			fmt.Fprintf(w, "aimq_model_version{version=\"%s\",built=\"%t\"} 1\n",
+				escapeLabel(mt.info.Fingerprint), mt.info.Built)
+		}
+		if mt.info.LearnedAtUnix != 0 {
+			gauge("aimq_model_learned_timestamp_seconds",
+				"Unix time the served model was learned.", float64(mt.info.LearnedAtUnix))
+			gauge("aimq_model_age_seconds",
+				"Seconds since the served model was learned.",
+				time.Since(time.Unix(mt.info.LearnedAtUnix, 0)).Seconds())
+		}
+		if mt.info.SampleSize != 0 {
+			gauge("aimq_model_sample_size",
+				"Probe-sample tuples the served model was mined from.", float64(mt.info.SampleSize))
+		}
+		if d := mt.drift; d != nil {
+			counter("aimq_model_drift_ticks_total",
+				"Drift monitor re-probe ticks.", d.Ticks)
+			counter("aimq_model_drift_breaches_total",
+				"Drift ticks whose max PSI crossed the warning threshold.", d.Breaches)
+			counter("aimq_model_drift_errors_total",
+				"Drift ticks that failed to re-probe the source.", d.Errors)
+			gauge("aimq_model_drift_psi_warn",
+				"PSI threshold at which a drift tick counts as a breach.", d.PSIWarn)
+			if rep := d.Last; rep != nil {
+				gauge("aimq_model_drift_max_psi",
+					"Largest per-attribute PSI in the latest drift comparison.", rep.MaxPSI)
+				gauge("aimq_model_drift_key_error_delta",
+					"Best-key g3 error on the fresh sample minus the learn-time baseline (AFD-confidence decay).",
+					rep.KeyErrorDelta)
+				fmt.Fprintf(w, "# HELP aimq_model_drift_psi Per-attribute PSI between the learn-time baseline and the latest re-probe.\n")
+				fmt.Fprintf(w, "# TYPE aimq_model_drift_psi gauge\n")
+				for _, a := range rep.Attrs {
+					fmt.Fprintf(w, "aimq_model_drift_psi{attr=\"%s\"} %g\n", escapeLabel(a.Name), a.PSI)
+				}
+			}
+		}
+		if a := mt.audit; a != nil {
+			counter("aimq_audit_events_written_total",
+				"Audit wide events durably written.", a.Written)
+			counter("aimq_audit_events_dropped_total",
+				"Audit events dropped because the writer ring was full (log is incomplete).", a.Dropped)
+			counter("aimq_audit_events_sampled_out_total",
+				"Audit events skipped by 1-in-N sampling.", a.SampledOut)
+			counter("aimq_audit_bytes_written_total",
+				"Bytes appended to the audit log.", a.BytesWritten)
+			counter("aimq_audit_rotations_total",
+				"Audit log file rotations.", a.Rotations)
+			counter("aimq_audit_errors_total",
+				"Audit write or rotation failures.", a.Errors)
+		}
 	}
 
 	gauge("aimq_service_inflight_requests",

@@ -193,10 +193,11 @@ func TestDebugHandlerSurfaces(t *testing.T) {
 func TestDebugLearnProfile(t *testing.T) {
 	rel := testDB(800, 9)
 	src := webdb.NewLocal(rel)
-	_, est, stats, err := BuildModel(src, LearnConfig{Pivot: "Make"})
+	m, err := BuildModel(src, LearnConfig{Pivot: "Make"})
 	if err != nil {
 		t.Fatalf("BuildModel: %v", err)
 	}
+	stats := m.Stats
 	if stats == nil {
 		t.Fatal("BuildModel returned nil stats")
 	}
@@ -206,7 +207,7 @@ func TestDebugLearnProfile(t *testing.T) {
 	if stats.LatticeLevels == 0 || stats.SetsExamined == 0 {
 		t.Errorf("learn stats lack the TANE lattice profile: %+v", stats)
 	}
-	wantStages := []string{"probe", "sample", "mine", "order", "supertuple"}
+	wantStages := []string{"probe", "sample", "mine", "order", "supertuple", "snapshot"}
 	if len(stats.Stages) != len(wantStages) {
 		t.Fatalf("stages = %v", stats.Stages)
 	}
@@ -216,7 +217,7 @@ func TestDebugLearnProfile(t *testing.T) {
 		}
 	}
 
-	if est == nil {
+	if m.Est == nil {
 		t.Fatal("BuildModel returned nil estimator")
 	}
 	svc := obsService(t)

@@ -17,12 +17,12 @@ func TestBuildModelParallelBitIdentical(t *testing.T) {
 	rel := testDB(3000, 5)
 	snap := func(workers int) []byte {
 		t.Helper()
-		ord, est, _, err := BuildModel(webdb.NewLocal(rel), LearnConfig{Pivot: "Make", Workers: workers})
+		m, err := BuildModel(webdb.NewLocal(rel), LearnConfig{Pivot: "Make", Workers: workers})
 		if err != nil {
 			t.Fatalf("BuildModel(Workers=%d): %v", workers, err)
 		}
 		var buf bytes.Buffer
-		if err := model.Capture(ord, est).Write(&buf); err != nil {
+		if err := model.Capture(m.Ord, m.Est).Write(&buf); err != nil {
 			t.Fatalf("snapshot write (Workers=%d): %v", workers, err)
 		}
 		return buf.Bytes()

@@ -47,7 +47,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aimq/internal/audit"
 	"aimq/internal/core"
+	"aimq/internal/drift"
 	"aimq/internal/engine"
 	"aimq/internal/obs"
 	"aimq/internal/query"
@@ -97,6 +99,12 @@ type Config struct {
 	SlowQuery time.Duration
 	// Logger receives the structured request log. Default slog.Default().
 	Logger *slog.Logger
+	// Audit, when set, receives one wide event per computed answer (the
+	// durable query log). The writer is asynchronous and never blocks the
+	// serving path; cache hits are not logged (they re-serve an already
+	// recorded computation). The service does not close the writer — the
+	// owner does, after Run returns.
+	Audit *audit.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -154,6 +162,15 @@ type Service struct {
 
 	learnMu sync.Mutex
 	learn   *obs.LearnStats
+
+	// audit is the durable query log writer (nil = auditing off).
+	audit *audit.Writer
+	// infoMu guards the model identity card and the drift monitor pointer,
+	// both set once at startup and read by the telemetry surfaces.
+	infoMu   sync.Mutex
+	info     ModelInfo
+	infoSet  bool
+	driftMon *drift.Monitor
 }
 
 // New assembles the service over a source and a learned model. The relaxer
@@ -181,6 +198,7 @@ func New(src webdb.Source, est *similarity.Estimator, relaxer core.Relaxer, cfg 
 	s.ring = obs.NewRing(ringCap)
 	s.fdr = obs.NewFlight(s.cfg.FlightRing, s.cfg.FlightThreshold)
 	s.log = s.cfg.Logger
+	s.audit = s.cfg.Audit
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /answer", s.handleAnswer)
 	s.mux.HandleFunc("POST /answer", s.handleAnswer)
@@ -188,6 +206,7 @@ func New(src webdb.Source, est *similarity.Estimator, relaxer core.Relaxer, cfg 
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/traces", s.handleTraces)
 	s.mux.HandleFunc("GET /debug/traces/export", s.handleTracesExport)
+	s.mux.HandleFunc("GET /debug/drift", s.handleDrift)
 	return s
 }
 
@@ -626,7 +645,9 @@ func (s *Service) compute(ctx context.Context, q *query.Query, k int, tsim float
 	cfg.Tsim = tsim
 	var rec *obs.Recorder
 	sampled := s.ring != nil && s.sampleHit()
-	if explain || sampled || s.fdr != nil {
+	// An audit writer forces the recorder too: every audited computation
+	// then carries a trace ID and relaxation-depth provenance.
+	if explain || sampled || s.fdr != nil || s.audit != nil {
 		if traceID == "" {
 			traceID = obs.NewRequestID()
 		}
@@ -671,6 +692,7 @@ func (s *Service) compute(ctx context.Context, q *query.Query, k int, tsim float
 			if explain {
 				p.Explain = tr
 			}
+			s.auditRecord(q, p, tr, k, tsim, explain, true)
 			return p, err
 		}
 		return nil, err
@@ -679,6 +701,7 @@ func (s *Service) compute(ctx context.Context, q *query.Query, k int, tsim float
 	if explain {
 		p.Explain = tr
 	}
+	s.auditRecord(q, p, tr, k, tsim, explain, false)
 	return p, nil
 }
 
@@ -721,6 +744,20 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"uptime_seconds": time.Since(s.start).Seconds(),
 		"cache_entries":  s.cache.Len(),
 	}
+	if info, ok := s.ModelInfo(); ok {
+		mb := map[string]any{
+			"fingerprint": info.Fingerprint,
+			"built":       info.Built,
+		}
+		if info.LearnedAtUnix != 0 {
+			mb["learned_at"] = info.LearnedAt().UTC().Format(time.RFC3339)
+			mb["age_seconds"] = time.Since(info.LearnedAt()).Seconds()
+		}
+		if info.SampleSize != 0 {
+			mb["sample_size"] = info.SampleSize
+		}
+		body["model"] = mb
+	}
 	if s.res != nil {
 		st := s.res.Stats()
 		body["breaker"] = st.State.String()
@@ -743,7 +780,25 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		snap := eng.Stats().Snapshot()
 		engSnap = &snap
 	}
-	s.met.render(w, s.cache.Len(), res, engSnap)
+	var mt *modelTelemetry
+	if info, ok := s.ModelInfo(); ok {
+		mt = &modelTelemetry{info: info}
+	}
+	if mon := s.driftMonitor(); mon != nil {
+		if mt == nil {
+			mt = &modelTelemetry{}
+		}
+		st := mon.Status()
+		mt.drift = &st
+	}
+	if s.audit != nil {
+		if mt == nil {
+			mt = &modelTelemetry{}
+		}
+		st := s.audit.Stats()
+		mt.audit = &st
+	}
+	s.met.render(w, s.cache.Len(), res, engSnap, mt)
 }
 
 // sampleHit reports whether this computed run falls in the head sample:
