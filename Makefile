@@ -38,7 +38,7 @@ test:
 # the columnar chunk worker pool (and its randomized differential suite);
 # similarity chunks the VSim pair sweep across goroutines.
 race:
-	$(GO) test -race ./internal/service/... ./internal/core/... ./internal/webdb/... ./internal/obs/... ./internal/engine/... ./internal/similarity/... ./internal/audit/... ./internal/drift/...
+	$(GO) test -race ./internal/service/... ./internal/core/... ./internal/webdb/... ./internal/obs/... ./internal/engine/... ./internal/similarity/... ./internal/audit/... ./internal/drift/... ./internal/lifecycle/...
 
 bench-serve:
 	$(GO) test -run XXX -bench 'BenchmarkService_' -benchmem ./internal/service/

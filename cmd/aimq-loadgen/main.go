@@ -245,6 +245,17 @@ func run(base, queries string, conc, total int, dur time.Duration, k int, timeou
 		answers := max64(cnt.answers.Load(), 1)
 		fmt.Fprintf(w, "service work: %d source queries (%.2f/answer), %d tuples extracted (%.2f/answer)\n",
 			relaxQ, float64(relaxQ)/float64(answers), tuples, float64(tuples)/float64(answers))
+		// Which model answered: fingerprint + generation, and whether a
+		// hot-swap (background re-learn promote or rollback) landed mid-run.
+		if after.fingerprint != "" {
+			fmt.Fprintf(w, "model: fingerprint %s, generation %d\n", after.fingerprint, after.generation)
+			if before.fingerprint != "" &&
+				(before.fingerprint != after.fingerprint || before.generation != after.generation) {
+				fmt.Fprintf(w, "model swapped during the run: %s (gen %d) -> %s (gen %d), %d swap%s\n",
+					before.fingerprint, before.generation, after.fingerprint, after.generation,
+					after.swaps-before.swaps, map[bool]string{true: "", false: "s"}[after.swaps-before.swaps == 1])
+			}
+		}
 		printStageReport(w, before, after)
 	} else {
 		fmt.Fprintf(w, "service /metrics scrape failed: %v\n", scrapeErr)
@@ -282,6 +293,9 @@ type serviceCounters struct {
 	hits, misses int64
 	relaxQueries int64
 	tuples       int64
+	fingerprint  string
+	generation   int64
+	swaps        int64
 	stageSum     map[string]float64
 	stageCount   map[string]int64
 }
@@ -320,6 +334,12 @@ func scrapeMetrics(client *http.Client, base string) (serviceCounters, error) {
 			out.relaxQueries = int64(v)
 		case name == "aimq_service_tuples_extracted_total":
 			out.tuples = int64(v)
+		case name == "aimq_model_generation":
+			out.generation = int64(v)
+		case name == "aimq_model_swaps_total":
+			out.swaps = int64(v)
+		case strings.HasPrefix(name, "aimq_model_version{"):
+			out.fingerprint = seriesLabel(name, "version")
 		case strings.HasPrefix(name, "aimq_service_stage_seconds_sum{"):
 			if stage := stageLabel(name); stage != "" {
 				out.stageSum[stage] = v
@@ -335,7 +355,12 @@ func scrapeMetrics(client *http.Client, base string) (serviceCounters, error) {
 
 // stageLabel extracts the stage="..." label value from a series name.
 func stageLabel(series string) string {
-	const marker = `stage="`
+	return seriesLabel(series, "stage")
+}
+
+// seriesLabel extracts one label's value from a Prometheus series name.
+func seriesLabel(series, label string) string {
+	marker := label + `="`
 	i := strings.Index(series, marker)
 	if i < 0 {
 		return ""

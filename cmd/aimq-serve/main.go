@@ -53,6 +53,7 @@ import (
 	"aimq/internal/audit"
 	"aimq/internal/core"
 	"aimq/internal/drift"
+	"aimq/internal/lifecycle"
 	"aimq/internal/model"
 	"aimq/internal/relation"
 	"aimq/internal/service"
@@ -100,6 +101,16 @@ func main() {
 	driftInterval := flag.Duration("drift-interval", 0, "re-probe the source and compare against the model's drift baseline at this interval (0 = disabled)")
 	driftSample := flag.Int("drift-sample", 2000, "fresh-sample cap per drift re-probe")
 	driftPSIWarn := flag.Float64("drift-psi-warn", 0.25, "per-attribute PSI at or above which a drift tick is a breach")
+	refreshInterval := flag.Duration("refresh-interval", 0, "re-learn the model at this interval and hot-swap it in after validation (0 = drift-triggered only)")
+	refreshOnBreach := flag.Bool("refresh-on-breach", true, "re-learn and hot-swap when the drift monitor breaches (needs -drift-interval)")
+	refreshBackoff := flag.Duration("refresh-backoff", 30*time.Second, "base backoff after a failed or rejected re-learn, doubled per consecutive failure with full jitter")
+	refreshBackoffMax := flag.Duration("refresh-backoff-max", 15*time.Minute, "backoff cap between re-learn attempts")
+	refreshShadowSample := flag.Int("refresh-shadow-sample", 64, "recent audited queries replayed against a candidate model before promotion (needs -audit-log; negative disables validation)")
+	refreshMaxZeroRise := flag.Float64("refresh-max-zero-rise", 0.25, "reject a candidate whose shadow-replay zero-answer rate rises more than this")
+	refreshMaxSimDrop := flag.Float64("refresh-max-sim-drop", 0.10, "reject a candidate whose shadow-replay mean similarity drops more than this")
+	modelKeep := flag.Int("model-keep", 2, "previous model generations kept beside -model on promote (rollback restores the newest)")
+	refreshProbation := flag.Int("refresh-probation", 200, "computed answers watched after a promote; a zero-answer collapse inside the window rolls the model back (0 = no auto-rollback)")
+	refreshRollbackZeroRate := flag.Float64("refresh-rollback-zero-rate", 0.6, "post-promote zero-answer rate at or above which the promote is rolled back")
 	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	modelInfo := flag.Bool("model-info", false, "print the model's fingerprint, learn timestamp and age, then exit (loads or learns the model first)")
@@ -135,8 +146,18 @@ func main() {
 		auditLog:     *auditLog, auditSample: *auditSample,
 		auditMaxBytes: *auditMaxBytes, auditMaxAge: *auditMaxAge,
 		driftInterval: *driftInterval, driftSample: *driftSample,
-		driftPSIWarn: *driftPSIWarn,
-		modelInfo:    *modelInfo,
+		driftPSIWarn:        *driftPSIWarn,
+		refreshInterval:     *refreshInterval,
+		refreshOnBreach:     *refreshOnBreach,
+		refreshBackoff:      *refreshBackoff,
+		refreshBackoffMax:   *refreshBackoffMax,
+		refreshShadowSample: *refreshShadowSample,
+		refreshMaxZeroRise:  *refreshMaxZeroRise,
+		refreshMaxSimDrop:   *refreshMaxSimDrop,
+		modelKeep:           *modelKeep,
+		refreshProbation:    *refreshProbation,
+		refreshZeroRate:     *refreshRollbackZeroRate,
+		modelInfo:           *modelInfo,
 	}, logger); err != nil {
 		fmt.Fprintln(os.Stderr, "aimq-serve:", err)
 		os.Exit(1)
@@ -174,6 +195,16 @@ type config struct {
 	driftInterval              time.Duration
 	driftSample                int
 	driftPSIWarn               float64
+	refreshInterval            time.Duration
+	refreshOnBreach            bool
+	refreshBackoff             time.Duration
+	refreshBackoffMax          time.Duration
+	refreshShadowSample        int
+	refreshMaxZeroRise         float64
+	refreshMaxSimDrop          float64
+	modelKeep                  int
+	refreshProbation           int
+	refreshZeroRate            float64
 	modelInfo                  bool
 }
 
@@ -339,11 +370,12 @@ func run(c config, logger *slog.Logger) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var mon *drift.Monitor
 	if c.driftInterval > 0 {
 		if m.Snap == nil || m.Snap.Drift == nil {
 			logger.Warn("drift monitoring requested but the model has no drift baseline (snapshot predates drift profiles); re-learn to enable")
 		} else {
-			mon := drift.NewMonitor(src, m.Snap.Drift, drift.MonitorConfig{
+			mon = drift.NewMonitor(src, m.Snap.Drift, drift.MonitorConfig{
 				Interval:     c.driftInterval,
 				SampleLimit:  c.driftSample,
 				PSIWarn:      c.driftPSIWarn,
@@ -351,10 +383,60 @@ func run(c config, logger *slog.Logger) error {
 				ProbeWorkers: c.probeWorkers,
 			})
 			svc.AttachDriftMonitor(mon)
-			go mon.Run(ctx)
 			logger.Info("drift monitor on", "interval", c.driftInterval,
 				"sample", c.driftSample, "psi_warn", c.driftPSIWarn)
 		}
+	}
+
+	// The self-healing loop: breaches (and/or a timer) re-learn the model in
+	// the background, shadow-validate it, persist it with generation keeping
+	// and hot-swap it in — never disturbing in-flight answers.
+	if c.refreshInterval > 0 || (mon != nil && c.refreshOnBreach) {
+		lc := service.LearnConfig{
+			Seed:       c.seed,
+			SampleSize: c.sampleSize,
+			Terr:       c.terr,
+			Workers:    c.probeWorkers,
+		}
+		ctl := lifecycle.New(svc, src,
+			func() (*service.Model, error) { return service.BuildModel(src, lc) },
+			lifecycle.Config{
+				Interval: c.refreshInterval,
+				Retry: webdb.RetryPolicy{
+					BaseDelay: c.refreshBackoff,
+					MaxDelay:  c.refreshBackoffMax,
+				},
+				ShadowSample: c.refreshShadowSample,
+				MaxZeroRise:  c.refreshMaxZeroRise,
+				MaxSimDrop:   c.refreshMaxSimDrop,
+				AuditPath:    c.auditLog,
+				Engine: core.Config{
+					K:                 c.k,
+					Tsim:              c.tsim,
+					MaxQueriesPerBase: c.maxQPB,
+					OnFailure:         onFailure,
+					DisablePruning:    !c.prune,
+					KeyPruneMaxError:  c.keyPruneErr,
+				},
+				ModelPath:         c.model,
+				Keep:              c.modelKeep,
+				ProbationWindow:   c.refreshProbation,
+				ProbationZeroRate: c.refreshZeroRate,
+				Logger:            logger,
+			})
+		ctl.SetServing(m)
+		if mon != nil && c.refreshOnBreach {
+			ctl.AttachMonitor(mon)
+		}
+		svc.AttachLifecycle(ctl)
+		go ctl.Run(ctx)
+		logger.Info("model refresh controller on",
+			"interval", c.refreshInterval, "on_breach", mon != nil && c.refreshOnBreach,
+			"shadow_sample", c.refreshShadowSample, "model_keep", c.modelKeep,
+			"probation", c.refreshProbation)
+	}
+	if mon != nil {
+		go mon.Run(ctx)
 	}
 
 	if c.cacheSnapshot != "" {

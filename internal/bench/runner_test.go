@@ -64,8 +64,8 @@ func TestSelect(t *testing.T) {
 		t.Error("empty pattern should select all")
 	}
 	serve := Select(all, "serve")
-	if len(serve) != 6 {
-		t.Errorf("serve matches = %d, want 6", len(serve))
+	if len(serve) != 7 {
+		t.Errorf("serve matches = %d, want 7", len(serve))
 	}
 	if len(Select(all, "no-such-scenario")) != 0 {
 		t.Error("bogus pattern matched")
@@ -77,8 +77,8 @@ func TestSelect(t *testing.T) {
 func TestScenarioNamesStable(t *testing.T) {
 	want := []string{"learn", "learn-2x", "learn-4x", "guided", "random", "rock",
 		"guided-census", "serve-cold", "serve-warm", "serve-explain",
-		"serve-audit", "serve-contention", "chaos-guided", "serve-chaos",
-		"engine-scan"}
+		"serve-audit", "serve-relearn", "serve-contention", "chaos-guided",
+		"serve-chaos", "engine-scan"}
 	all := Scenarios()
 	if len(all) != len(want) {
 		t.Fatalf("suite has %d scenarios, want %d", len(all), len(want))

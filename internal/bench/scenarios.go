@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"log/slog"
@@ -10,12 +11,14 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"aimq/internal/audit"
 	"aimq/internal/core"
 	"aimq/internal/datagen"
 	"aimq/internal/experiments"
+	"aimq/internal/lifecycle"
 	"aimq/internal/query"
 	"aimq/internal/relation"
 	"aimq/internal/rock"
@@ -149,6 +152,7 @@ func Scenarios() []Scenario {
 		{"serve-warm", "HTTP service answering from a primed cache", runServeWarm},
 		{"serve-explain", "EXPLAIN ANALYZE pricing: traced explain answers vs plain cold answers", runServeExplain},
 		{"serve-audit", "audit-log pricing: cold answers with the wide-event writer on vs off", runServeAudit},
+		{"serve-relearn", "warm traffic through background re-learn + hot-swap cycles vs an idle controller", runServeRelearn},
 		{"serve-contention", "concurrent identical queries sharing one relaxation (single-flight)", runServeContention},
 		{"chaos-guided", "GuidedRelax through ~10% injected faults behind retry+breaker (zero hard aborts)", runChaosGuided},
 		{"serve-chaos", "serve-stale degradation: breaker open, expired cache entries served stale", runServeChaos},
@@ -508,6 +512,13 @@ func runServeWarm(o Options, env *Env) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	// A lifecycle reporter rides along (idle, like a production deployment
+	// between refreshes): attaching the controller must not cost the warm
+	// path anything — the alloc gate below holds it to that.
+	svc.AttachLifecycle(lifecycle.New(svc, webdb.NewLocal(car.Rel), nil, lifecycle.Config{
+		ShadowSample: -1,
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}))
 	// The warmup pass primes every pool entry into the cache; the measured
 	// window then sees hits only.
 	pool := serveQueries(car, o.scale(8, 16), o.Seed+72)
@@ -662,6 +673,129 @@ func runServeAudit(o Options, env *Env) (Result, error) {
 		res.Extra["audit_overhead_ratio"] = res.Latency.P50 / offP50
 	}
 	attachServeCounters(&res, svcOn)
+	return res, nil
+}
+
+// runServeRelearn prices the self-healing loop under load: warm round-robin
+// traffic (the serve-warm shape) while the lifecycle controller promotes a
+// re-learned model every few hundred requests. Each promote atomically
+// swaps the engine pack and flushes the generation-scoped cache, so the
+// requests right after a swap pay a recompute — the scenario's p99 against
+// the hand-timed idle-controller baseline is the serving price of a
+// hot-swap cycle. Extras carry the swap count, the mean refresh-cycle
+// duration, and the warm p99 delta.
+func runServeRelearn(o Options, env *Env) (Result, error) {
+	svc, car, err := newBenchService(o, env)
+	if err != nil {
+		return Result{}, err
+	}
+	// Two candidate models with distinct fingerprints: one mined from the
+	// serving relation, one from a price-shifted copy. The learn closure
+	// alternates them, so every refresh cycle runs the full promote path
+	// (validation is disabled — this prices the swap, not the replay).
+	lc := service.LearnConfig{Seed: o.Seed, SampleSize: o.scale(1_500, 5_000)}
+	mA, err := service.BuildModel(webdb.NewLocal(car.Rel), lc)
+	if err != nil {
+		return Result{}, err
+	}
+	shifted := datagen.Perturb(car.Rel, datagen.Perturbation{
+		ScaleNumeric: map[string]float64{"Price": 3},
+		DropCategory: map[string][]string{"Make": {"Toyota"}},
+		Seed:         o.Seed + 5,
+	})
+	mB, err := service.BuildModel(webdb.NewLocal(shifted), lc)
+	if err != nil {
+		return Result{}, err
+	}
+	if mA.Info().Fingerprint == mB.Info().Fingerprint {
+		return Result{}, fmt.Errorf("serve-relearn: candidate models share a fingerprint; nothing would swap")
+	}
+	var flip atomic.Int64
+	ctl := lifecycle.New(svc, webdb.NewLocal(car.Rel), func() (*service.Model, error) {
+		if flip.Add(1)%2 == 0 {
+			return mA, nil
+		}
+		return mB, nil
+	}, lifecycle.Config{
+		ShadowSample: -1,
+		Logger:       slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	svc.AttachLifecycle(ctl)
+
+	pool := serveQueries(car, o.scale(8, 16), o.Seed+77)
+	reqs := make([]*http.Request, len(pool))
+	for i, q := range pool {
+		reqs[i] = httptest.NewRequest(http.MethodGet, answerTarget(q), nil)
+	}
+	w := &discardWriter{hdr: make(http.Header)}
+	hit := func(i int) error {
+		w.reset()
+		r := reqs[i%len(reqs)]
+		svc.ServeHTTP(w, r)
+		if w.code != http.StatusOK {
+			return fmt.Errorf("GET %s: HTTP %d", r.URL.RequestURI(), w.code)
+		}
+		return nil
+	}
+
+	// Idle-controller baseline: prime the pool, then time pure warm hits.
+	iters, warmup := o.scale(3_000, 20_000), 100
+	for i := range reqs {
+		if err := hit(i); err != nil {
+			return Result{}, err
+		}
+	}
+	var off Sketch
+	for i := 0; i < iters; i++ {
+		t0 := time.Now()
+		if err := hit(i); err != nil {
+			return Result{}, err
+		}
+		off.ObserveDuration(time.Since(t0))
+	}
+	offP50, offP99 := off.Quantile(0.5), off.Quantile(0.99)
+
+	// Measured pass: a refresh+promote cycle lands every swapEvery requests
+	// (run inline so the swap count is deterministic; RefreshOnce with a
+	// prebuilt candidate costs microseconds, the flushed cache costs more).
+	swapEvery := o.scale(150, 500)
+	ctx := context.Background()
+	var refreshTotal time.Duration
+	swapsBefore := svc.ModelSwaps()
+	params := map[string]float64{
+		"db_tuples":  float64(car.Rel.Size()),
+		"query_pool": float64(len(pool)),
+		"swap_every": float64(swapEvery),
+	}
+	res, err := measure("serve-relearn", o.Quick, params, warmup, iters, func(i int, m *Measurement) error {
+		if i%swapEvery == 0 {
+			t0 := time.Now()
+			if rerr := ctl.RefreshOnce(ctx, "bench"); rerr != nil {
+				return fmt.Errorf("refresh cycle at op %d: %w", i, rerr)
+			}
+			refreshTotal += time.Since(t0)
+		}
+		return hit(i)
+	})
+	if err != nil {
+		return res, err
+	}
+	swaps := svc.ModelSwaps() - swapsBefore
+	st := ctl.RefreshStats()
+	res.Extra = map[string]float64{
+		"model_swaps":            float64(swaps),
+		"refresh_promoted":       float64(st.Promoted),
+		"warm_idle_p50_seconds":  offP50,
+		"warm_idle_p99_seconds":  offP99,
+		"warm_p99_delta_seconds": res.Latency.P99 - offP99,
+	}
+	if swaps > 0 {
+		res.Extra["refresh_mean_seconds"] = refreshTotal.Seconds() / float64(swaps)
+	}
+	if offP99 > 0 {
+		res.Extra["warm_p99_ratio"] = res.Latency.P99 / offP99
+	}
+	attachServeCounters(&res, svc)
 	return res, nil
 }
 

@@ -30,6 +30,11 @@ type MonitorConfig struct {
 	Pivot string
 	// ProbeWorkers is the re-probe's spanning-query parallelism. Default 1.
 	ProbeWorkers int
+	// FailureBackoffMax caps the exponential backoff Run applies after
+	// consecutive re-probe failures (Interval, 2·Interval, 4·Interval, …):
+	// hammering an already-unhealthy source at the fixed tick only feeds its
+	// breaker. Default 8× Interval.
+	FailureBackoffMax time.Duration
 }
 
 func (c MonitorConfig) withDefaults() MonitorConfig {
@@ -44,6 +49,9 @@ func (c MonitorConfig) withDefaults() MonitorConfig {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.FailureBackoffMax == 0 {
+		c.FailureBackoffMax = 8 * c.Interval
 	}
 	return c
 }
@@ -62,9 +70,10 @@ type Monitor struct {
 	// ticking goroutine.
 	OnBreach func(*Report)
 
-	ticks    atomic.Int64
-	breaches atomic.Int64
-	errs     atomic.Int64
+	ticks       atomic.Int64
+	breaches    atomic.Int64
+	errs        atomic.Int64
+	consecFails atomic.Int64
 
 	mu      sync.Mutex
 	rng     *rand.Rand
@@ -85,7 +94,24 @@ func NewMonitor(src webdb.Source, baseline *Profile, cfg MonitorConfig) *Monitor
 }
 
 // Baseline returns the profile the monitor compares against.
-func (m *Monitor) Baseline() *Profile { return m.baseline }
+func (m *Monitor) Baseline() *Profile {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.baseline
+}
+
+// SetBaseline rebases the monitor onto a new profile. The model lifecycle
+// controller calls this after promoting a re-learned model so drift is
+// measured against the data the *serving* model was mined from, not the
+// original boot-time sample (which would keep breaching forever).
+func (m *Monitor) SetBaseline(p *Profile) {
+	if p == nil {
+		return
+	}
+	m.mu.Lock()
+	m.baseline = p
+	m.mu.Unlock()
+}
 
 // PSIWarn returns the breach threshold in effect.
 func (m *Monitor) PSIWarn() float64 { return m.cfg.PSIWarn }
@@ -105,8 +131,10 @@ func (m *Monitor) Tick() (*Report, error) {
 	m.mu.Unlock()
 	if err != nil {
 		m.errs.Add(1)
+		m.consecFails.Add(1)
 		return nil, err
 	}
+	m.consecFails.Store(0)
 	if rep.MaxPSI >= m.cfg.PSIWarn {
 		m.breaches.Add(1)
 		if m.OnBreach != nil {
@@ -117,9 +145,12 @@ func (m *Monitor) Tick() (*Report, error) {
 }
 
 func (m *Monitor) sampleAndCompare() (*Report, error) {
+	m.mu.Lock()
+	baseline := m.baseline
+	m.mu.Unlock()
 	pivot := m.cfg.Pivot
 	if pivot == "" {
-		pivot = m.baseline.Pivot
+		pivot = baseline.Pivot
 	}
 	if pivot == "" {
 		// Baseline predates pivot tracking: rediscover one, the way the
@@ -150,44 +181,67 @@ func (m *Monitor) sampleAndCompare() (*Report, error) {
 	if m.cfg.SampleLimit > 0 && sample.Size() > m.cfg.SampleLimit {
 		sample = sample.Sample(m.cfg.SampleLimit, rng)
 	}
-	return Compare(m.baseline, sample)
+	return Compare(baseline, sample)
 }
 
 // Run ticks at the configured interval until ctx is cancelled. Errors are
 // retained in Status (and counted), never fatal — a flaky source must not
-// kill the monitor.
+// kill the monitor. Consecutive failures stretch the wait exponentially
+// (capped at FailureBackoffMax) so an unhealthy source isn't re-probed at
+// full cadence; the first success snaps back to the base interval.
 func (m *Monitor) Run(ctx context.Context) {
-	ticker := time.NewTicker(m.cfg.Interval)
-	defer ticker.Stop()
+	t := time.NewTimer(m.NextInterval())
+	defer t.Stop()
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case <-ticker.C:
+		case <-t.C:
 			_, _ = m.Tick()
+			t.Reset(m.NextInterval())
 		}
 	}
+}
+
+// NextInterval is the delay Run waits before the next tick given the
+// current consecutive-failure streak: Interval·2^n, capped.
+func (m *Monitor) NextInterval() time.Duration {
+	fails := m.consecFails.Load()
+	d := m.cfg.Interval
+	for i := int64(0); i < fails; i++ {
+		d *= 2
+		if d >= m.cfg.FailureBackoffMax {
+			return m.cfg.FailureBackoffMax
+		}
+	}
+	return d
 }
 
 // Status is a point-in-time view of the monitor for the debug and metrics
 // surfaces.
 type Status struct {
-	Ticks    int64     `json:"ticks"`
-	Breaches int64     `json:"breaches"`
-	Errors   int64     `json:"errors"`
-	PSIWarn  float64   `json:"psi_warn"`
-	LastAt   time.Time `json:"last_at,omitempty"`
-	LastErr  string    `json:"last_error,omitempty"`
-	Last     *Report   `json:"last,omitempty"`
+	Ticks    int64   `json:"ticks"`
+	Breaches int64   `json:"breaches"`
+	Errors   int64   `json:"errors"`
+	PSIWarn  float64 `json:"psi_warn"`
+	// ConsecFailures counts re-probe failures since the last success; Run's
+	// backoff is derived from it (NextIntervalSeconds is the current wait).
+	ConsecFailures      int64     `json:"consecutive_failures"`
+	NextIntervalSeconds float64   `json:"next_interval_seconds"`
+	LastAt              time.Time `json:"last_at,omitempty"`
+	LastErr             string    `json:"last_error,omitempty"`
+	Last                *Report   `json:"last,omitempty"`
 }
 
 // Status snapshots the monitor's counters and last report.
 func (m *Monitor) Status() Status {
 	st := Status{
-		Ticks:    m.ticks.Load(),
-		Breaches: m.breaches.Load(),
-		Errors:   m.errs.Load(),
-		PSIWarn:  m.cfg.PSIWarn,
+		Ticks:               m.ticks.Load(),
+		Breaches:            m.breaches.Load(),
+		Errors:              m.errs.Load(),
+		PSIWarn:             m.cfg.PSIWarn,
+		ConsecFailures:      m.consecFails.Load(),
+		NextIntervalSeconds: m.NextInterval().Seconds(),
 	}
 	m.mu.Lock()
 	st.LastAt = m.lastAt

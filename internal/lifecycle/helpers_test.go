@@ -1,0 +1,24 @@
+package lifecycle
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+
+	"aimq/internal/service"
+)
+
+// doReq issues one request against the service handler and decodes the JSON
+// body (nil when the body is not JSON).
+func doReq(svc *service.Service, target string) (int, map[string]any) {
+	r := httptest.NewRequest("GET", target, nil)
+	w := httptest.NewRecorder()
+	svc.ServeHTTP(w, r)
+	var out map[string]any
+	_ = json.Unmarshal(w.Body.Bytes(), &out)
+	return w.Code, out
+}
+
+func fmtErr(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}

@@ -1,0 +1,389 @@
+package lifecycle
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"aimq/internal/core"
+	"aimq/internal/datagen"
+	"aimq/internal/model"
+	"aimq/internal/service"
+	"aimq/internal/webdb"
+)
+
+func quietLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// env is a serving stack over the generated car database: a swappable
+// source, a learned boot model, and a service promoting that model.
+type env struct {
+	db   *datagen.CarDB
+	swap *webdb.Swap
+	m0   *service.Model
+	svc  *service.Service
+}
+
+func newEnv(t testing.TB) *env {
+	t.Helper()
+	db := datagen.GenerateCarDB(3000, 7)
+	swap := webdb.NewSwap(webdb.NewLocal(db.Rel))
+	m0, err := service.BuildModel(swap, service.LearnConfig{Pivot: "Make"})
+	if err != nil {
+		t.Fatalf("BuildModel: %v", err)
+	}
+	svc := service.New(swap, m0.Est, &core.Guided{Ord: m0.Ord}, service.Config{
+		Logger: quietLogger(),
+	})
+	svc.SetModelInfo(m0.Info())
+	return &env{db: db, swap: swap, m0: m0, svc: svc}
+}
+
+// shiftedModel learns a second, different model: the same database after a
+// distribution shift, so its fingerprint differs from the boot model's.
+func (e *env) shiftedModel(t testing.TB) *service.Model {
+	t.Helper()
+	shifted := datagen.Perturb(e.db.Rel, datagen.Perturbation{
+		ScaleNumeric: map[string]float64{"Price": 3},
+		DropCategory: map[string][]string{"Make": {"Toyota", "Honda"}},
+		Seed:         11,
+	})
+	m, err := service.BuildModel(webdb.NewLocal(shifted), service.LearnConfig{Pivot: "Make"})
+	if err != nil {
+		t.Fatalf("BuildModel(shifted): %v", err)
+	}
+	if m.Snap.Fingerprint() == e.m0.Snap.Fingerprint() {
+		t.Fatal("shifted model has the same fingerprint as the boot model")
+	}
+	return m
+}
+
+func newController(e *env, learn func() (*service.Model, error), cfg Config) *Controller {
+	cfg.Logger = quietLogger()
+	if cfg.ShadowSample == 0 {
+		cfg.ShadowSample = -1 // most tests exercise the swap, not validation
+	}
+	ctl := New(e.svc, e.swap, learn, cfg)
+	ctl.SetServing(e.m0)
+	e.svc.AttachLifecycle(ctl)
+	return ctl
+}
+
+func TestRefreshOncePromotesNewModel(t *testing.T) {
+	e := newEnv(t)
+	m1 := e.shiftedModel(t)
+	ctl := newController(e, func() (*service.Model, error) { return m1, nil }, Config{})
+
+	if err := ctl.RefreshOnce(context.Background(), "test"); err != nil {
+		t.Fatalf("RefreshOnce: %v", err)
+	}
+	if gen := e.svc.ModelGeneration(); gen != 1 {
+		t.Fatalf("generation = %d, want 1", gen)
+	}
+	info, ok := e.svc.ModelInfo()
+	if !ok || info.Fingerprint != m1.Snap.Fingerprint() {
+		t.Fatalf("serving fingerprint = %q, want candidate %q", info.Fingerprint, m1.Snap.Fingerprint())
+	}
+	st := ctl.RefreshStats()
+	if st.Promoted != 1 || st.Attempts != 1 || st.Failed != 0 {
+		t.Fatalf("stats = %+v, want 1 attempt, 1 promoted", st)
+	}
+	if st.State != "idle" {
+		t.Fatalf("state = %q, want idle", st.State)
+	}
+}
+
+func TestRefreshOnceUnchangedFingerprintSkipsSwap(t *testing.T) {
+	e := newEnv(t)
+	// Re-learning the unchanged source is deterministic: same artifacts,
+	// same fingerprint — the controller must not swap or flush anything.
+	ctl := newController(e, func() (*service.Model, error) {
+		return service.BuildModel(e.swap, service.LearnConfig{Pivot: "Make"})
+	}, Config{})
+
+	if err := ctl.RefreshOnce(context.Background(), "interval"); err != nil {
+		t.Fatalf("RefreshOnce: %v", err)
+	}
+	if gen := e.svc.ModelGeneration(); gen != 0 {
+		t.Fatalf("generation = %d after unchanged refresh, want 0 (no swap)", gen)
+	}
+	st := ctl.RefreshStats()
+	if st.Unchanged != 1 || st.Promoted != 0 {
+		t.Fatalf("stats = %+v, want 1 unchanged, 0 promoted", st)
+	}
+}
+
+func TestRefreshFailureBacksOffAndKeepsServing(t *testing.T) {
+	e := newEnv(t)
+	learnErr := webdb.ErrBreakerOpen
+	ctl := newController(e, func() (*service.Model, error) { return nil, learnErr }, Config{
+		Retry: webdb.RetryPolicy{BaseDelay: time.Hour, MaxDelay: time.Hour},
+	})
+
+	if err := ctl.RefreshOnce(context.Background(), "drift breach"); err == nil {
+		t.Fatal("RefreshOnce succeeded with a failing learner")
+	}
+	if gen := e.svc.ModelGeneration(); gen != 0 {
+		t.Fatalf("generation = %d after failed refresh, want 0", gen)
+	}
+	info, _ := e.svc.ModelInfo()
+	if info.Fingerprint != e.m0.Snap.Fingerprint() {
+		t.Fatal("serving fingerprint changed after a failed re-learn")
+	}
+	st := ctl.RefreshStats()
+	if st.Failed != 1 || st.ConsecFailures != 1 {
+		t.Fatalf("stats = %+v, want 1 failed, 1 consecutive", st)
+	}
+	if st.State != "backoff" || st.BackoffSeconds <= 0 {
+		t.Fatalf("state=%q backoff=%.1fs, want armed backoff", st.State, st.BackoffSeconds)
+	}
+	if st.LastError == "" {
+		t.Fatal("LastError empty after failed refresh")
+	}
+
+	// Consecutive failures grow the backoff (jittered exponential, so only
+	// the failure count is deterministic).
+	_ = ctl.RefreshOnce(context.Background(), "drift breach")
+	if got := ctl.RefreshStats().ConsecFailures; got != 2 {
+		t.Fatalf("consecutive failures = %d, want 2", got)
+	}
+}
+
+func TestTriggerRefreshCoalesces(t *testing.T) {
+	e := newEnv(t)
+	ctl := newController(e, func() (*service.Model, error) { return nil, nil }, Config{})
+	if !ctl.TriggerRefresh("a") {
+		t.Fatal("first trigger not accepted")
+	}
+	if ctl.TriggerRefresh("b") {
+		t.Fatal("second trigger not coalesced")
+	}
+}
+
+func TestRollbackRestoresModelAndDiskGeneration(t *testing.T) {
+	e := newEnv(t)
+	m1 := e.shiftedModel(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := model.Save(path, e.m0.Snap); err != nil {
+		t.Fatalf("seed Save: %v", err)
+	}
+	ctl := newController(e, func() (*service.Model, error) { return m1, nil }, Config{
+		ModelPath: path, Keep: 2,
+	})
+
+	if err := ctl.RefreshOnce(context.Background(), "drift breach"); err != nil {
+		t.Fatalf("RefreshOnce: %v", err)
+	}
+	// Promote persisted the candidate and rotated the boot model to .1.
+	if snap, err := model.Load(path); err != nil || snap.Fingerprint() != m1.Snap.Fingerprint() {
+		t.Fatalf("on-disk model after promote: fp=%v err=%v, want candidate", snapFP(snap), err)
+	}
+	if snap, err := model.Load(model.GenerationPath(path, 1)); err != nil || snap.Fingerprint() != e.m0.Snap.Fingerprint() {
+		t.Fatalf("rotated generation .1: fp=%v err=%v, want boot model", snapFP(snap), err)
+	}
+
+	if !ctl.Rollback("probation breach: forced by test") {
+		t.Fatal("Rollback returned false with a previous model retained")
+	}
+	if gen := e.svc.ModelGeneration(); gen != 2 {
+		t.Fatalf("generation = %d after rollback, want 2 (rollback is itself a swap)", gen)
+	}
+	info, _ := e.svc.ModelInfo()
+	if info.Fingerprint != e.m0.Snap.Fingerprint() {
+		t.Fatalf("serving fingerprint = %q after rollback, want boot model %q",
+			info.Fingerprint, e.m0.Snap.Fingerprint())
+	}
+	// Disk agrees: the primary path holds the boot model again.
+	if snap, err := model.Load(path); err != nil || snap.Fingerprint() != e.m0.Snap.Fingerprint() {
+		t.Fatalf("on-disk model after rollback: fp=%v err=%v, want boot model", snapFP(snap), err)
+	}
+	st := ctl.RefreshStats()
+	if st.Rollbacks != 1 {
+		t.Fatalf("rollbacks = %d, want 1", st.Rollbacks)
+	}
+	if st.BackoffSeconds <= 0 {
+		t.Fatal("rollback must arm a backoff so the bad candidate is not immediately re-promoted")
+	}
+
+	// Nothing left to roll back to.
+	if ctl.Rollback("again") {
+		t.Fatal("second Rollback succeeded with no previous model")
+	}
+}
+
+func snapFP(s *model.Snapshot) string {
+	if s == nil {
+		return "<nil>"
+	}
+	return s.Fingerprint()
+}
+
+func TestProbationObserverFlagsZeroAnswerCollapse(t *testing.T) {
+	e := newEnv(t)
+	ctl := newController(e, func() (*service.Model, error) { return nil, nil }, Config{
+		ProbationWindow: 10, ProbationZeroRate: 0.5,
+	})
+
+	obs := ctl.probationObserver(3)
+	for i := 0; i < 4; i++ {
+		obs(3, 2, 1.6) // healthy answers
+	}
+	obs(2, 0, 0) // stale generation: ignored
+	for i := 0; i < 6; i++ {
+		obs(3, 0, 0) // zero-answer collapse
+	}
+	select {
+	case reason := <-ctl.probationC:
+		if reason == "" {
+			t.Fatal("empty probation breach reason")
+		}
+	default:
+		t.Fatal("probation breach not signalled at 6/10 zero answers >= 0.5")
+	}
+}
+
+func TestProbationObserverPassesHealthyWindow(t *testing.T) {
+	e := newEnv(t)
+	ctl := newController(e, func() (*service.Model, error) { return nil, nil }, Config{
+		ProbationWindow: 10, ProbationZeroRate: 0.5,
+	})
+	obs := ctl.probationObserver(1)
+	for i := 0; i < 12; i++ {
+		obs(1, 3, 2.4)
+	}
+	select {
+	case reason := <-ctl.probationC:
+		t.Fatalf("healthy probation window signalled a breach: %s", reason)
+	default:
+	}
+}
+
+// TestRunLoopProbationBreachRollsBack drives the full post-promote rollback
+// path through the Run loop: promote a shifted candidate, then signal a
+// probation breach and watch Run restore the boot model.
+func TestRunLoopProbationBreachRollsBack(t *testing.T) {
+	e := newEnv(t)
+	m1 := e.shiftedModel(t)
+	ctl := newController(e, func() (*service.Model, error) { return m1, nil }, Config{
+		ProbationWindow: 4, ProbationZeroRate: 0.5,
+	})
+	if err := ctl.RefreshOnce(context.Background(), "drift breach"); err != nil {
+		t.Fatalf("RefreshOnce: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); ctl.Run(ctx) }()
+
+	ctl.probationC <- "probation breach: zero-answer rate 1.00 >= 0.50 over 4 computed answers"
+	deadline := time.Now().Add(5 * time.Second)
+	for ctl.RefreshStats().Rollbacks == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("Run loop did not roll back after probation breach")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	info, _ := e.svc.ModelInfo()
+	if info.Fingerprint != e.m0.Snap.Fingerprint() {
+		t.Fatal("Run-loop rollback did not restore the boot model")
+	}
+	cancel()
+	<-done
+}
+
+// TestChaosRelearnNeverDisturbsServing is the chaos acceptance demo: the
+// learner reads through a source failing 30% of its queries, so re-learns
+// keep failing — while the serving path (healthy source, old model) answers
+// every request without a single error or model change.
+func TestChaosRelearnNeverDisturbsServing(t *testing.T) {
+	e := newEnv(t)
+	chaotic := webdb.NewChaos(e.swap, webdb.ChaosConfig{FailProb: 0.3, Seed: 42})
+	ctl := newController(e, func() (*service.Model, error) {
+		return service.BuildModel(chaotic, service.LearnConfig{Pivot: "Make"})
+	}, Config{Retry: webdb.RetryPolicy{BaseDelay: time.Hour, MaxDelay: time.Hour}})
+
+	// Serving traffic runs throughout the failing refresh attempts.
+	stop := make(chan struct{})
+	servErrs := make(chan error, 1)
+	go func() {
+		defer close(servErrs)
+		queries := []string{
+			"/answer?q=Model+like+Camry&k=3",
+			"/answer?q=Price+like+12000&k=5",
+			"/answer?q=Make+like+Honda&k=2",
+		}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			code, out := doReq(e.svc, queries[i%len(queries)])
+			if code != 200 {
+				servErrs <- fmtErr("request %d: status %d body %v", i, code, out)
+				return
+			}
+		}
+	}()
+
+	failures := 0
+	for attempt := 0; attempt < 5; attempt++ {
+		if err := ctl.RefreshOnce(context.Background(), "drift breach"); err != nil {
+			failures++
+		}
+	}
+	close(stop)
+	if err := <-servErrs; err != nil {
+		t.Fatalf("serving disturbed during chaotic re-learns: %v", err)
+	}
+	if failures == 0 {
+		t.Fatal("no re-learn failed under 30% source faults; chaos not exercised")
+	}
+	st := ctl.RefreshStats()
+	if st.Failed != int64(failures) {
+		t.Fatalf("failed counter = %d, want %d", st.Failed, failures)
+	}
+	if st.ConsecFailures == 0 || st.BackoffSeconds <= 0 {
+		t.Fatalf("stats = %+v, want consecutive failures with armed backoff", st)
+	}
+	// The old model never stopped serving.
+	if gen := e.svc.ModelGeneration(); st.Promoted == 0 && gen != 0 {
+		t.Fatalf("generation = %d with no promote recorded", gen)
+	}
+	info, _ := e.svc.ModelInfo()
+	if st.Promoted == 0 && info.Fingerprint != e.m0.Snap.Fingerprint() {
+		t.Fatal("serving fingerprint changed although every promote failed")
+	}
+}
+
+func TestRunLoopDriftBreachTriggersRefresh(t *testing.T) {
+	e := newEnv(t)
+	m1 := e.shiftedModel(t)
+	ctl := newController(e, func() (*service.Model, error) { return m1, nil }, Config{})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); ctl.Run(ctx) }()
+
+	if !ctl.TriggerRefresh("drift breach") {
+		t.Fatal("trigger rejected")
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for ctl.RefreshStats().Promoted == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("Run loop did not promote after trigger")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if gen := e.svc.ModelGeneration(); gen != 1 {
+		t.Fatalf("generation = %d, want 1", gen)
+	}
+	cancel()
+	<-done
+}

@@ -1,0 +1,282 @@
+package lifecycle
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"aimq/internal/audit"
+	"aimq/internal/core"
+	"aimq/internal/service"
+)
+
+// fakeTarget makes replay outcomes deterministic: quality-gate tests must
+// not depend on what a degenerate model happens to answer.
+type fakeTarget struct {
+	answer func(q string, k int, tsim float64) ([]audit.Row, error)
+}
+
+func (f *fakeTarget) Answer(q string, k int, tsim float64) ([]audit.Row, error) {
+	return f.answer(q, k, tsim)
+}
+
+// writeAuditLog persists events to path through the real writer, so the
+// shadow validator reads the exact on-disk format production produces.
+func writeAuditLog(t *testing.T, path string, events []audit.Event) {
+	t.Helper()
+	aw, err := audit.NewWriter(audit.Config{Path: path})
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	for i := range events {
+		ev := events[i]
+		aw.Record(&ev)
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// answeredEvent builds a recorded answer with n rows at the given sim.
+func answeredEvent(q string, n int, sim float64) audit.Event {
+	ev := audit.Event{
+		Record: audit.RecordAnswer,
+		Query:  q,
+		Key:    q + "|k=5|tsim=0.5",
+		K:      5,
+		Tsim:   0.5,
+	}
+	for i := 0; i < n; i++ {
+		ev.Rows = append(ev.Rows, audit.Row{Values: []string{q, "row"}, Sim: sim})
+	}
+	return ev
+}
+
+// shadowCtl wires a controller whose replay target is the fake; the learn
+// closure is never called (tests invoke shadowValidate directly).
+func shadowCtl(t *testing.T, cfg Config, target audit.Target) (*env, *Controller) {
+	t.Helper()
+	e := newEnv(t)
+	cfg.Logger = quietLogger()
+	ctl := New(e.svc, e.swap, nil, cfg)
+	ctl.SetServing(e.m0)
+	if target != nil {
+		ctl.newTarget = func(*service.Model) audit.Target { return target }
+	}
+	return e, ctl
+}
+
+func TestShadowValidateDisabled(t *testing.T) {
+	_, ctl := shadowCtl(t, Config{ShadowSample: -1, AuditPath: "/nonexistent"}, nil)
+	rep, err := ctl.shadowValidate(&service.Model{})
+	if rep != nil || err != nil {
+		t.Fatalf("disabled validation returned (%+v, %v), want (nil, nil)", rep, err)
+	}
+	_, ctl = shadowCtl(t, Config{ShadowSample: 8, AuditPath: ""}, nil)
+	if rep, err := ctl.shadowValidate(&service.Model{}); rep != nil || err != nil {
+		t.Fatalf("no-audit-path validation returned (%+v, %v), want (nil, nil)", rep, err)
+	}
+}
+
+func TestShadowValidateMissingLogAccepts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.log")
+	_, ctl := shadowCtl(t, Config{AuditPath: path}, nil)
+	rep, err := ctl.shadowValidate(&service.Model{})
+	if err != nil {
+		t.Fatalf("shadowValidate: %v", err)
+	}
+	if !rep.Accept || !strings.Contains(rep.Reason, "no audit log") {
+		t.Fatalf("report = %+v, want accept on missing log", rep)
+	}
+}
+
+func TestShadowValidateEmptyLogAccepts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.log")
+	// Only partial answers recorded: nothing trustworthy to replay.
+	partial := answeredEvent("Model like Camry", 2, 0.9)
+	partial.Partial = true
+	writeAuditLog(t, path, []audit.Event{partial})
+
+	_, ctl := shadowCtl(t, Config{AuditPath: path}, nil)
+	rep, err := ctl.shadowValidate(&service.Model{})
+	if err != nil {
+		t.Fatalf("shadowValidate: %v", err)
+	}
+	if !rep.Accept || !strings.Contains(rep.Reason, "no replayable events") {
+		t.Fatalf("report = %+v, want accept on empty event sample", rep)
+	}
+}
+
+func TestShadowValidateAcceptsEquivalentCandidate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.log")
+	writeAuditLog(t, path, []audit.Event{
+		answeredEvent("Model like Camry", 3, 0.9),
+		answeredEvent("Price like 12000", 2, 0.8),
+	})
+	_, ctl := shadowCtl(t, Config{AuditPath: path}, &fakeTarget{
+		answer: func(q string, k int, tsim float64) ([]audit.Row, error) {
+			// The candidate reproduces the recorded quality exactly.
+			if q == "Model like Camry" {
+				return answeredEvent(q, 3, 0.9).Rows, nil
+			}
+			return answeredEvent(q, 2, 0.8).Rows, nil
+		},
+	})
+	rep, err := ctl.shadowValidate(&service.Model{})
+	if err != nil {
+		t.Fatalf("shadowValidate: %v", err)
+	}
+	if !rep.Accept {
+		t.Fatalf("equivalent candidate rejected: %+v", rep)
+	}
+	if rep.Sampled != 2 || rep.Errors != 0 {
+		t.Fatalf("report = %+v, want 2 sampled, 0 errors", rep)
+	}
+	if rep.ZeroRateCandidate != rep.ZeroRateRecorded || rep.MeanSimCandidate != rep.MeanSimRecorded {
+		t.Fatalf("identical replay diverged: %+v", rep)
+	}
+}
+
+func TestShadowValidateRejectsZeroAnswerRise(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.log")
+	writeAuditLog(t, path, []audit.Event{
+		answeredEvent("Model like Camry", 3, 0.9),
+		answeredEvent("Price like 12000", 2, 0.8),
+	})
+	_, ctl := shadowCtl(t, Config{AuditPath: path}, &fakeTarget{
+		answer: func(string, int, float64) ([]audit.Row, error) { return nil, nil },
+	})
+	rep, err := ctl.shadowValidate(&service.Model{})
+	if err != nil {
+		t.Fatalf("shadowValidate: %v", err)
+	}
+	if rep.Accept {
+		t.Fatalf("zero-answer collapse accepted: %+v", rep)
+	}
+	if !strings.Contains(rep.Reason, "zero-answer rate") {
+		t.Fatalf("reject reason %q does not name the zero-answer rise", rep.Reason)
+	}
+	if rep.ZeroRateCandidate != 1 || rep.ZeroRateRecorded != 0 {
+		t.Fatalf("rates = %+v, want 0 -> 1", rep)
+	}
+}
+
+func TestShadowValidateRejectsSimDrop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.log")
+	writeAuditLog(t, path, []audit.Event{
+		answeredEvent("Model like Camry", 3, 0.9),
+	})
+	_, ctl := shadowCtl(t, Config{AuditPath: path, MaxSimDrop: 0.10}, &fakeTarget{
+		// Same answer count (no zero rise) but much worse similarity.
+		answer: func(q string, k int, tsim float64) ([]audit.Row, error) {
+			return answeredEvent(q, 3, 0.5).Rows, nil
+		},
+	})
+	rep, err := ctl.shadowValidate(&service.Model{})
+	if err != nil {
+		t.Fatalf("shadowValidate: %v", err)
+	}
+	if rep.Accept {
+		t.Fatalf("0.4 mean-sim drop accepted: %+v", rep)
+	}
+	if !strings.Contains(rep.Reason, "similarity dropped") {
+		t.Fatalf("reject reason %q does not name the sim drop", rep.Reason)
+	}
+}
+
+func TestShadowValidateInfrastructureError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "audit.log")
+	writeAuditLog(t, path, []audit.Event{
+		answeredEvent("Model like Camry", 3, 0.9),
+		answeredEvent("Price like 12000", 2, 0.8),
+	})
+	_, ctl := shadowCtl(t, Config{AuditPath: path}, &fakeTarget{
+		answer: func(string, int, float64) ([]audit.Row, error) {
+			return nil, errors.New("source unreachable")
+		},
+	})
+	rep, err := ctl.shadowValidate(&service.Model{})
+	if err == nil {
+		t.Fatalf("all replays failing returned no error: %+v", rep)
+	}
+}
+
+func TestRecentEventsDedupNewestFirstAndCap(t *testing.T) {
+	evs := []audit.Event{
+		answeredEvent("q1", 1, 0.9),
+		answeredEvent("q2", 1, 0.9),
+		answeredEvent("q1", 2, 0.8), // newer duplicate of q1 wins
+		answeredEvent("q3", 1, 0.9),
+		answeredEvent("q4", 1, 0.9),
+	}
+	evs[1].Partial = true // partial: skipped
+	out := recentEvents(evs, 3)
+	if len(out) != 3 {
+		t.Fatalf("got %d events, want cap 3: %+v", len(out), out)
+	}
+	// Newest first: q4, q3, then the newer q1 (2 rows).
+	if out[0].Query != "q4" || out[1].Query != "q3" || out[2].Query != "q1" {
+		t.Fatalf("order = %s, %s, %s; want q4, q3, q1", out[0].Query, out[1].Query, out[2].Query)
+	}
+	if len(out[2].Rows) != 2 {
+		t.Fatalf("dedup kept the older q1 event (%d rows, want 2)", len(out[2].Rows))
+	}
+}
+
+// TestShadowValidateRealReplayAcceptsIdenticalModel is the integration
+// check: real audited traffic, real engine replay. A candidate with the
+// serving model's own artifacts replays bit-identically, so validation
+// accepts it.
+func TestShadowValidateRealReplayAcceptsIdenticalModel(t *testing.T) {
+	db := newEnv(t) // serving stack without audit; rebuild with audit below
+	path := filepath.Join(t.TempDir(), "audit.log")
+	aw, err := audit.NewWriter(audit.Config{Path: path})
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	svc := serviceWithAudit(t, db, aw)
+	for _, q := range []string{
+		"/answer?q=Model+like+Camry&k=3",
+		"/answer?q=Price+like+12000&k=5",
+	} {
+		if code, out := doReq(svc, q); code != 200 {
+			t.Fatalf("%s: status %d: %v", q, code, out)
+		}
+	}
+	waitDrained(t, svc, 2)
+	if err := aw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	ctl := New(svc, db.swap, nil, Config{AuditPath: path, Logger: quietLogger()})
+	rep, err := ctl.shadowValidate(db.m0)
+	if err != nil {
+		t.Fatalf("shadowValidate: %v", err)
+	}
+	if !rep.Accept {
+		t.Fatalf("identical model rejected by real replay: %+v", rep)
+	}
+	if rep.Sampled != 2 || rep.Errors != 0 {
+		t.Fatalf("report = %+v, want 2 sampled, 0 errors", rep)
+	}
+}
+
+func serviceWithAudit(t *testing.T, e *env, aw *audit.Writer) *service.Service {
+	t.Helper()
+	svc := service.New(e.swap, e.m0.Est, &core.Guided{Ord: e.m0.Ord}, service.Config{Audit: aw, Logger: quietLogger()})
+	svc.SetModelInfo(e.m0.Info())
+	return svc
+}
+
+func waitDrained(t *testing.T, svc *service.Service, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for svc.AuditStats().Written < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("audit events never drained: %+v", svc.AuditStats())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,165 @@
+package model
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stampedSnapshot returns the learned snapshot with a distinguishing
+// provenance stamp (fingerprints ignore provenance, so LearnedAtUnix is the
+// only way to tell rotated generations apart on disk).
+func stampedSnapshot(t *testing.T, stamp int64) *Snapshot {
+	t.Helper()
+	ord, est, _ := learned(t)
+	s := Capture(ord, est)
+	s.LearnedAtUnix = stamp
+	return s
+}
+
+func loadStamp(t *testing.T, path string) int64 {
+	t.Helper()
+	s, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", path, err)
+	}
+	return s.LearnedAtUnix
+}
+
+func TestSaveIsAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.json")
+	if err := Save(path, stampedSnapshot(t, 1)); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	// No temp residue next to the snapshot.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+	if got := loadStamp(t, path); got != 1 {
+		t.Fatalf("stamp = %d, want 1", got)
+	}
+}
+
+func TestLoadRejectsTruncatedSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := Save(path, stampedSnapshot(t, 1)); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A crash mid-write (pre-atomic-save snapshots, or a torn copy).
+	if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Load(path)
+	if err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("error %q does not name truncation", err)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+		t.Fatalf("error %v does not wrap the EOF cause", err)
+	}
+}
+
+func TestSaveKeepRotatesGenerations(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	for stamp := int64(1); stamp <= 4; stamp++ {
+		if err := SaveKeep(path, stampedSnapshot(t, stamp), 2); err != nil {
+			t.Fatalf("SaveKeep(stamp %d): %v", stamp, err)
+		}
+	}
+	// Newest at the primary path, two kept generations, nothing older.
+	if got := loadStamp(t, path); got != 4 {
+		t.Fatalf("primary stamp = %d, want 4", got)
+	}
+	if got := loadStamp(t, GenerationPath(path, 1)); got != 3 {
+		t.Fatalf(".1 stamp = %d, want 3", got)
+	}
+	if got := loadStamp(t, GenerationPath(path, 2)); got != 2 {
+		t.Fatalf(".2 stamp = %d, want 2", got)
+	}
+	if _, err := os.Stat(GenerationPath(path, 3)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("generation .3 exists beyond keep=2: %v", err)
+	}
+}
+
+func TestSaveKeepZeroKeepsNothing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := SaveKeep(path, stampedSnapshot(t, 1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveKeep(path, stampedSnapshot(t, 2), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := loadStamp(t, path); got != 2 {
+		t.Fatalf("primary stamp = %d, want 2", got)
+	}
+	if _, err := os.Stat(GenerationPath(path, 1)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("generation .1 exists with keep=0: %v", err)
+	}
+}
+
+func TestRollbackRestoresPreviousGeneration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	for stamp := int64(1); stamp <= 3; stamp++ {
+		if err := SaveKeep(path, stampedSnapshot(t, stamp), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// path=3, .1=2, .2=1. Roll back once: path=2, .1=1.
+	s, err := Rollback(path)
+	if err != nil {
+		t.Fatalf("Rollback: %v", err)
+	}
+	if s.LearnedAtUnix != 2 {
+		t.Fatalf("rollback returned stamp %d, want 2", s.LearnedAtUnix)
+	}
+	if got := loadStamp(t, path); got != 2 {
+		t.Fatalf("primary stamp after rollback = %d, want 2", got)
+	}
+	if got := loadStamp(t, GenerationPath(path, 1)); got != 1 {
+		t.Fatalf(".1 stamp after rollback = %d, want 1", got)
+	}
+	// Roll back again: path=1, no kept generations left.
+	if s, err = Rollback(path); err != nil || s.LearnedAtUnix != 1 {
+		t.Fatalf("second Rollback = (%v, %v), want stamp 1", s, err)
+	}
+	if _, err := Rollback(path); err == nil {
+		t.Fatal("Rollback with no kept generation succeeded")
+	}
+}
+
+func TestRollbackRejectsCorruptGeneration(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := SaveKeep(path, stampedSnapshot(t, 1), 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveKeep(path, stampedSnapshot(t, 2), 2); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the kept generation: rollback must fail and leave the
+	// serving snapshot in place.
+	if err := os.WriteFile(GenerationPath(path, 1), []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Rollback(path); err == nil {
+		t.Fatal("rollback onto a corrupt generation succeeded")
+	}
+	if got := loadStamp(t, path); got != 2 {
+		t.Fatalf("primary stamp = %d after failed rollback, want 2 untouched", got)
+	}
+}

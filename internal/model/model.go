@@ -10,6 +10,7 @@ package model
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -202,26 +203,44 @@ func (s *Snapshot) Write(w io.Writer) error {
 	return nil
 }
 
-// Read deserializes a snapshot.
+// Read deserializes a snapshot. A truncated or empty stream — the telltale
+// of a crash mid-save — is rejected with a distinct error rather than a
+// generic decode failure, so a boot-time Load points straight at the cause.
 func Read(r io.Reader) (*Snapshot, error) {
 	var s Snapshot
 	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("model: snapshot is truncated or empty (interrupted save?): %w", err)
+		}
 		return nil, fmt.Errorf("model: decode: %w", err)
 	}
 	return &s, nil
 }
 
-// Save writes the snapshot to a file.
+// Save writes the snapshot to a file atomically: encode into a temp file in
+// the same directory, then rename over path. Readers (and the next boot's
+// Load) see either the old complete snapshot or the new complete snapshot,
+// never a torn write.
 func Save(path string, s *Snapshot) error {
-	f, err := os.Create(path)
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
 	if err != nil {
 		return fmt.Errorf("model: %w", err)
 	}
-	defer f.Close()
 	if err := s.Write(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("model: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("model: %w", err)
+	}
+	return nil
 }
 
 // Load reads a snapshot from a file.
@@ -232,4 +251,52 @@ func Load(path string) (*Snapshot, error) {
 	}
 	defer f.Close()
 	return Read(f)
+}
+
+// GenerationPath names the n-th kept previous snapshot beside path
+// (path.1 is the most recent predecessor, path.2 the one before it, …).
+func GenerationPath(path string, n int) string {
+	return fmt.Sprintf("%s.%d", path, n)
+}
+
+// SaveKeep persists s at path atomically, first rotating any existing file
+// into the numbered generation chain (path → path.1 → path.2 → …), keeping
+// at most keep previous generations on disk. keep <= 0 degrades to a plain
+// atomic Save with no history.
+func SaveKeep(path string, s *Snapshot, keep int) error {
+	if keep > 0 {
+		if _, err := os.Stat(path); err == nil {
+			os.Remove(GenerationPath(path, keep))
+			for n := keep - 1; n >= 1; n-- {
+				// Best-effort shift; a missing generation is normal early on.
+				_ = os.Rename(GenerationPath(path, n), GenerationPath(path, n+1))
+			}
+			if err := os.Rename(path, GenerationPath(path, 1)); err != nil {
+				return fmt.Errorf("model: rotate generations: %w", err)
+			}
+		}
+	}
+	return Save(path, s)
+}
+
+// Rollback restores the most recent kept generation (path.1) over path and
+// shifts the remaining chain down (path.2 → path.1, …). The restored
+// snapshot is decoded and validated before the current file is replaced, so
+// a corrupt backup never clobbers a readable current snapshot. Returns the
+// restored snapshot.
+func Rollback(path string) (*Snapshot, error) {
+	prev := GenerationPath(path, 1)
+	snap, err := Load(prev)
+	if err != nil {
+		return nil, fmt.Errorf("model: rollback: %w", err)
+	}
+	if err := os.Rename(prev, path); err != nil {
+		return nil, fmt.Errorf("model: rollback: %w", err)
+	}
+	for n := 2; ; n++ {
+		if err := os.Rename(GenerationPath(path, n), GenerationPath(path, n-1)); err != nil {
+			break
+		}
+	}
+	return snap, nil
 }

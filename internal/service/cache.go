@@ -111,6 +111,16 @@ func (c *lruCache) Add(key string, val *answerPayload) {
 	}
 }
 
+// Flush drops every entry. Called on model promote: old-generation entries
+// are already unreachable (keys are generation-scoped), flushing returns
+// their memory and keeps the cache-entries gauge honest.
+func (c *lruCache) Flush() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ll.Init()
+	clear(c.byKey)
+}
+
 // Len reports the number of cached entries (expired ones included).
 func (c *lruCache) Len() int {
 	c.mu.Lock()
@@ -157,6 +167,14 @@ func (x *rawIndex) get(raw string) (string, bool) {
 	defer x.mu.Unlock()
 	k, ok := x.keys[raw]
 	return k, ok
+}
+
+// flush empties the index (model promote: the mapped cache keys belong to a
+// dead generation).
+func (x *rawIndex) flush() {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	clear(x.keys)
 }
 
 func (x *rawIndex) put(raw, key string) {

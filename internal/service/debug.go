@@ -100,6 +100,7 @@ func (s *Service) handleLearn(w http.ResponseWriter, _ *http.Request) {
 		mb := map[string]any{
 			"fingerprint": info.Fingerprint,
 			"built":       info.Built,
+			"generation":  s.ModelGeneration(),
 		}
 		if info.LearnedAtUnix != 0 {
 			mb["learned_at"] = info.LearnedAt().UTC().Format(time.RFC3339)
@@ -112,6 +113,9 @@ func (s *Service) handleLearn(w http.ResponseWriter, _ *http.Request) {
 			mb["pivot"] = info.Pivot
 		}
 		out["model"] = mb
+	}
+	if rep := s.lifecycleReporter(); rep != nil {
+		out["refresh"] = rep.RefreshStats()
 	}
 	writeJSON(w, http.StatusOK, out)
 }

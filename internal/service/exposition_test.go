@@ -325,3 +325,74 @@ func TestEscapeLabel(t *testing.T) {
 		t.Errorf("escaped label rejected: %v", err)
 	}
 }
+
+// fakeRefresher stands in for the lifecycle controller (the service must
+// not import internal/lifecycle), exercising every refresh metric family.
+type fakeRefresher struct{ st RefreshStats }
+
+func (f *fakeRefresher) RefreshStats() RefreshStats { return f.st }
+
+// TestRefreshMetricsExposed scrapes /metrics with a refresh reporter
+// attached: the aimq_model_refresh_* and aimq_model_rollbacks_total
+// families must appear with the reporter's numbers, the exposition must
+// stay strictly parseable, and the generation/swap counters must track
+// Promote.
+func TestRefreshMetricsExposed(t *testing.T) {
+	svc := obsService(t)
+	svc.SetModelInfo(ModelInfo{Fingerprint: "fp-test", Built: true})
+	svc.AttachLifecycle(&fakeRefresher{st: RefreshStats{
+		State:               "learning",
+		Attempts:            7,
+		Promoted:            3,
+		Unchanged:           1,
+		Rejected:            1,
+		Failed:              2,
+		Rollbacks:           1,
+		ConsecFailures:      2,
+		BackoffSeconds:      12.5,
+		LastDurationSeconds: 0.75,
+	}})
+
+	w := httptest.NewRecorder()
+	svc.ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	body := w.Body.String()
+	if err := parseExposition(body); err != nil {
+		t.Fatalf("scrape with refresh families rejected: %v\n%s", err, body)
+	}
+	for _, substr := range []string{
+		`aimq_model_refresh_total{result="promoted"} 3`,
+		`aimq_model_refresh_total{result="unchanged"} 1`,
+		`aimq_model_refresh_total{result="rejected"} 1`,
+		`aimq_model_refresh_total{result="failed"} 2`,
+		"aimq_model_refresh_in_progress 1",
+		"aimq_model_refresh_consecutive_failures 2",
+		"aimq_model_refresh_backoff_seconds 12.5",
+		"aimq_model_refresh_last_duration_seconds 0.75",
+		"aimq_model_rollbacks_total 1",
+		"aimq_model_generation 0",
+		"aimq_model_swaps_total 0",
+	} {
+		if !strings.Contains(body, substr) {
+			t.Errorf("scrape lacks %q", substr)
+		}
+	}
+
+	// A promote moves the generation gauge and the swap counter.
+	ord, est := learnFrom(t, testDB(600, 3))
+	svc.Promote(est, guidedFor(ord), ModelInfo{Fingerprint: "fp-test-2", Built: true})
+	w = httptest.NewRecorder()
+	svc.ServeHTTP(w, httptest.NewRequest("GET", "/metrics", nil))
+	body = w.Body.String()
+	if err := parseExposition(body); err != nil {
+		t.Fatalf("post-promote scrape rejected: %v", err)
+	}
+	for _, substr := range []string{
+		"aimq_model_generation 1",
+		"aimq_model_swaps_total 1",
+		`aimq_model_version{version="fp-test-2"`,
+	} {
+		if !strings.Contains(body, substr) {
+			t.Errorf("post-promote scrape lacks %q", substr)
+		}
+	}
+}

@@ -34,6 +34,7 @@ type serviceMetrics struct {
 	tuplesRead     atomic.Int64 // tuples extracted from the source
 	slowQueries    atomic.Int64 // answers slower than the slow-query threshold
 	staleServes    atomic.Int64 // responses served from expired/error-bypassed cache
+	modelSwaps     atomic.Int64 // Promote calls (model hot-swaps, rollbacks included)
 	inflight       atomic.Int64
 
 	latency latencyHistogram
@@ -225,9 +226,15 @@ func writeHistogram(w io.Writer, name, labels string, h *histogram) {
 // aimq_audit_* families. Nil sub-fields (and a nil modelTelemetry) simply
 // skip their series, so a bare test service scrapes unchanged.
 type modelTelemetry struct {
-	info  ModelInfo
-	drift *drift.Status
-	audit *audit.Stats
+	info ModelInfo
+	// generation is the engine-pack swap generation at scrape time.
+	generation uint64
+	drift      *drift.Status
+	audit      *audit.Stats
+	// refresh is the model lifecycle controller's status (nil when no
+	// controller is attached): the aimq_model_refresh_* and
+	// aimq_model_rollbacks_total families.
+	refresh *RefreshStats
 }
 
 // render writes the metrics in Prometheus text format. cacheEntries is the
@@ -325,6 +332,11 @@ func (m *serviceMetrics) render(w io.Writer, cacheEntries int, res *webdb.Resili
 	}
 
 	if mt != nil {
+		gauge("aimq_model_generation",
+			"Engine-pack swap generation (0 = the boot-time model, +1 per promote).",
+			float64(mt.generation))
+		counter("aimq_model_swaps_total",
+			"Model hot-swaps performed (promotes and rollbacks).", m.modelSwaps.Load())
 		if mt.info.Fingerprint != "" {
 			fmt.Fprintf(w, "# HELP aimq_model_version Served model identity; the version label is the model fingerprint, value is always 1.\n")
 			fmt.Fprintf(w, "# TYPE aimq_model_version gauge\n")
@@ -363,6 +375,31 @@ func (m *serviceMetrics) render(w io.Writer, cacheEntries int, res *webdb.Resili
 					fmt.Fprintf(w, "aimq_model_drift_psi{attr=\"%s\"} %g\n", escapeLabel(a.Name), a.PSI)
 				}
 			}
+		}
+		if r := mt.refresh; r != nil {
+			fmt.Fprintf(w, "# HELP aimq_model_refresh_total Model refresh attempts by outcome.\n")
+			fmt.Fprintf(w, "# TYPE aimq_model_refresh_total counter\n")
+			fmt.Fprintf(w, "aimq_model_refresh_total{result=\"promoted\"} %d\n", r.Promoted)
+			fmt.Fprintf(w, "aimq_model_refresh_total{result=\"unchanged\"} %d\n", r.Unchanged)
+			fmt.Fprintf(w, "aimq_model_refresh_total{result=\"rejected\"} %d\n", r.Rejected)
+			fmt.Fprintf(w, "aimq_model_refresh_total{result=\"failed\"} %d\n", r.Failed)
+			inProgress := 0.0
+			if r.State == "learning" || r.State == "validating" || r.State == "promoting" {
+				inProgress = 1
+			}
+			gauge("aimq_model_refresh_in_progress",
+				"1 while a model refresh attempt is running.", inProgress)
+			gauge("aimq_model_refresh_consecutive_failures",
+				"Failed or rejected refresh attempts since the last success.",
+				float64(r.ConsecFailures))
+			gauge("aimq_model_refresh_backoff_seconds",
+				"Wait imposed before the next refresh attempt (0 = none).",
+				r.BackoffSeconds)
+			gauge("aimq_model_refresh_last_duration_seconds",
+				"Duration of the most recent completed refresh attempt.",
+				r.LastDurationSeconds)
+			counter("aimq_model_rollbacks_total",
+				"Post-promote quality breaches that rolled the model back.", r.Rollbacks)
 		}
 		if a := mt.audit; a != nil {
 			counter("aimq_audit_events_written_total",

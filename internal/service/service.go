@@ -135,10 +135,14 @@ func (c Config) withDefaults() Config {
 // Service answers imprecise queries over one learned model. Safe for
 // concurrent use; construct with New.
 type Service struct {
-	src     webdb.Source
-	est     *similarity.Estimator
-	relaxer core.Relaxer
-	cfg     Config
+	src webdb.Source
+	// pack holds all model-derived serving state (estimator, relaxer, model
+	// identity) behind one atomically swappable pointer — see enginePack.
+	// Never nil after New. swapMu serializes writers (Promote, SetModelInfo);
+	// readers load the pointer lock-free.
+	pack   atomic.Pointer[enginePack]
+	swapMu sync.Mutex
+	cfg    Config
 
 	cache  *lruCache
 	raw    *rawIndex // raw GET query string → canonical cache key (fast path)
@@ -165,12 +169,15 @@ type Service struct {
 
 	// audit is the durable query log writer (nil = auditing off).
 	audit *audit.Writer
-	// infoMu guards the model identity card and the drift monitor pointer,
-	// both set once at startup and read by the telemetry surfaces.
-	infoMu   sync.Mutex
-	info     ModelInfo
-	infoSet  bool
-	driftMon *drift.Monitor
+	// ansObs, when set, observes every computed answer (see SetAnswerObserver);
+	// the lifecycle controller's probation window feeds on it.
+	ansObs atomic.Pointer[AnswerObserver]
+	// infoMu guards the drift monitor and lifecycle reporter pointers, both
+	// set once at startup and read by the telemetry surfaces. (The model
+	// identity card lives in the pack.)
+	infoMu    sync.Mutex
+	driftMon  *drift.Monitor
+	refresher RefreshReporter
 }
 
 // New assembles the service over a source and a learned model. The relaxer
@@ -178,13 +185,12 @@ type Service struct {
 // with its shared Rng, is not).
 func New(src webdb.Source, est *similarity.Estimator, relaxer core.Relaxer, cfg Config) *Service {
 	s := &Service{
-		src:     src,
-		est:     est,
-		relaxer: relaxer,
-		cfg:     cfg.withDefaults(),
-		flight:  newFlightGroup(),
-		start:   time.Now(),
+		src:    src,
+		cfg:    cfg.withDefaults(),
+		flight: newFlightGroup(),
+		start:  time.Now(),
 	}
+	s.pack.Store(&enginePack{est: est, relaxer: relaxer, keyPrefix: genPrefix(0)})
 	s.met.initQuality()
 	s.cache = newLRUCache(s.cfg.CacheSize, s.cfg.CacheTTL)
 	s.raw = newRawIndex(s.cfg.CacheSize)
@@ -295,6 +301,12 @@ func (s *Service) tryFastAnswer(w http.ResponseWriter, r *http.Request) bool {
 	}
 	key, ok := s.raw.get(raw)
 	if !ok {
+		return false
+	}
+	// Keys are generation-scoped; a mapping registered by an in-flight
+	// old-model computation after a promote flushed the index must not serve
+	// a stale-model answer. One pointer load + prefix compare, no allocation.
+	if !strings.HasPrefix(key, s.pack.Load().keyPrefix) {
 		return false
 	}
 	start := time.Now()
@@ -473,7 +485,10 @@ func (s *Service) handleAnswer(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	reqID := requestID(ctx)
 
-	key := cacheKey(q, k, tsim)
+	// One pack load per request: the cache key, the computation and the
+	// audit record all see the same model even if a promote lands mid-run.
+	pack := s.currentPack()
+	key := pack.keyPrefix + cacheKey(q, k, tsim)
 	if !req.Explain {
 		if ca, expired, ok := s.cache.Get(key); ok {
 			serveStale := expired && s.degraded()
@@ -505,7 +520,7 @@ func (s *Service) handleAnswer(w http.ResponseWriter, r *http.Request) {
 		flightKey += "|explain"
 	}
 	payload, err, shared := s.flight.Do(ctx, flightKey, func() (*answerPayload, error) {
-		p, err := s.compute(ctx, q, k, tsim, reqID, req.Explain)
+		p, err := s.computeWith(ctx, pack, q, k, tsim, reqID, req.Explain)
 		if err == nil && !req.Explain {
 			s.cache.Add(key, p)
 		}
@@ -640,6 +655,13 @@ func (s *Service) bounds(req *answerRequest) (int, float64, error) {
 // histograms and the slow-query log, and — for explain requests — rides on
 // the payload itself.
 func (s *Service) compute(ctx context.Context, q *query.Query, k int, tsim float64, traceID string, explain bool) (*answerPayload, error) {
+	return s.computeWith(ctx, s.currentPack(), q, k, tsim, traceID, explain)
+}
+
+// computeWith is compute against an explicit engine pack, so a request (or a
+// cache-warming pass) runs entirely on the model it loaded, even if a
+// promote swaps the serving pack mid-computation.
+func (s *Service) computeWith(ctx context.Context, pack *enginePack, q *query.Query, k int, tsim float64, traceID string, explain bool) (*answerPayload, error) {
 	cfg := s.cfg.Engine
 	cfg.K = k
 	cfg.Tsim = tsim
@@ -657,7 +679,7 @@ func (s *Service) compute(ctx context.Context, q *query.Query, k int, tsim float
 		rec = obs.NewRecorderWith(traceID, q.String(), callerTrace(ctx))
 		ctx = obs.WithRecorder(ctx, rec)
 	}
-	eng := core.New(s.src, s.est, s.relaxer, cfg)
+	eng := core.New(s.src, pack.est, pack.relaxer, cfg)
 	res, err := eng.AnswerContext(ctx, q)
 	if res != nil {
 		s.met.relaxQueries.Add(int64(res.Work.QueriesIssued))
@@ -692,7 +714,7 @@ func (s *Service) compute(ctx context.Context, q *query.Query, k int, tsim float
 			if explain {
 				p.Explain = tr
 			}
-			s.auditRecord(q, p, tr, k, tsim, explain, true)
+			s.auditRecord(pack, q, p, tr, k, tsim, explain, true)
 			return p, err
 		}
 		return nil, err
@@ -701,7 +723,8 @@ func (s *Service) compute(ctx context.Context, q *query.Query, k int, tsim float
 	if explain {
 		p.Explain = tr
 	}
-	s.auditRecord(q, p, tr, k, tsim, explain, false)
+	s.auditRecord(pack, q, p, tr, k, tsim, explain, false)
+	s.notifyAnswer(pack, p)
 	return p, nil
 }
 
@@ -748,6 +771,7 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		mb := map[string]any{
 			"fingerprint": info.Fingerprint,
 			"built":       info.Built,
+			"generation":  s.ModelGeneration(),
 		}
 		if info.LearnedAtUnix != 0 {
 			mb["learned_at"] = info.LearnedAt().UTC().Format(time.RFC3339)
@@ -757,6 +781,9 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 			mb["sample_size"] = info.SampleSize
 		}
 		body["model"] = mb
+	}
+	if rep := s.lifecycleReporter(); rep != nil {
+		body["refresh"] = rep.RefreshStats()
 	}
 	if s.res != nil {
 		st := s.res.Stats()
@@ -797,6 +824,16 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 		st := s.audit.Stats()
 		mt.audit = &st
+	}
+	if rep := s.lifecycleReporter(); rep != nil {
+		if mt == nil {
+			mt = &modelTelemetry{}
+		}
+		st := rep.RefreshStats()
+		mt.refresh = &st
+	}
+	if mt != nil {
+		mt.generation = s.ModelGeneration()
 	}
 	s.met.render(w, s.cache.Len(), res, engSnap, mt)
 }

@@ -1,0 +1,160 @@
+package service
+
+import (
+	"strconv"
+	"time"
+
+	"aimq/internal/core"
+	"aimq/internal/similarity"
+)
+
+// enginePack bundles every piece of model-derived serving state — the
+// similarity estimator, the relaxer built from the mined attribute ordering,
+// and the model's identity card — into one immutable unit behind an atomic
+// pointer. Swapping the pointer is the zero-downtime model swap: requests
+// load the pack once and keep a consistent view for their whole run, so
+// in-flight queries finish on the model they started with while new requests
+// pick up the promoted one.
+type enginePack struct {
+	est     *similarity.Estimator
+	relaxer core.Relaxer
+	info    ModelInfo
+	infoSet bool
+	// gen is the swap generation, bumped on every Promote. keyPrefix ("g<gen>|")
+	// namespaces answer-cache and raw-index keys by generation: entries
+	// computed under an old model become unreachable the instant a new pack is
+	// promoted, without racing the in-flight computations that are still
+	// inserting under old-generation keys.
+	gen       uint64
+	keyPrefix string
+}
+
+func genPrefix(gen uint64) string {
+	return "g" + strconv.FormatUint(gen, 10) + "|"
+}
+
+// currentPack loads the serving pack. Never nil after New.
+func (s *Service) currentPack() *enginePack {
+	return s.pack.Load()
+}
+
+// Promote atomically swaps the serving model: every request that starts
+// after Promote returns sees the new estimator, relaxer and identity card,
+// while requests already in flight finish (and cache their results) under
+// the old generation. The answer cache and the raw fast-path index are
+// flushed — old-generation entries are unreachable anyway (generation-scoped
+// keys), flushing just returns their memory. Returns the new generation.
+func (s *Service) Promote(est *similarity.Estimator, relaxer core.Relaxer, info ModelInfo) uint64 {
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	gen := s.pack.Load().gen + 1
+	s.pack.Store(&enginePack{
+		est:       est,
+		relaxer:   relaxer,
+		info:      info,
+		infoSet:   true,
+		gen:       gen,
+		keyPrefix: genPrefix(gen),
+	})
+	s.cache.Flush()
+	s.raw.flush()
+	s.met.modelSwaps.Add(1)
+	return gen
+}
+
+// ModelGeneration returns the current swap generation (0 until the first
+// Promote).
+func (s *Service) ModelGeneration() uint64 {
+	return s.pack.Load().gen
+}
+
+// ModelSwaps returns how many times Promote has swapped the serving model
+// (rollbacks included — a rollback is a promote of the previous model).
+func (s *Service) ModelSwaps() int64 { return s.met.modelSwaps.Load() }
+
+// AnswerObserver sees every successfully computed (uncached) answer: the
+// generation of the pack that computed it, the number of answers and the sum
+// of their Sim scores. The model lifecycle controller installs one during
+// its post-promote probation window to watch for quality collapse. Cache
+// hits never reach it, keeping the warm fast path untouched.
+type AnswerObserver func(gen uint64, answers int, simSum float64)
+
+// SetAnswerObserver installs (or, with nil, removes) the computed-answer
+// observer. Safe to call concurrently with serving.
+func (s *Service) SetAnswerObserver(f AnswerObserver) {
+	if f == nil {
+		s.ansObs.Store(nil)
+		return
+	}
+	s.ansObs.Store(&f)
+}
+
+// notifyAnswer invokes the observer, if any, for a computed payload.
+func (s *Service) notifyAnswer(pack *enginePack, p *answerPayload) {
+	fp := s.ansObs.Load()
+	if fp == nil || p == nil {
+		return
+	}
+	sum := 0.0
+	for i := range p.Answers {
+		sum += p.Answers[i].Sim
+	}
+	(*fp)(pack.gen, len(p.Answers), sum)
+}
+
+// RefreshStats is the model lifecycle controller's status surface, reported
+// through the service's /healthz, /debug/learn and /metrics endpoints. The
+// service defines the type (and the RefreshReporter interface) so the
+// lifecycle package can depend on service without a cycle.
+type RefreshStats struct {
+	// State is the controller's current phase: idle, backoff, learning,
+	// validating, or promoting.
+	State string `json:"state"`
+	// Attempts counts refresh attempts; every attempt ends in exactly one of
+	// Promoted, Unchanged, Rejected or Failed.
+	Attempts  int64 `json:"attempts"`
+	Promoted  int64 `json:"promoted"`
+	Unchanged int64 `json:"unchanged"`
+	Rejected  int64 `json:"rejected"`
+	Failed    int64 `json:"failed"`
+	// Rollbacks counts post-promote quality breaches that restored the
+	// previous model.
+	Rollbacks int64 `json:"rollbacks"`
+	// ConsecFailures counts failed/rejected attempts since the last
+	// successful one; the controller's backoff is derived from it.
+	ConsecFailures int64 `json:"consecutive_failures"`
+	// BackoffSeconds is the wait currently imposed before the next attempt
+	// (0 when the controller is not backing off).
+	BackoffSeconds float64 `json:"backoff_seconds,omitempty"`
+	// LastReason is what triggered the most recent attempt ("drift breach",
+	// "interval", ...).
+	LastReason string `json:"last_reason,omitempty"`
+	// LastError is the most recent attempt's failure, empty after a success.
+	LastError string `json:"last_error,omitempty"`
+	// LastDurationSeconds is how long the most recent completed attempt took.
+	LastDurationSeconds float64 `json:"last_duration_seconds,omitempty"`
+	// LastAt is when the most recent attempt finished.
+	LastAt time.Time `json:"last_at,omitempty"`
+}
+
+// RefreshReporter is the face of the lifecycle controller the service
+// consumes for its telemetry surfaces.
+type RefreshReporter interface {
+	RefreshStats() RefreshStats
+}
+
+// AttachLifecycle wires a model refresh controller's status into /healthz,
+// /debug/learn and the aimq_model_refresh_* metric families. Call once at
+// startup.
+func (s *Service) AttachLifecycle(r RefreshReporter) {
+	s.infoMu.Lock()
+	s.refresher = r
+	s.infoMu.Unlock()
+}
+
+// lifecycleReporter returns the attached controller, nil when none.
+func (s *Service) lifecycleReporter() RefreshReporter {
+	s.infoMu.Lock()
+	defer s.infoMu.Unlock()
+	return s.refresher
+}

@@ -13,19 +13,22 @@ import (
 
 // SetModelInfo attaches the served model's identity card, surfaced by
 // /healthz, /debug/learn, the aimq_model_* metric families and every audit
-// event. Call once at startup, before serving.
+// event. Call at startup; later identity changes ride on Promote. The card
+// lives in the engine pack, so a copy-on-write swap keeps it consistent
+// with the estimator/relaxer it describes.
 func (s *Service) SetModelInfo(info ModelInfo) {
-	s.infoMu.Lock()
-	s.info, s.infoSet = info, true
-	s.infoMu.Unlock()
+	s.swapMu.Lock()
+	defer s.swapMu.Unlock()
+	next := *s.pack.Load()
+	next.info, next.infoSet = info, true
+	s.pack.Store(&next)
 }
 
-// ModelInfo returns the attached identity card; ok is false when none was
-// set (tests constructing a bare service).
+// ModelInfo returns the serving model's identity card; ok is false when none
+// was set (tests constructing a bare service).
 func (s *Service) ModelInfo() (ModelInfo, bool) {
-	s.infoMu.Lock()
-	defer s.infoMu.Unlock()
-	return s.info, s.infoSet
+	p := s.pack.Load()
+	return p.info, p.infoSet
 }
 
 // AttachDriftMonitor wires a drift monitor into the service's telemetry:
@@ -77,10 +80,12 @@ func (s *Service) handleDrift(w http.ResponseWriter, _ *http.Request) {
 	}
 	st := mon.Status()
 	out := map[string]any{
-		"psi_warn": st.PSIWarn,
-		"ticks":    st.Ticks,
-		"breaches": st.Breaches,
-		"errors":   st.Errors,
+		"psi_warn":              st.PSIWarn,
+		"ticks":                 st.Ticks,
+		"breaches":              st.Breaches,
+		"errors":                st.Errors,
+		"consecutive_failures":  st.ConsecFailures,
+		"next_interval_seconds": st.NextIntervalSeconds,
 	}
 	if !st.LastAt.IsZero() {
 		out["last_tick"] = st.LastAt
@@ -108,7 +113,7 @@ func (s *Service) handleDrift(w http.ResponseWriter, _ *http.Request) {
 // stays untouched with audit enabled. p carries the rendered rows (exactly
 // the strings the HTTP response serves); tr is non-nil whenever auditing is
 // on, because an audit writer forces the recorder.
-func (s *Service) auditRecord(q *query.Query, p *answerPayload, tr *obs.Trace, k int, tsim float64, explain, partial bool) {
+func (s *Service) auditRecord(pack *enginePack, q *query.Query, p *answerPayload, tr *obs.Trace, k int, tsim float64, explain, partial bool) {
 	if s.audit == nil || p == nil {
 		return
 	}
@@ -123,8 +128,10 @@ func (s *Service) auditRecord(q *query.Query, p *answerPayload, tr *obs.Trace, k
 		Explain:    explain,
 		Partial:    partial,
 	}
-	if info, ok := s.ModelInfo(); ok {
-		ev.ModelFingerprint = info.Fingerprint
+	if pack.infoSet {
+		// The pack that computed the answer, not the currently serving one —
+		// a swap mid-computation must not mislabel the event.
+		ev.ModelFingerprint = pack.info.Fingerprint
 	}
 	if tr != nil {
 		ev.TraceID = tr.TraceID

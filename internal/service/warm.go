@@ -62,11 +62,12 @@ func (s *Service) WarmCache(ctx context.Context, snap CacheSnapshot) (int, error
 		if k <= 0 || tsim <= 0 || tsim >= 1 {
 			continue
 		}
-		key := cacheKey(q, k, tsim)
+		pack := s.currentPack()
+		key := pack.keyPrefix + cacheKey(q, k, tsim)
 		if s.cache.Contains(key) {
 			continue
 		}
-		p, err := s.compute(ctx, q, k, tsim, "", false)
+		p, err := s.computeWith(ctx, pack, q, k, tsim, "", false)
 		if err != nil {
 			if ctx.Err() != nil {
 				return warmed, ctx.Err()
