@@ -6,7 +6,8 @@
 #                      chunked pair sweep)
 #   make bench-serve — serving-path benchmarks (cache hit vs miss)
 #   make bench-learn — offline learn-phase scenarios only (probe→mine→order
-#                      →supertuple at 1x/2x/4x sample sizes)
+#                      →supertuple at 1x/2x/4x sample sizes, plus the
+#                      isolated TANE mine stage)
 #   make bench-engine— columnar boolean-engine scan scenario only (full
 #                      scale: 1M tuples, sub-ms p50)
 #   make bench       — full aimq-bench suite, BENCH_*.json into bench-results/
@@ -36,15 +37,17 @@ test:
 # them race-clean. core and webdb carry the context plumbing they rely on,
 # and obs is written to concurrently by every traced request. engine runs
 # the columnar chunk worker pool (and its randomized differential suite);
-# similarity chunks the VSim pair sweep across goroutines.
+# similarity chunks the VSim pair sweep across goroutines. tane shards
+# lattice levels across workers (with its own differential oracle suite),
+# and partition's scratch reuse backs that sharding.
 race:
-	$(GO) test -race ./internal/service/... ./internal/core/... ./internal/webdb/... ./internal/obs/... ./internal/engine/... ./internal/similarity/... ./internal/audit/... ./internal/drift/... ./internal/lifecycle/...
+	$(GO) test -race ./internal/service/... ./internal/core/... ./internal/webdb/... ./internal/obs/... ./internal/engine/... ./internal/similarity/... ./internal/audit/... ./internal/drift/... ./internal/lifecycle/... ./internal/tane/... ./internal/partition/...
 
 bench-serve:
 	$(GO) test -run XXX -bench 'BenchmarkService_' -benchmem ./internal/service/
 
 bench-learn:
-	$(GO) run -ldflags '$(LDFLAGS)' ./cmd/aimq-bench -run learn -out bench-results
+	$(GO) run -ldflags '$(LDFLAGS)' ./cmd/aimq-bench -run learn,mine -out bench-results
 
 # Full scale: 1M generated tuples, sub-millisecond boolean-query p50 on the
 # columnar path (posting-bitmap ANDs, zone-map skips, popcount counts).

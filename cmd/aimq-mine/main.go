@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"aimq/internal/afd"
@@ -29,11 +31,42 @@ func main() {
 	minimal := flag.Bool("minimal", false, "report only minimal dependencies")
 	topAFDs := flag.Int("afds", 25, "number of AFDs to print")
 	similar := flag.String("similar", "", "comma-separated Attr=Value pairs to show mined neighborhoods for")
-	workers := flag.Int("workers", 1, "supertuple index build goroutines (with -similar)")
+	workers := flag.Int("workers", 1, "mining + supertuple build goroutines (results are identical at any count)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := run(*data, *terr, *maxLHS, *minimal, *topAFDs, *similar, *workers); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "aimq-mine:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "aimq-mine:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	err := run(*data, *terr, *maxLHS, *minimal, *topAFDs, *similar, *workers)
+
+	if *memProfile != "" {
+		f, mErr := os.Create(*memProfile)
+		if mErr == nil {
+			runtime.GC()
+			mErr = pprof.WriteHeapProfile(f)
+			f.Close()
+		}
+		if mErr != nil {
+			fmt.Fprintln(os.Stderr, "aimq-mine: memprofile:", mErr)
+		}
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "aimq-mine:", err)
+		if *cpuProfile != "" {
+			pprof.StopCPUProfile()
+		}
 		os.Exit(1)
 	}
 }
@@ -46,9 +79,11 @@ func run(data string, terr float64, maxLHS int, minimal bool, topAFDs int, simil
 	if err != nil {
 		return err
 	}
-	fmt.Printf("mining %d tuples of %s (Terr=%.2f, MaxLHS=%d)\n\n", rel.Size(), rel.Schema(), terr, maxLHS)
+	fmt.Printf("mining %d tuples of %s (Terr=%.2f, MaxLHS=%d, workers=%d)\n\n", rel.Size(), rel.Schema(), terr, maxLHS, workers)
 
-	res := tane.Miner{Terr: terr, MaxLHS: maxLHS, MinimalOnly: minimal}.Mine(rel)
+	res := tane.Miner{Terr: terr, MaxLHS: maxLHS, MinimalOnly: minimal, Workers: workers}.Mine(rel)
+	fmt.Printf("lattice: %d levels, %d sets examined, %d partition products (%d pruned/reused), peak partition memory %d bytes\n\n",
+		res.LevelsVisited, res.SetsExamined, res.ProductsComputed, res.PartitionCacheHits, res.PeakPartitionBytes)
 	fmt.Printf("approximate functional dependencies: %d (top %d by support)\n", len(res.AFDs), topAFDs)
 	for i, a := range res.AFDs {
 		if i >= topAFDs {

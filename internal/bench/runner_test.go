@@ -70,12 +70,21 @@ func TestSelect(t *testing.T) {
 	if len(Select(all, "no-such-scenario")) != 0 {
 		t.Error("bogus pattern matched")
 	}
+	// Comma-separated alternatives union their matches ("learn" also
+	// catches serve-relearn, as it always has).
+	lm := Select(all, "learn,mine")
+	if len(lm) != 5 {
+		t.Errorf("learn,mine matches = %d, want 5", len(lm))
+	}
+	if len(Select(all, "mine,no-such,")) != 1 {
+		t.Error("comma pattern with empty/bogus parts mismatched")
+	}
 }
 
 // TestScenarioNamesStable pins the suite's names: they key the BENCH_*.json
 // files, so renaming one silently orphans its baseline.
 func TestScenarioNamesStable(t *testing.T) {
-	want := []string{"learn", "learn-2x", "learn-4x", "guided", "random", "rock",
+	want := []string{"learn", "learn-2x", "learn-4x", "mine", "guided", "random", "rock",
 		"guided-census", "serve-cold", "serve-warm", "serve-explain",
 		"serve-audit", "serve-relearn", "serve-contention", "chaos-guided",
 		"serve-chaos", "engine-scan"}

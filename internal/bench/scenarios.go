@@ -23,6 +23,7 @@ import (
 	"aimq/internal/relation"
 	"aimq/internal/rock"
 	"aimq/internal/service"
+	"aimq/internal/tane"
 	"aimq/internal/webdb"
 )
 
@@ -144,6 +145,7 @@ func Scenarios() []Scenario {
 		{"learn", "offline phase (probe→TANE→order→supertuple) at the base sample size", runLearn(1)},
 		{"learn-2x", "offline phase at 2× the base sample size", runLearn(2)},
 		{"learn-4x", "offline phase at 4× the base sample size", runLearn(4)},
+		{"mine", "TANE AFD/AKey mining stage in isolation over a CarDB sample", runMine},
 		{"guided", "GuidedRelax answering over CarDB (paper §6.3 workload)", runAnswerer("guided")},
 		{"random", "RandomRelax answering over CarDB (the §6.3 strawman)", runAnswerer("random")},
 		{"rock", "ROCK cluster-based answering over CarDB (the §6.4 comparator)", runRock},
@@ -160,16 +162,20 @@ func Scenarios() []Scenario {
 	}
 }
 
-// Select filters scenarios by exact name or substring; empty names selects
-// all.
+// Select filters scenarios by exact name or substring; a comma separates
+// alternatives ("learn,mine" keeps both families); empty selects all.
 func Select(all []Scenario, pattern string) []Scenario {
 	if pattern == "" {
 		return all
 	}
+	pats := strings.Split(pattern, ",")
 	var out []Scenario
 	for _, s := range all {
-		if strings.Contains(s.Name, pattern) {
-			out = append(out, s)
+		for _, p := range pats {
+			if p != "" && strings.Contains(s.Name, p) {
+				out = append(out, s)
+				break
+			}
 		}
 	}
 	return out
@@ -214,12 +220,47 @@ func runLearn(mult int) func(Options, *Env) (Result, error) {
 			m.SetExtra("akeys", float64(stats.AKeys))
 			m.SetExtra("probed_tuples", float64(stats.ProbedTuples))
 			m.SetExtra("sets_examined", float64(stats.SetsExamined))
+			m.SetExtra("products_computed", float64(stats.ProductsComputed))
+			m.SetExtra("partition_cache_hits", float64(stats.PartitionCacheHits))
+			m.SetExtra("peak_partition_bytes", float64(stats.PeakPartitionBytes))
 			for _, sp := range stats.Stages {
 				m.SetExtra("stage_"+sp.Name+"_ms", sp.DurMs)
 			}
 			return nil
 		})
 	}
+}
+
+// runMine benchmarks the TANE mining stage in isolation: one Mine call over
+// a fixed CarDB sample per operation, no probing or ordering around it. The
+// sample matches the learn-4x mine stage (the heaviest gated learn stage),
+// so this scenario is the direct price of the stripped-partition machinery —
+// the top carried-over perf lever in ROADMAP.md — and its baseline is the
+// reference the mining-core optimization is measured against.
+func runMine(o Options, env *Env) (Result, error) {
+	car := env.carDB()
+	o = o.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed + 19))
+	sample := car.Rel.Sample(o.scale(1_600, 6_000), rng)
+	iters := o.scale(12, 8)
+	params := map[string]float64{
+		"db_tuples":   float64(car.Rel.Size()),
+		"sample_size": float64(sample.Size()),
+		"terr":        tane.DefaultTerr,
+		"max_lhs":     3,
+		"workers":     float64(o.LearnWorkers),
+	}
+	return measure("mine", o.Quick, params, 2, iters, func(i int, m *Measurement) error {
+		res := tane.Miner{Terr: tane.DefaultTerr, MaxLHS: 3, Workers: o.LearnWorkers}.Mine(sample)
+		m.SetExtra("afds", float64(len(res.AFDs)))
+		m.SetExtra("akeys", float64(len(res.AKeys)))
+		m.SetExtra("sets_examined", float64(res.SetsExamined))
+		m.SetExtra("lattice_levels", float64(res.LevelsVisited))
+		m.SetExtra("products_computed", float64(res.ProductsComputed))
+		m.SetExtra("partition_cache_hits", float64(res.PartitionCacheHits))
+		m.SetExtra("peak_partition_bytes", float64(res.PeakPartitionBytes))
+		return nil
+	})
 }
 
 // answerWorkload is the §6.3-style query pool: randomly picked tuples

@@ -351,10 +351,22 @@ func (c *Controller) RefreshOnce(ctx context.Context, reason string) error {
 	if rep != nil {
 		shadowNote = rep.Reason
 	}
-	c.log.Info("model promoted",
+	promotedLog := []any{
 		"generation", gen, "fingerprint", m.Info().Fingerprint,
 		"reason", reason, "shadow", shadowNote,
-		"elapsed_ms", float64(time.Since(start).Microseconds())/1000)
+		"elapsed_ms", float64(time.Since(start).Microseconds()) / 1000,
+	}
+	// Surface the mining-core profile of the re-learn so an expensive refresh
+	// can be diagnosed from the log alone (the full LearnStats lives at
+	// /debug/learn only for the serving model).
+	if st := m.Stats; st != nil {
+		promotedLog = append(promotedLog,
+			"mine_products", st.ProductsComputed,
+			"mine_cache_hits", st.PartitionCacheHits,
+			"mine_peak_partition_bytes", st.PeakPartitionBytes,
+			"mine_workers", st.MineWorkers)
+	}
+	c.log.Info("model promoted", promotedLog...)
 	return nil
 }
 

@@ -187,18 +187,25 @@ type AnswerExplain struct {
 // LearnStats profiles the offline learning path: probing, TANE mining, the
 // Algorithm 2 ordering, supertuple construction and similarity estimation.
 type LearnStats struct {
-	Pivot           string  `json:"pivot"`
-	SeedTuples      int     `json:"seed_tuples"`
-	SpanningQueries int     `json:"spanning_queries"`
-	ProbeFailures   int     `json:"probe_failures"`
-	ProbedTuples    int     `json:"probed_tuples"`
-	SampleSize      int     `json:"sample_size"` // tuples actually mined
-	AFDs            int     `json:"afds"`
-	AKeys           int     `json:"akeys"`
-	LatticeLevels   int     `json:"lattice_levels"` // TANE levels visited
-	SetsExamined    int     `json:"sets_examined"`  // attribute sets evaluated
-	Stages          []Span  `json:"stages"`         // probe, sample, mine, order, supertuple, simest
-	TotalMs         float64 `json:"total_ms"`
+	Pivot           string `json:"pivot"`
+	SeedTuples      int    `json:"seed_tuples"`
+	SpanningQueries int    `json:"spanning_queries"`
+	ProbeFailures   int    `json:"probe_failures"`
+	ProbedTuples    int    `json:"probed_tuples"`
+	SampleSize      int    `json:"sample_size"` // tuples actually mined
+	AFDs            int    `json:"afds"`
+	AKeys           int    `json:"akeys"`
+	LatticeLevels   int    `json:"lattice_levels"` // TANE levels visited
+	SetsExamined    int    `json:"sets_examined"`  // attribute sets evaluated
+	// Mining-core counters: partition products actually multiplied, products
+	// avoided by rank-0 (exact-key) pruning and level reuse, and the high-water
+	// mark of resident partition bytes across adjacent lattice levels.
+	ProductsComputed   int     `json:"products_computed"`
+	PartitionCacheHits int     `json:"partition_cache_hits"`
+	PeakPartitionBytes int     `json:"peak_partition_bytes"`
+	MineWorkers        int     `json:"mine_workers"` // level-shard goroutines (1 = serial)
+	Stages             []Span  `json:"stages"`       // probe, sample, mine, order, supertuple, simest
+	TotalMs            float64 `json:"total_ms"`
 }
 
 // Trace is the finished record of one answered query (or one learning run).

@@ -27,9 +27,9 @@ func makeRel(cols [][]int) *relation.Relation {
 	return r
 }
 
-// naivePartition groups positions by their values on attrs (unstripped),
-// then strips singletons. Reference implementation for property tests.
-func naivePartition(rel *relation.Relation, attrs []int) *Partition {
+// naiveClasses groups positions by their values on attrs (unstripped), then
+// strips singletons. Reference implementation for property tests.
+func naiveClasses(rel *relation.Relation, attrs []int) [][]int32 {
 	groups := map[string][]int32{}
 	for i, t := range rel.Tuples() {
 		k := ""
@@ -38,23 +38,33 @@ func naivePartition(rel *relation.Relation, attrs []int) *Partition {
 		}
 		groups[k] = append(groups[k], int32(i))
 	}
-	p := &Partition{N: rel.Size()}
+	var out [][]int32
 	for _, g := range groups {
 		if len(g) >= 2 {
-			p.Classes = append(p.Classes, g)
+			out = append(out, g)
 		}
 	}
-	return p
+	return out
 }
 
-// canonical renders a partition as sorted class strings for comparison.
-func canonical(p *Partition) []string {
-	out := make([]string, 0, len(p.Classes))
-	for _, cls := range p.Classes {
-		c := append([]int32(nil), cls...)
-		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+// classes extracts a flat partition's classes as slices.
+func classes(p *Partition) [][]int32 {
+	var out [][]int32
+	for i := 0; i < p.NumClasses(); i++ {
+		out = append(out, p.Class(i))
+	}
+	return out
+}
+
+// canonical renders classes as sorted strings for order-insensitive
+// comparison.
+func canonical(cls [][]int32) []string {
+	out := make([]string, 0, len(cls))
+	for _, c := range cls {
+		cc := append([]int32(nil), c...)
+		sort.Slice(cc, func(i, j int) bool { return cc[i] < cc[j] })
 		s := ""
-		for _, x := range c {
+		for _, x := range cc {
 			s += string(rune(x)) + ","
 		}
 		out = append(out, s)
@@ -63,7 +73,7 @@ func canonical(p *Partition) []string {
 	return out
 }
 
-func equalPartitions(a, b *Partition) bool {
+func equalClasses(a, b [][]int32) bool {
 	ca, cb := canonical(a), canonical(b)
 	if len(ca) != len(cb) {
 		return false
@@ -74,6 +84,21 @@ func equalPartitions(a, b *Partition) bool {
 		}
 	}
 	return true
+}
+
+// checkScratchRestored fails if any scratch buffer carries state over.
+func checkScratchRestored(t *testing.T, s *Scratch) {
+	t.Helper()
+	for i, v := range s.owner {
+		if v != -1 {
+			t.Fatalf("scratch owner[%d] = %d after use, want -1", i, v)
+		}
+	}
+	for i, v := range s.cnt {
+		if v != 0 {
+			t.Fatalf("scratch cnt[%d] = %d after use, want 0", i, v)
+		}
+	}
 }
 
 func TestSingleStripsSingletons(t *testing.T) {
@@ -98,6 +123,38 @@ func TestSingleStripsSingletons(t *testing.T) {
 	}
 }
 
+func TestSingleMatchesNaiveOnRandomColumns(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 10 + rng.Intn(90)
+		cols := make([][]int, 3)
+		for c := range cols {
+			cols[c] = make([]int, n)
+			card := 1 + rng.Intn(8)
+			for i := range cols[c] {
+				cols[c][i] = rng.Intn(card)
+			}
+		}
+		rel := makeRel(cols)
+		for a := 0; a < 3; a++ {
+			got := Single(rel, a)
+			if !equalClasses(classes(got), naiveClasses(rel, []int{a})) {
+				t.Fatalf("trial %d attr %d: Single != naive", trial, a)
+			}
+			// Positions ascending within each class (the Product passes
+			// rely on it to keep output classes ascending).
+			for ci := 0; ci < got.NumClasses(); ci++ {
+				cls := got.Class(ci)
+				for k := 1; k < len(cls); k++ {
+					if cls[k] <= cls[k-1] {
+						t.Fatalf("trial %d attr %d: class %d not ascending: %v", trial, a, ci, cls)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestNullsGroupTogether(t *testing.T) {
 	s := relation.MustSchema(relation.Attribute{Name: "X", Type: relation.Numeric})
 	rel := relation.New(s)
@@ -105,8 +162,24 @@ func TestNullsGroupTogether(t *testing.T) {
 	rel.Append(relation.Tuple{relation.NullValue})
 	rel.Append(relation.Tuple{relation.Numv(1)})
 	p := Single(rel, 0)
-	if p.NumClasses() != 1 || len(p.Classes[0]) != 2 {
-		t.Errorf("null class = %+v", p.Classes)
+	if p.NumClasses() != 1 || len(p.Class(0)) != 2 {
+		t.Errorf("null class = %+v", classes(p))
+	}
+}
+
+func TestNullsGroupTogetherCategorical(t *testing.T) {
+	s := relation.MustSchema(relation.Attribute{Name: "X", Type: relation.Categorical})
+	rel := relation.New(s)
+	rel.Append(relation.Tuple{relation.NullValue})
+	rel.Append(relation.Tuple{relation.Cat("x")})
+	rel.Append(relation.Tuple{relation.NullValue})
+	rel.Append(relation.Tuple{relation.Cat("x")})
+	p := Single(rel, 0)
+	if p.NumClasses() != 2 {
+		t.Fatalf("classes = %+v", classes(p))
+	}
+	if !equalClasses(classes(p), [][]int32{{0, 2}, {1, 3}}) {
+		t.Errorf("null/value classes = %+v", classes(p))
 	}
 }
 
@@ -126,20 +199,13 @@ func TestProductMatchesNaive(t *testing.T) {
 		scratch := NewScratch(n)
 		pa, pb := Single(rel, 0), Single(rel, 1)
 		got := Product(pa, pb, scratch)
-		want := naivePartition(rel, []int{0, 1})
-		if !equalPartitions(got, want) {
+		if !equalClasses(classes(got), naiveClasses(rel, []int{0, 1})) {
 			t.Fatalf("trial %d: product != naive (n=%d)", trial, n)
 		}
-		// Scratch restored.
-		for i, v := range scratch {
-			if v != -1 {
-				t.Fatalf("trial %d: scratch[%d] = %d after Product", trial, i, v)
-			}
-		}
+		checkScratchRestored(t, scratch)
 		// Triple product.
 		got3 := Product(got, Single(rel, 2), scratch)
-		want3 := naivePartition(rel, []int{0, 1, 2})
-		if !equalPartitions(got3, want3) {
+		if !equalClasses(classes(got3), naiveClasses(rel, []int{0, 1, 2})) {
 			t.Fatalf("trial %d: triple product != naive", trial)
 		}
 	}
@@ -163,7 +229,7 @@ func TestProductCommutative(t *testing.T) {
 		scratch := NewScratch(n)
 		ab := Product(Single(rel, 0), Single(rel, 1), scratch)
 		ba := Product(Single(rel, 1), Single(rel, 0), scratch)
-		return equalPartitions(ab, ba)
+		return equalClasses(classes(ab), classes(ba))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
@@ -218,11 +284,7 @@ func TestG3AFDMatchesNaive(t *testing.T) {
 		if diff := got - want; diff > 1e-12 || diff < -1e-12 {
 			t.Fatalf("trial %d: G3AFD = %v, naive = %v", trial, got, want)
 		}
-		for i, v := range scratch {
-			if v != -1 {
-				t.Fatalf("trial %d: scratch[%d] not restored", trial, i)
-			}
-		}
+		checkScratchRestored(t, scratch)
 	}
 }
 
@@ -285,6 +347,32 @@ func TestG3BoundsProperty(t *testing.T) {
 	}
 }
 
+func TestProductReusedScratchManyTimes(t *testing.T) {
+	// One scratch threaded through a chain of products over shifting
+	// columns: stale per-call state would corrupt a later product.
+	rng := rand.New(rand.NewSource(55))
+	n := 200
+	cols := [][]int{make([]int, n), make([]int, n), make([]int, n)}
+	for c := range cols {
+		for i := range cols[c] {
+			cols[c][i] = rng.Intn(4 + c)
+		}
+	}
+	rel := makeRel(cols)
+	scratch := NewScratch(n)
+	for round := 0; round < 20; round++ {
+		a, b := rng.Intn(3), rng.Intn(3)
+		if a == b {
+			continue
+		}
+		got := Product(Single(rel, a), Single(rel, b), scratch)
+		if !equalClasses(classes(got), naiveClasses(rel, []int{a, b})) {
+			t.Fatalf("round %d: product(%d,%d) != naive", round, a, b)
+		}
+	}
+	checkScratchRestored(t, scratch)
+}
+
 func TestEmptyRelation(t *testing.T) {
 	s := relation.MustSchema(relation.Attribute{Name: "A", Type: relation.Categorical})
 	rel := relation.New(s)
@@ -294,5 +382,16 @@ func TestEmptyRelation(t *testing.T) {
 	}
 	if g := G3AFD(p, p, NewScratch(0)); g != 0 {
 		t.Errorf("empty G3AFD = %v", g)
+	}
+}
+
+func TestPartitionBytes(t *testing.T) {
+	rel := makeRel([][]int{{0, 0, 1, 1}, {0, 1, 2, 3}, {0, 0, 0, 0}})
+	p := Single(rel, 0) // 2 classes, 4 elems, 3 offsets
+	if got := p.Bytes(); got != 4*(4+3) {
+		t.Errorf("Bytes = %d, want %d", got, 4*(4+3))
+	}
+	if e := (Single(rel, 1)).Bytes(); e != 0 {
+		t.Errorf("empty partition Bytes = %d", e)
 	}
 }

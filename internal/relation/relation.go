@@ -3,6 +3,7 @@ package relation
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 )
 
 // Tuple is one row of a relation: values in schema order. Tuples are value
@@ -36,6 +37,20 @@ func (t Tuple) Render(s *Schema) string {
 type Relation struct {
 	schema *Schema
 	tuples []Tuple
+
+	// internMu guards the lazily built per-attribute dictionary-code cache
+	// (see CatCodes). The cache is a read-side optimization: it never
+	// changes what a relation holds, only how fast the miners can group it.
+	internMu sync.Mutex
+	interned map[int]*catDict
+}
+
+// catDict is one attribute's interned dictionary: tuple position → dense
+// code, with codes assigned in first-seen order and nulls holding a code of
+// their own (nulls group together, matching Value.Key's null sentinel).
+type catDict struct {
+	codes []int32
+	card  int
 }
 
 // New creates an empty relation with the given schema.
@@ -119,6 +134,50 @@ func (r *Relation) Head(n int) *Relation {
 	out := make([]Tuple, n)
 	copy(out, r.tuples)
 	return &Relation{schema: r.schema, tuples: out}
+}
+
+// CatCodes returns the interned dictionary codes of a categorical attribute:
+// one dense int32 code per tuple position (first-seen order, nulls share one
+// dedicated code) and the code cardinality. The dictionary is built lazily
+// on first use and cached, so repeated mines over one relation intern each
+// attribute once; a relation appended to since the cache was built rebuilds
+// it. ok is false for non-categorical attributes. The returned slice is
+// shared — callers must treat it as read-only.
+func (r *Relation) CatCodes(attr int) (codes []int32, card int, ok bool) {
+	if r.schema.Type(attr) != Categorical {
+		return nil, 0, false
+	}
+	r.internMu.Lock()
+	defer r.internMu.Unlock()
+	if d, cached := r.interned[attr]; cached && len(d.codes) == len(r.tuples) {
+		return d.codes, d.card, true
+	}
+	codes = make([]int32, len(r.tuples))
+	ids := make(map[string]int32, 64)
+	next, nullCode := int32(0), int32(-1)
+	for i, t := range r.tuples {
+		v := t[attr]
+		if v.Null {
+			if nullCode < 0 {
+				nullCode = next
+				next++
+			}
+			codes[i] = nullCode
+			continue
+		}
+		c, seen := ids[v.Str]
+		if !seen {
+			c = next
+			next++
+			ids[v.Str] = c
+		}
+		codes[i] = c
+	}
+	if r.interned == nil {
+		r.interned = make(map[int]*catDict)
+	}
+	r.interned[attr] = &catDict{codes: codes, card: int(next)}
+	return codes, int(next), true
 }
 
 // DistinctValues returns the distinct non-null values of attribute attr in

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -516,4 +517,63 @@ func TestInferCSVFile(t *testing.T) {
 	if rel.Schema().Type(0) != Numeric || rel.Schema().Type(1) != Categorical {
 		t.Errorf("inferred types: %s", rel.Schema())
 	}
+}
+
+func TestCatCodes(t *testing.T) {
+	s := MustSchema(
+		Attribute{Name: "Make", Type: Categorical},
+		Attribute{Name: "Price", Type: Numeric},
+	)
+	r := New(s)
+	r.Append(Tuple{Cat("Ford"), Numv(1)})
+	r.Append(Tuple{NullValue, Numv(2)})
+	r.Append(Tuple{Cat("Toyota"), Numv(3)})
+	r.Append(Tuple{Cat("Ford"), Numv(4)})
+	r.Append(Tuple{NullValue, Numv(5)})
+
+	codes, card, ok := r.CatCodes(0)
+	if !ok || card != 3 {
+		t.Fatalf("CatCodes = card %d ok %v", card, ok)
+	}
+	want := []int32{0, 1, 2, 0, 1} // first-seen order; nulls share one code
+	for i, c := range codes {
+		if c != want[i] {
+			t.Fatalf("codes = %v, want %v", codes, want)
+		}
+	}
+	// Numeric attributes don't intern.
+	if _, _, ok := r.CatCodes(1); ok {
+		t.Error("CatCodes interned a numeric attribute")
+	}
+	// Cached: same backing slice on repeat.
+	again, _, _ := r.CatCodes(0)
+	if &again[0] != &codes[0] {
+		t.Error("CatCodes rebuilt an unchanged dictionary")
+	}
+	// Stale after append: rebuilt at the new size with consistent codes.
+	r.Append(Tuple{Cat("Honda"), Numv(6)})
+	codes2, card2, _ := r.CatCodes(0)
+	if len(codes2) != 6 || card2 != 4 || codes2[5] != 3 {
+		t.Errorf("post-append codes = %v card %d", codes2, card2)
+	}
+}
+
+func TestCatCodesConcurrent(t *testing.T) {
+	s := MustSchema(Attribute{Name: "A", Type: Categorical})
+	r := New(s)
+	for i := 0; i < 500; i++ {
+		r.Append(Tuple{Cat(string(rune('a' + i%7)))})
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			codes, card, ok := r.CatCodes(0)
+			if !ok || card != 7 || len(codes) != 500 {
+				t.Errorf("CatCodes = card %d len %d ok %v", card, len(codes), ok)
+			}
+		}()
+	}
+	wg.Wait()
 }

@@ -150,12 +150,19 @@ func BuildModel(src webdb.Source, lc LearnConfig) (*Model, error) {
 	stats.SampleSize = sample.Size()
 
 	begin = time.Now()
-	mined := tane.Miner{Terr: lc.Terr, MaxLHS: lc.MaxLHS}.Mine(sample)
+	mined := tane.Miner{Terr: lc.Terr, MaxLHS: lc.MaxLHS, Workers: lc.Workers}.Mine(sample)
 	stage("mine", begin)
 	stats.AFDs = len(mined.AFDs)
 	stats.AKeys = len(mined.AKeys)
 	stats.LatticeLevels = mined.LevelsVisited
 	stats.SetsExamined = mined.SetsExamined
+	stats.ProductsComputed = mined.ProductsComputed
+	stats.PartitionCacheHits = mined.PartitionCacheHits
+	stats.PeakPartitionBytes = mined.PeakPartitionBytes
+	stats.MineWorkers = lc.Workers
+	if stats.MineWorkers < 1 {
+		stats.MineWorkers = 1
+	}
 
 	begin = time.Now()
 	ord, err := afd.Order(mined)

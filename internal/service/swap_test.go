@@ -124,7 +124,7 @@ func TestPromoteFlushesCacheGenerations(t *testing.T) {
 	svc := newService(t, rel, nil, Config{})
 	const q = "/answer?q=Model+like+Camry&k=3"
 
-	do2(svc, q)                   // compute, cache under gen 0
+	do2(svc, q) // compute, cache under gen 0
 	if code, _ := do2(svc, q); code != 200 {
 		t.Fatal("warm request failed")
 	}

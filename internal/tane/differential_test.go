@@ -1,0 +1,205 @@
+package tane
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aimq/internal/relation"
+)
+
+// randomRel generates a relation designed to exercise every miner path:
+// mixed categorical/numeric columns, nulls, duplicated columns (exact FDs),
+// running-index columns (exact single-attribute keys, the rank-0 pruning
+// trigger) and near-duplicates (approximate FDs at assorted errors).
+func randomRel(rng *rand.Rand, arity, n int) *relation.Relation {
+	attrs := make([]relation.Attribute, arity)
+	kinds := make([]int, arity)
+	for a := 0; a < arity; a++ {
+		kinds[a] = rng.Intn(10)
+		typ := relation.Categorical
+		if kinds[a] >= 7 { // 7,8: numeric; 9: numeric running index
+			typ = relation.Numeric
+		}
+		attrs[a] = relation.Attribute{Name: fmt.Sprintf("A%d", a), Type: typ}
+	}
+	s, err := relation.NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	rel := relation.New(s)
+	nullProb := rng.Float64() * 0.2
+	cards := make([]int, arity)
+	copyOf := make([]int, arity)
+	for a := range cards {
+		cards[a] = 1 + rng.Intn(8)
+		copyOf[a] = -1
+		// kind 6: categorical copy of an earlier column (exact FD both ways).
+		if kinds[a] == 6 && a > 0 {
+			copyOf[a] = rng.Intn(a)
+		}
+	}
+	for i := 0; i < n; i++ {
+		t := make(relation.Tuple, arity)
+		for a := 0; a < arity; a++ {
+			if c := copyOf[a]; c >= 0 {
+				src := t[c]
+				if src.IsNull() {
+					t[a] = relation.NullValue
+				} else if s.Type(c) == relation.Numeric {
+					t[a] = relation.Cat(fmt.Sprintf("c%g", src.Num))
+				} else {
+					t[a] = relation.Cat("c" + src.Str)
+				}
+				continue
+			}
+			if rng.Float64() < nullProb {
+				t[a] = relation.NullValue
+				continue
+			}
+			switch kinds[a] {
+			case 5: // categorical running index: an exact key column
+				t[a] = relation.Cat(fmt.Sprintf("u%d", i))
+			case 9: // numeric running index
+				t[a] = relation.Numv(float64(i))
+			default:
+				if s.Type(a) == relation.Numeric {
+					t[a] = relation.Numv(float64(rng.Intn(cards[a]) * 100))
+				} else {
+					t[a] = relation.Cat(fmt.Sprintf("v%d", rng.Intn(cards[a])))
+				}
+			}
+		}
+		rel.Append(t)
+	}
+	return rel
+}
+
+// requireEqualResults pins every reported field of two mine results,
+// including order and bitwise float equality of the g3 errors.
+func requireEqualResults(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	if got.N != want.N || got.LevelsVisited != want.LevelsVisited || got.SetsExamined != want.SetsExamined {
+		t.Fatalf("%s: profile = N%d L%d S%d, want N%d L%d S%d", label,
+			got.N, got.LevelsVisited, got.SetsExamined,
+			want.N, want.LevelsVisited, want.SetsExamined)
+	}
+	if len(got.AFDs) != len(want.AFDs) {
+		t.Fatalf("%s: %d AFDs, want %d", label, len(got.AFDs), len(want.AFDs))
+	}
+	for i := range want.AFDs {
+		if got.AFDs[i] != want.AFDs[i] {
+			t.Fatalf("%s: AFD[%d] = %+v, want %+v", label, i, got.AFDs[i], want.AFDs[i])
+		}
+	}
+	if len(got.AKeys) != len(want.AKeys) {
+		t.Fatalf("%s: %d AKeys, want %d", label, len(got.AKeys), len(want.AKeys))
+	}
+	for i := range want.AKeys {
+		if got.AKeys[i] != want.AKeys[i] {
+			t.Fatalf("%s: AKey[%d] = %+v, want %+v", label, i, got.AKeys[i], want.AKeys[i])
+		}
+	}
+}
+
+// TestMineMatchesOracle is the randomized differential suite: the rewritten
+// miner (flat partitions, prefix-block walk, rank-0 pruning, level
+// parallelism) must reproduce the reference oracle's Result bit-identically
+// across arities 3–13, nulls, error thresholds, both minimality modes and
+// worker counts 1/2/4/8.
+func TestMineMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2006))
+	terrs := []float64{0, 0.05, 0.15, 0.3}
+	workerCounts := []int{1, 2, 4, 8}
+	trials := 60
+	if testing.Short() {
+		trials = 15
+	}
+	for trial := 0; trial < trials; trial++ {
+		arity := 3 + rng.Intn(11) // 3..13
+		n := 30 + rng.Intn(170)
+		if arity >= 10 {
+			n = 30 + rng.Intn(70) // cap the big-lattice cases under -race
+		}
+		rel := randomRel(rng, arity, n)
+		m := Miner{
+			Terr:        terrs[trial%len(terrs)],
+			MinimalOnly: trial%2 == 1,
+		}
+		if trial%5 == 0 {
+			m.MaxLHS = 1 + rng.Intn(3)
+		}
+		if trial%7 == 0 {
+			m.MaxKeySize = 1 + rng.Intn(4)
+		}
+		want := oracleMine(m, rel)
+		for _, w := range workerCounts {
+			m.Workers = w
+			label := fmt.Sprintf("trial %d (arity %d n %d terr %g minimal %v workers %d)",
+				trial, arity, n, m.Terr, m.MinimalOnly, w)
+			requireEqualResults(t, label, want, m.Mine(rel))
+		}
+	}
+}
+
+// TestMineCountersConsistent sanity-checks the new Result counters: the
+// walk must report products, cache traffic and a nonzero partition
+// footprint whenever it mined anything.
+func TestMineCountersConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rel := randomRel(rng, 6, 150)
+	res := Miner{Terr: 0.2}.Mine(rel)
+	if res.ProductsComputed <= 0 {
+		t.Errorf("ProductsComputed = %d", res.ProductsComputed)
+	}
+	if res.PartitionCacheHits <= 0 {
+		t.Errorf("PartitionCacheHits = %d", res.PartitionCacheHits)
+	}
+	if res.PeakPartitionBytes <= 0 {
+		t.Errorf("PeakPartitionBytes = %d", res.PeakPartitionBytes)
+	}
+	// Counters are deterministic at any worker count.
+	for _, w := range []int{2, 8} {
+		r2 := Miner{Terr: 0.2, Workers: w}.Mine(rel)
+		if r2.ProductsComputed != res.ProductsComputed ||
+			r2.PartitionCacheHits != res.PartitionCacheHits ||
+			r2.PeakPartitionBytes != res.PeakPartitionBytes {
+			t.Errorf("workers %d: counters %d/%d/%d, want %d/%d/%d", w,
+				r2.ProductsComputed, r2.PartitionCacheHits, r2.PeakPartitionBytes,
+				res.ProductsComputed, res.PartitionCacheHits, res.PeakPartitionBytes)
+		}
+	}
+}
+
+// TestMineRankZeroPruning pins the rank-0 lever: once a set is an exact
+// key, none of its supersets may cost a Product, in either minimality mode,
+// and the reported results must not change for it.
+func TestMineRankZeroPruning(t *testing.T) {
+	// A is unique (exact key), so every superset of {A} is rank-0.
+	s := relation.MustSchema(
+		relation.Attribute{Name: "A", Type: relation.Categorical},
+		relation.Attribute{Name: "B", Type: relation.Categorical},
+		relation.Attribute{Name: "C", Type: relation.Categorical},
+		relation.Attribute{Name: "D", Type: relation.Categorical},
+	)
+	rel := relation.New(s)
+	for i := 0; i < 60; i++ {
+		rel.Append(relation.Tuple{
+			relation.Cat(fmt.Sprintf("u%d", i)),
+			relation.Cat(fmt.Sprintf("b%d", i%3)),
+			relation.Cat(fmt.Sprintf("c%d", i%4)),
+			relation.Cat(fmt.Sprintf("d%d", i%5)),
+		})
+	}
+	for _, minimal := range []bool{false, true} {
+		m := Miner{Terr: 0.1, MinimalOnly: minimal}
+		res := m.Mine(rel)
+		requireEqualResults(t, fmt.Sprintf("minimal=%v", minimal), oracleMine(m, rel), res)
+		// Supersets of {A}: 3 at level 2, 3 at level 3 (maxLHS=3 → maxLevel
+		// 4 capped at arity), 1 at level 4 — none may multiply. The only
+		// real products are among {B,C,D}: 3 pairs + 1 triple.
+		if res.ProductsComputed != 4 {
+			t.Errorf("minimal=%v: ProductsComputed = %d, want 4", minimal, res.ProductsComputed)
+		}
+	}
+}

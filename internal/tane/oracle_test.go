@@ -1,0 +1,282 @@
+package tane
+
+// The reference oracle: the pre-rewrite serial miner, kept verbatim — its
+// own map-based stripped partitions included — so the prefix-block,
+// rank-0-pruning, level-parallel miner can be differentially pinned against
+// the implementation it replaced. Any drift in reported AFDs, AKeys, their
+// g3 errors (bitwise), their order, or the lattice profile is a bug.
+
+import (
+	"math"
+
+	"aimq/internal/relation"
+)
+
+// oraclePartition is the old [][]int32 stripped-partition layout.
+type oraclePartition struct {
+	N       int
+	Classes [][]int32
+}
+
+func oracleSingle(rel *relation.Relation, attr int) *oraclePartition {
+	typ := rel.Schema().Type(attr)
+	p := &oraclePartition{N: rel.Size()}
+	if typ == relation.Numeric {
+		groups := make(map[uint64][]int32)
+		var nulls []int32
+		for i, t := range rel.Tuples() {
+			v := t[attr]
+			if v.IsNull() {
+				nulls = append(nulls, int32(i))
+				continue
+			}
+			bits := math.Float64bits(v.Num)
+			if v.Num != v.Num {
+				bits = math.Float64bits(math.NaN())
+			}
+			groups[bits] = append(groups[bits], int32(i))
+		}
+		if len(nulls) >= 2 {
+			p.Classes = append(p.Classes, nulls)
+		}
+		for _, g := range groups {
+			if len(g) >= 2 {
+				p.Classes = append(p.Classes, g)
+			}
+		}
+		return p
+	}
+	groups := make(map[string][]int32)
+	for i, t := range rel.Tuples() {
+		k := t[attr].Key(typ)
+		groups[k] = append(groups[k], int32(i))
+	}
+	for _, g := range groups {
+		if len(g) >= 2 {
+			p.Classes = append(p.Classes, g)
+		}
+	}
+	return p
+}
+
+func oracleProduct(a, b *oraclePartition, scratch []int32) *oraclePartition {
+	out := &oraclePartition{N: a.N}
+	for ci, cls := range a.Classes {
+		for _, pos := range cls {
+			scratch[pos] = int32(ci)
+		}
+	}
+	buckets := make(map[int64][]int32)
+	for bi, cls := range b.Classes {
+		for _, pos := range cls {
+			ai := scratch[pos]
+			if ai < 0 {
+				continue
+			}
+			key := int64(ai)<<32 | int64(uint32(bi))
+			buckets[key] = append(buckets[key], pos)
+		}
+		for key, g := range buckets {
+			if len(g) >= 2 {
+				out.Classes = append(out.Classes, g)
+			}
+			delete(buckets, key)
+		}
+	}
+	for _, cls := range a.Classes {
+		for _, pos := range cls {
+			scratch[pos] = -1
+		}
+	}
+	return out
+}
+
+func oracleNewScratch(n int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}
+
+func (p *oraclePartition) g3Key() float64 {
+	if p.N == 0 {
+		return 0
+	}
+	removed := 0
+	for _, cls := range p.Classes {
+		removed += len(cls) - 1
+	}
+	return float64(removed) / float64(p.N)
+}
+
+func oracleG3AFD(x, xa *oraclePartition, scratch []int32) float64 {
+	if x.N == 0 {
+		return 0
+	}
+	for _, cls := range xa.Classes {
+		for _, pos := range cls {
+			scratch[pos] = int32(len(cls))
+		}
+	}
+	removed := 0
+	for _, cls := range x.Classes {
+		maxSub := 1
+		for _, pos := range cls {
+			if s := int(scratch[pos]); s > maxSub {
+				maxSub = s
+			}
+		}
+		removed += len(cls) - maxSub
+	}
+	for _, cls := range xa.Classes {
+		for _, pos := range cls {
+			scratch[pos] = -1
+		}
+	}
+	return float64(removed) / float64(x.N)
+}
+
+// oracleMine is the old Miner.Mine, verbatim apart from riding the oracle
+// partition types. It ignores Workers.
+func oracleMine(m Miner, rel *relation.Relation) *Result {
+	terr := m.Terr
+	if terr == 0 {
+		terr = DefaultTerr
+	}
+	arity := rel.Schema().Arity()
+	maxLHS := m.MaxLHS
+	if maxLHS <= 0 {
+		maxLHS = 3
+	}
+	if maxLHS > arity-1 {
+		maxLHS = arity - 1
+	}
+	maxKey := m.MaxKeySize
+	if maxKey <= 0 {
+		maxKey = maxLHS + 1
+	}
+	if maxKey > arity {
+		maxKey = arity
+	}
+	maxLevel := maxLHS + 1
+	if maxKey > maxLevel {
+		maxLevel = maxKey
+	}
+
+	res := &Result{Schema: rel.Schema(), N: rel.Size()}
+	if rel.Size() == 0 {
+		return res
+	}
+
+	scratch := oracleNewScratch(rel.Size())
+	singles := make([]*oraclePartition, arity)
+	for a := 0; a < arity; a++ {
+		singles[a] = oracleSingle(rel, a)
+	}
+
+	parts := make(map[relation.AttrSet]*oraclePartition, arity)
+	prevLevel := make(map[relation.AttrSet]*oraclePartition, arity)
+	for a := 0; a < arity; a++ {
+		parts[relation.NewAttrSet(a)] = singles[a]
+	}
+
+	var getPart func(x relation.AttrSet) *oraclePartition
+	getPart = func(x relation.AttrSet) *oraclePartition {
+		if x.Size() == 1 {
+			return singles[x.Members()[0]]
+		}
+		if p, ok := parts[x]; ok {
+			return p
+		}
+		if p, ok := prevLevel[x]; ok {
+			return p
+		}
+		first := x.Members()[0]
+		p := oracleProduct(getPart(x.Remove(first)), singles[first], scratch)
+		parts[x] = p
+		return p
+	}
+	advanceLevel := func() {
+		prevLevel = parts
+		parts = make(map[relation.AttrSet]*oraclePartition, len(prevLevel)*arity)
+	}
+
+	minimalLHS := make(map[int][]relation.AttrSet)
+	isMinimalAFD := func(x relation.AttrSet, rhs int) bool {
+		if !m.MinimalOnly {
+			return true
+		}
+		for _, l := range minimalLHS[rhs] {
+			if x.Contains(l) {
+				return false
+			}
+		}
+		return true
+	}
+	var minimalKeys []relation.AttrSet
+	isMinimalKey := func(x relation.AttrSet) bool {
+		if !m.MinimalOnly {
+			return true
+		}
+		for _, k := range minimalKeys {
+			if x.Contains(k) {
+				return false
+			}
+		}
+		return true
+	}
+
+	var exactKeys []relation.AttrSet
+
+	level := subsetsOfSize(arity, 1)
+	for size := 1; size <= maxLevel && len(level) > 0; size++ {
+		res.LevelsVisited = size
+		for _, x := range level {
+			if m.MinimalOnly {
+				skip := false
+				for _, k := range exactKeys {
+					if x != k && x.Contains(k) {
+						skip = true
+						break
+					}
+				}
+				if skip {
+					continue
+				}
+			}
+			res.SetsExamined++
+			px := getPart(x)
+
+			if size <= maxKey {
+				if kerr := px.g3Key(); kerr <= terr && isMinimalKey(x) {
+					res.AKeys = append(res.AKeys, AKey{Attrs: x, Error: kerr})
+					minimalKeys = append(minimalKeys, x)
+					if kerr == 0 {
+						exactKeys = append(exactKeys, x)
+					}
+				}
+			}
+
+			if size <= maxLHS {
+				for a := 0; a < arity; a++ {
+					if x.Has(a) || !isMinimalAFD(x, a) {
+						continue
+					}
+					pxa := getPart(x.Add(a))
+					if err := oracleG3AFD(px, pxa, scratch); err <= terr {
+						res.AFDs = append(res.AFDs, AFD{LHS: x, RHS: a, Error: err})
+						if m.MinimalOnly {
+							minimalLHS[a] = append(minimalLHS[a], x)
+						}
+					}
+				}
+			}
+		}
+		level = subsetsOfSize(arity, size+1)
+		advanceLevel()
+	}
+
+	sortResult(res)
+	return res
+}

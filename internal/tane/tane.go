@@ -21,7 +21,9 @@ package tane
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
+	"sync"
 
 	"aimq/internal/partition"
 	"aimq/internal/relation"
@@ -81,6 +83,9 @@ type Miner struct {
 	// threshold within the size bounds — summing over the full set makes
 	// the dependence weights far more stable under sampling (Figures 3–4).
 	MinimalOnly bool
+	// Workers shards each lattice level across a worker pool. The result
+	// is bit-identical at any worker count. <=1 mines serially.
+	Workers int
 }
 
 // DefaultTerr is the error threshold used when Miner.Terr is 0.
@@ -99,6 +104,15 @@ type Result struct {
 	// its time and how hard the pruning worked.
 	LevelsVisited int
 	SetsExamined  int
+	// ProductsComputed counts real partition.Product calls;
+	// PartitionCacheHits counts partition needs satisfied without one — a
+	// level-cache lookup for an AFD antecedent, or a superset of a rank-0
+	// (exact-key) partition synthesized as empty without multiplying.
+	// PeakPartitionBytes is the high-water mark of the partition bytes the
+	// walk kept live at once (the two consecutive lattice levels).
+	ProductsComputed   int
+	PartitionCacheHits int
+	PeakPartitionBytes int
 }
 
 // Mine runs TANE over the relation.
@@ -131,48 +145,46 @@ func (m Miner) Mine(rel *relation.Relation) *Result {
 	if rel.Size() == 0 {
 		return res
 	}
-
-	scratch := partition.NewScratch(rel.Size())
-	singles := make([]*partition.Partition, arity)
-	for a := 0; a < arity; a++ {
-		singles[a] = partition.Single(rel, a)
+	n := rel.Size()
+	workers := m.Workers
+	if workers < 1 {
+		workers = 1
 	}
 
-	// Partitions are cached per lattice level and older levels are evicted:
-	// π_X for |X| = k is computed from π_{X∖{min}} (level k−1) and the
-	// singleton π_{min}, so only the previous level is ever needed. Without
-	// eviction a 13-attribute mine at level 4 would pin hundreds of
-	// partitions of the full relation in memory.
-	parts := make(map[relation.AttrSet]*partition.Partition, arity)
-	prevLevel := make(map[relation.AttrSet]*partition.Partition, arity)
-	for a := 0; a < arity; a++ {
-		parts[relation.NewAttrSet(a)] = singles[a]
+	// entry is one lattice node of the current level. Partitions live for
+	// exactly two levels: level k+1 is generated by prefix-block join of
+	// level k — both parents of a candidate sit in the previous level's
+	// slice at p1/p2 — so older levels are evicted wholesale. Without that
+	// a 13-attribute mine at level 4 would pin hundreds of partitions of
+	// the full relation in memory.
+	type entry struct {
+		set  relation.AttrSet
+		part *partition.Partition
+		// p1/p2 index the previous level's entries this candidate joins.
+		p1, p2 int
+		// superOfExact marks proper supersets of a recorded exact key: the
+		// partition is provably empty (rank 0 refines to rank 0) and is
+		// synthesized without a Product in every mode; MinimalOnly
+		// additionally skips examining the set at all.
+		superOfExact bool
 	}
 
-	// getPart returns π_X, looking in the current-level cache first, then
-	// the previous level, computing recursively otherwise (the recursion
-	// bottoms out at singletons; with level-ordered traversal it descends
-	// at most one step).
-	var getPart func(x relation.AttrSet) *partition.Partition
-	getPart = func(x relation.AttrSet) *partition.Partition {
-		if x.Size() == 1 {
-			return singles[x.Members()[0]]
-		}
-		if p, ok := parts[x]; ok {
-			return p
-		}
-		if p, ok := prevLevel[x]; ok {
-			return p
-		}
-		first := x.Members()[0]
-		p := partition.Product(getPart(x.Remove(first)), singles[first], scratch)
-		parts[x] = p
-		return p
+	// shard collects one worker's discoveries over a contiguous slice of a
+	// level, merged in shard order so the result is bit-identical at any
+	// worker count: within a level no discovery can affect another set of
+	// the same size (same-size containment implies equality), so the only
+	// state workers share — previous levels and the minimality records — is
+	// frozen for the whole level.
+	type shard struct {
+		afds     []AFD
+		akeys    []AKey
+		sets     int
+		products int
+		hits     int
 	}
-	advanceLevel := func() {
-		prevLevel = parts
-		parts = make(map[relation.AttrSet]*partition.Partition, len(prevLevel)*arity)
-	}
+
+	// The shared empty partition every synthesized rank-0 superset points at.
+	empty := &partition.Partition{N: n}
 
 	// minimalLHS[rhs] holds antecedents of already-reported AFDs for rhs;
 	// a new X→rhs is minimal iff no recorded L ⊆ X. Only consulted when
@@ -201,62 +213,206 @@ func (m Miner) Mine(rel *relation.Relation) *Result {
 		}
 		return true
 	}
-
-	// exactKeys: in minimal mode, proper supersets of exact keys are
-	// pruned entirely — every dependency from them is exact and
-	// non-minimal, and they cannot be minimal keys.
 	var exactKeys []relation.AttrSet
 
-	level := subsetsOfSize(arity, 1)
-	for size := 1; size <= maxLevel && len(level) > 0; size++ {
-		res.LevelsVisited = size
-		for _, x := range level {
-			if m.MinimalOnly {
-				skip := false
-				for _, k := range exactKeys {
-					if x != k && x.Contains(k) {
-						skip = true
-						break
-					}
-				}
-				if skip {
-					continue
-				}
-			}
-			res.SetsExamined++
-			px := getPart(x)
+	// Per-worker scratch, allocated on first use and reused across levels.
+	scratches := make([]*partition.Scratch, workers)
+	scratch := func(w int) *partition.Scratch {
+		if scratches[w] == nil {
+			scratches[w] = partition.NewScratch(n)
+		}
+		return scratches[w]
+	}
 
-			// Keys.
+	// computePart resolves one candidate's partition: synthesized empty when
+	// it contains an exact key or either parent is already rank-0, the
+	// product of its two level-k parents otherwise.
+	computePart := func(e *entry, prev []entry, sc *partition.Scratch, sh *shard) {
+		pa, pb := prev[e.p1].part, prev[e.p2].part
+		if e.superOfExact || pa.NumClasses() == 0 || pb.NumClasses() == 0 {
+			e.part = empty
+			sh.hits++
+			return
+		}
+		e.part = partition.Product(pa, pb, sc)
+		sh.products++
+	}
+
+	// evalEntry examines one set: key error at its own level, and the AFDs
+	// X→a for every X = set∖{a} — the antecedent's partition comes straight
+	// from the previous level's cache, the consequent's is e.part. AFDs for
+	// an antecedent of size k are therefore evaluated while walking level
+	// k+1, with the minimality records exactly as the serial level-wise
+	// walk would have them (they only ever grow at strictly smaller sizes).
+	evalEntry := func(e *entry, prev []entry, prevIdx map[relation.AttrSet]int, size int, sc *partition.Scratch, sh *shard) {
+		if !(m.MinimalOnly && e.superOfExact) {
+			sh.sets++
 			if size <= maxKey {
-				if kerr := px.G3Key(); kerr <= terr && isMinimalKey(x) {
-					res.AKeys = append(res.AKeys, AKey{Attrs: x, Error: kerr})
-					minimalKeys = append(minimalKeys, x)
-					if kerr == 0 {
-						exactKeys = append(exactKeys, x)
-					}
-				}
-			}
-
-			// AFDs with antecedent X.
-			if size <= maxLHS {
-				for a := 0; a < arity; a++ {
-					if x.Has(a) || !isMinimalAFD(x, a) {
-						continue
-					}
-					pxa := getPart(x.Add(a))
-					if err := partition.G3AFD(px, pxa, scratch); err <= terr {
-						res.AFDs = append(res.AFDs, AFD{LHS: x, RHS: a, Error: err})
-						if m.MinimalOnly {
-							minimalLHS[a] = append(minimalLHS[a], x)
-						}
-					}
+				if kerr := e.part.G3Key(); kerr <= terr && isMinimalKey(e.set) {
+					sh.akeys = append(sh.akeys, AKey{Attrs: e.set, Error: kerr})
 				}
 			}
 		}
-		level = subsetsOfSize(arity, size+1)
-		advanceLevel()
+		if size < 2 || size-1 > maxLHS {
+			return
+		}
+		for _, a := range e.set.Members() {
+			x := e.set.Remove(a)
+			pe := &prev[prevIdx[x]]
+			if (m.MinimalOnly && pe.superOfExact) || !isMinimalAFD(x, a) {
+				continue
+			}
+			sh.hits++
+			if err := partition.G3AFD(pe.part, e.part, sc); err <= terr {
+				sh.afds = append(sh.afds, AFD{LHS: x, RHS: a, Error: err})
+			}
+		}
 	}
 
+	// processLevel computes and evaluates a level, sharded across the worker
+	// pool in contiguous ranges, then merges the shards in order.
+	processLevel := func(cur []entry, prev []entry, prevIdx map[relation.AttrSet]int, size int) {
+		w := workers
+		if w > len(cur) {
+			w = len(cur)
+		}
+		shards := make([]shard, w)
+		run := func(wi, lo, hi int) {
+			sc := scratch(wi)
+			sh := &shards[wi]
+			for i := lo; i < hi; i++ {
+				e := &cur[i]
+				if size > 1 {
+					computePart(e, prev, sc, sh)
+				}
+				evalEntry(e, prev, prevIdx, size, sc, sh)
+			}
+		}
+		if w <= 1 {
+			run(0, 0, len(cur))
+		} else {
+			for wi := 0; wi < w; wi++ {
+				scratch(wi) // allocate serially, workers only reuse
+			}
+			var wg sync.WaitGroup
+			per := (len(cur) + w - 1) / w
+			for wi := 0; wi < w; wi++ {
+				lo := wi * per
+				hi := lo + per
+				if hi > len(cur) {
+					hi = len(cur)
+				}
+				wg.Add(1)
+				go func(wi, lo, hi int) {
+					defer wg.Done()
+					run(wi, lo, hi)
+				}(wi, lo, hi)
+			}
+			wg.Wait()
+		}
+		for si := range shards {
+			sh := &shards[si]
+			res.SetsExamined += sh.sets
+			res.ProductsComputed += sh.products
+			res.PartitionCacheHits += sh.hits
+			res.AFDs = append(res.AFDs, sh.afds...)
+			if m.MinimalOnly {
+				for _, f := range sh.afds {
+					minimalLHS[f.RHS] = append(minimalLHS[f.RHS], f.LHS)
+				}
+			}
+			for _, k := range sh.akeys {
+				res.AKeys = append(res.AKeys, k)
+				minimalKeys = append(minimalKeys, k.Attrs)
+				if k.Error == 0 {
+					exactKeys = append(exactKeys, k.Attrs)
+				}
+			}
+		}
+	}
+
+	// nextLevel generates the level-(size+1) candidates by prefix-block
+	// join: two level-size sets sharing all but their largest attribute
+	// produce their union, so every (size+1)-set is generated exactly once
+	// — from the two parents missing its largest and second-largest
+	// attribute — and both parents' partitions sit in the previous level.
+	nextLevel := func(cur []entry) []entry {
+		blocks := make(map[relation.AttrSet][]int, len(cur))
+		var order []relation.AttrSet
+		for i := range cur {
+			top := bits.Len64(uint64(cur[i].set)) - 1
+			p := cur[i].set.Remove(top)
+			if _, ok := blocks[p]; !ok {
+				order = append(order, p)
+			}
+			blocks[p] = append(blocks[p], i)
+		}
+		var next []entry
+		for _, p := range order {
+			idxs := blocks[p]
+			for i := 0; i < len(idxs); i++ {
+				for j := i + 1; j < len(idxs); j++ {
+					next = append(next, entry{
+						set: cur[idxs[i]].set | cur[idxs[j]].set,
+						p1:  idxs[i],
+						p2:  idxs[j],
+					})
+				}
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].set < next[j].set })
+		for i := range next {
+			for _, k := range exactKeys {
+				if next[i].set.Contains(k) {
+					next[i].superOfExact = true
+					break
+				}
+			}
+		}
+		return next
+	}
+
+	// Level 1: the singleton partitions.
+	cur := make([]entry, arity)
+	for a := 0; a < arity; a++ {
+		cur[a] = entry{set: relation.NewAttrSet(a), part: partition.Single(rel, a)}
+	}
+	var prev []entry
+	var prevIdx map[relation.AttrSet]int
+	prevBytes := 0
+	for size := 1; size <= maxLevel && len(cur) > 0; size++ {
+		res.LevelsVisited = size
+		processLevel(cur, prev, prevIdx, size)
+		levelBytes := 0
+		for i := range cur {
+			if cur[i].part != empty {
+				levelBytes += cur[i].part.Bytes()
+			}
+		}
+		if live := prevBytes + levelBytes; live > res.PeakPartitionBytes {
+			res.PeakPartitionBytes = live
+		}
+		if size == maxLevel {
+			break
+		}
+		prev, prevBytes = cur, levelBytes
+		prevIdx = make(map[relation.AttrSet]int, len(prev))
+		for i := range prev {
+			prevIdx[prev[i].set] = i
+		}
+		cur = nextLevel(prev)
+	}
+
+	sortResult(res)
+	return res
+}
+
+// sortResult puts the mined dependencies in their reported order. Both sort
+// keys are total orders over the unique (LHS, RHS) pairs and attribute
+// sets, so the final sequences are independent of discovery order — the
+// property that lets the lattice walk shard levels across workers and stay
+// bit-identical.
+func sortResult(res *Result) {
 	sort.Slice(res.AFDs, func(i, j int) bool {
 		if res.AFDs[i].Error != res.AFDs[j].Error {
 			return res.AFDs[i].Error < res.AFDs[j].Error
@@ -272,7 +428,6 @@ func (m Miner) Mine(rel *relation.Relation) *Result {
 		}
 		return res.AKeys[i].Attrs < res.AKeys[j].Attrs
 	})
-	return res
 }
 
 // BestKey returns the approximate key with the highest quality
